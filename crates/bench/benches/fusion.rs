@@ -1,0 +1,61 @@
+//! Fusion and demo-query benches — Tables III–VI.
+//!
+//! Times the text/structured fusion step (T6), the text-only fuse (T5), the
+//! top-k most-discussed query (T4), and the entity-type histogram (T3) on a
+//! prebuilt scaled system.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use datatamer_bench::{HarnessConfig, ScaledSystem};
+use datatamer_core::DataTamer;
+
+fn system() -> ScaledSystem {
+    ScaledSystem::build(HarnessConfig {
+        scale: 1.0 / 20_000.0, // ~887 fragments: fast yet non-trivial
+        padding_sentences: 4,
+        background_mentions: 4,
+        ..Default::default()
+    })
+}
+
+fn bench_fuse(c: &mut Criterion) {
+    let sys = system();
+    let records = sys.dt.structured_records().len() + sys.dt.text_show_records().len();
+    let mut group = c.benchmark_group("fusion");
+    group.throughput(Throughput::Elements(records as u64));
+    group.bench_function("full_fuse", |b| b.iter(|| black_box(sys.dt.fuse()).len()));
+    group.bench_function("text_only_fuse", |b| {
+        b.iter(|| black_box(sys.dt.fuse_text_only()).len())
+    });
+    group.finish();
+}
+
+fn bench_lookup(c: &mut Criterion) {
+    let sys = system();
+    let fused = sys.dt.fuse();
+    c.bench_function("fused_lookup_matilda", |b| {
+        b.iter(|| black_box(DataTamer::lookup(&fused, "Matilda")).is_some())
+    });
+}
+
+fn bench_topk(c: &mut Criterion) {
+    let sys = system();
+    c.bench_function("topk_discussed_award_winning", |b| {
+        b.iter(|| black_box(sys.dt.top_discussed(10)).len())
+    });
+}
+
+fn bench_histogram(c: &mut Criterion) {
+    let sys = system();
+    c.bench_function("entity_type_histogram", |b| {
+        b.iter(|| black_box(sys.dt.entity_histogram()).len())
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(15);
+    targets = bench_fuse, bench_lookup, bench_topk, bench_histogram
+);
+criterion_main!(benches);

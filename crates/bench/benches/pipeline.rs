@@ -1,0 +1,58 @@
+//! End-to-end pipeline bench — Figure 1's architecture, measured whole.
+//!
+//! Builds the complete system (generate → integrate 20 sources → ingest web
+//! text → fuse → query) at two scales so the scaling shape is visible.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use datatamer_bench::{HarnessConfig, ScaledSystem};
+use datatamer_core::DataTamer;
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline_end_to_end");
+    group.sample_size(10);
+    for &denom in &[50_000u32, 20_000] {
+        let config = HarnessConfig {
+            scale: 1.0 / denom as f64,
+            padding_sentences: 2,
+            background_mentions: 3,
+            ..Default::default()
+        };
+        group.throughput(Throughput::Elements(config.num_fragments() as u64));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(config.num_fragments()),
+            &config,
+            |b, cfg| {
+                b.iter(|| {
+                    let sys = ScaledSystem::build(cfg.clone());
+                    let fused = sys.dt.fuse();
+                    black_box(DataTamer::lookup(&fused, "Matilda").is_some())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_ingest_only(c: &mut Criterion) {
+    let config = HarnessConfig {
+        scale: 1.0 / 20_000.0,
+        padding_sentences: 2,
+        background_mentions: 3,
+        ..Default::default()
+    };
+    let mut group = c.benchmark_group("pipeline_text_ingest");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(config.num_fragments() as u64));
+    group.bench_function("text_only", |b| {
+        b.iter(|| {
+            let sys = ScaledSystem::build_text_only(config.clone());
+            black_box(sys.dt.text_stats().entities)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_end_to_end, bench_ingest_only);
+criterion_main!(benches);

@@ -1,0 +1,83 @@
+//! Schema-integration benches — Figures 2 and 3.
+//!
+//! `schema_bootstrap` times the bottom-up integration of all 20 FTABLES
+//! sources (Fig 2); `schema_match_one` times matching one held-out source
+//! against a mature global schema (Fig 3); `matcher_scoring` isolates the
+//! matcher-ensemble cost per candidate pair.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use datatamer_bench::{f2_bootstrap_trajectory, f3_threshold_sweep};
+use datatamer_corpus::ftables::{self, FtablesConfig};
+use datatamer_model::SourceSchema;
+use datatamer_schema::{CompositeMatcher, IntegrationConfig, SchemaIntegrator};
+
+fn sources() -> Vec<ftables::GeneratedSource> {
+    ftables::generate(&FtablesConfig::default(), 0)
+}
+
+fn bench_bootstrap(c: &mut Criterion) {
+    let srcs = sources();
+    let mut group = c.benchmark_group("schema_bootstrap");
+    group.throughput(Throughput::Elements(srcs.len() as u64));
+    group.bench_function("20_sources", |b| {
+        b.iter(|| black_box(f2_bootstrap_trajectory(&srcs, None)).len())
+    });
+    group.finish();
+}
+
+fn bench_match_one_source(c: &mut Criterion) {
+    let srcs = sources();
+    // Mature schema from the first 19 sources.
+    let mut integrator = SchemaIntegrator::new(
+        CompositeMatcher::broadway(),
+        IntegrationConfig::default(),
+    );
+    for s in &srcs[..19] {
+        let schema = SourceSchema::profile_records(s.id, &s.name, &s.records);
+        integrator.integrate(&schema);
+    }
+    let held_out = SourceSchema::profile_records(
+        srcs[19].id,
+        &srcs[19].name,
+        &srcs[19].records,
+    );
+    c.bench_function("schema_match_one_source", |b| {
+        b.iter(|| black_box(integrator.dry_run(&held_out)).len())
+    });
+}
+
+fn bench_threshold_sweep(c: &mut Criterion) {
+    let srcs = sources();
+    let thresholds: Vec<f64> = (50..=95).step_by(5).map(|t| t as f64 / 100.0).collect();
+    c.bench_function("schema_threshold_sweep", |b| {
+        b.iter(|| black_box(f3_threshold_sweep(&srcs, 10, &thresholds)).len())
+    });
+}
+
+fn bench_profile_source(c: &mut Criterion) {
+    let srcs = sources();
+    let biggest = srcs.iter().max_by_key(|s| s.records.len()).unwrap();
+    let mut group = c.benchmark_group("schema_profile_records");
+    group.throughput(Throughput::Elements(biggest.records.len() as u64));
+    group.bench_function(format!("{}_rows", biggest.records.len()), |b| {
+        b.iter(|| {
+            black_box(SourceSchema::profile_records(
+                biggest.id,
+                &biggest.name,
+                &biggest.records,
+            ))
+            .arity()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(15);
+    targets = bench_bootstrap, bench_match_one_source, bench_threshold_sweep,
+        bench_profile_source
+);
+criterion_main!(benches);

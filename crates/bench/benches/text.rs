@@ -1,0 +1,93 @@
+//! Text-side benches — experiment M2: the "performance results of the
+//! machine learning text data cleaning and pre-processing extension".
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use datatamer_bench::HarnessConfig;
+use datatamer_clean::TextCleaner;
+use datatamer_corpus::webtext::WebTextCorpus;
+use datatamer_text::{scan, tokenize, DomainParser};
+
+fn corpus(fragments: usize) -> WebTextCorpus {
+    let cfg = HarnessConfig {
+        scale: fragments as f64 / 17_731_744.0,
+        padding_sentences: 4,
+        background_mentions: 4,
+        ..Default::default()
+    };
+    WebTextCorpus::generate(&cfg.webtext_config())
+}
+
+fn bench_tokenize(c: &mut Criterion) {
+    let corp = corpus(500);
+    let total_bytes: usize = corp.fragments.iter().map(|f| f.text.len()).sum();
+    let mut group = c.benchmark_group("text_tokenize");
+    group.throughput(Throughput::Bytes(total_bytes as u64));
+    group.bench_function("500_fragments", |b| {
+        b.iter(|| {
+            let mut n = 0usize;
+            for f in &corp.fragments {
+                n += tokenize::tokenize(&f.text).len();
+            }
+            black_box(n)
+        })
+    });
+    group.finish();
+}
+
+fn bench_scanners(c: &mut Criterion) {
+    let corp = corpus(500);
+    c.bench_function("text_scan_all_500", |b| {
+        b.iter(|| {
+            let mut n = 0usize;
+            for f in &corp.fragments {
+                n += scan::scan_all(&f.text).len();
+            }
+            black_box(n)
+        })
+    });
+}
+
+fn bench_ml_cleaner(c: &mut Criterion) {
+    let corp = corpus(500);
+    let cleaner = TextCleaner::with_builtin_seeds();
+    let mut group = c.benchmark_group("text_ml_cleaner");
+    group.throughput(Throughput::Elements(corp.fragments.len() as u64));
+    group.bench_function("classify_500", |b| {
+        b.iter(|| {
+            let mut junk = 0usize;
+            for f in &corp.fragments {
+                junk += usize::from(cleaner.is_junk(&f.text));
+            }
+            black_box(junk)
+        })
+    });
+    group.finish();
+}
+
+fn bench_domain_parser(c: &mut Criterion) {
+    let mut group = c.benchmark_group("text_parse_throughput");
+    for &n in &[200usize, 1_000] {
+        let corp = corpus(n);
+        let parser = DomainParser::with_gazetteer(corp.gazetteer.clone());
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let mut mentions = 0usize;
+                for f in &corp.fragments {
+                    mentions += parser.parse(&f.text).mentions.len();
+                }
+                black_box(mentions)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(15);
+    targets = bench_tokenize, bench_scanners, bench_ml_cleaner, bench_domain_parser
+);
+criterion_main!(benches);

@@ -1,0 +1,12 @@
+//! Shared harness for the paper-reproduction experiments.
+//!
+//! Every table and figure of the paper maps to a function here (see
+//! DESIGN.md §4 for the experiment index); the `tables` binary prints them
+//! and the criterion benches time them. Everything is deterministic given
+//! the seeds in [`HarnessConfig`].
+
+pub mod experiments;
+pub mod setup;
+
+pub use experiments::*;
+pub use setup::{HarnessConfig, ScaledSystem};

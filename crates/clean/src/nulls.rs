@@ -1,0 +1,44 @@
+//! Canonicalising missing-value spellings.
+
+use datatamer_model::Value;
+
+/// Spellings treated as missing (compared case-insensitively, trimmed).
+pub const NULL_SPELLINGS: &[&str] = &["", "-", "--", "n/a", "na", "null", "none", "unknown", "?"];
+
+/// True when a string denotes a missing value.
+pub fn is_nullish(s: &str) -> bool {
+    let t = s.trim().to_lowercase();
+    NULL_SPELLINGS.contains(&t.as_str())
+}
+
+/// Replace null-ish strings with `Value::Null`. Returns `None` when the
+/// value is already canonical.
+pub fn canonicalize(v: &Value) -> Option<Value> {
+    match v {
+        Value::Str(s) if is_nullish(s) => Some(Value::Null),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recognised_spellings() {
+        for s in ["", " ", "N/A", "n/a", "-", "NULL", "None", "unknown", "?"] {
+            assert!(is_nullish(s), "{s:?}");
+        }
+        for s in ["0", "no", "Matilda", "$27"] {
+            assert!(!is_nullish(s), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn canonicalize_only_changes_nullish_strings() {
+        assert_eq!(canonicalize(&Value::from("N/A")), Some(Value::Null));
+        assert_eq!(canonicalize(&Value::from("Matilda")), None);
+        assert_eq!(canonicalize(&Value::Null), None);
+        assert_eq!(canonicalize(&Value::Int(0)), None);
+    }
+}

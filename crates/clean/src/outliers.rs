@@ -1,0 +1,127 @@
+//! Robust numeric outlier detection and repair.
+//!
+//! Uses the median/MAD rule (modified z-score): resilient to the very
+//! outliers it hunts, unlike mean/std. Used on numeric columns such as
+//! prices, where scraped sources contain fat-finger values.
+
+/// Outlier analysis of a numeric column.
+#[derive(Debug, Clone)]
+pub struct OutlierReport {
+    /// Median of the inputs.
+    pub median: f64,
+    /// Median absolute deviation (scaled by 1.4826 for normal consistency).
+    pub mad: f64,
+    /// Indices flagged as outliers.
+    pub outliers: Vec<usize>,
+}
+
+fn median_of(sorted: &[f64]) -> f64 {
+    let n = sorted.len();
+    if n % 2 == 1 {
+        sorted[n / 2]
+    } else {
+        (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0
+    }
+}
+
+/// Detect outliers via modified z-score `0.6745·|x−median|/MAD > cutoff`.
+/// A `cutoff` of 3.5 is the standard choice. Returns an empty report for
+/// fewer than 4 observations (no robust scale estimate possible).
+pub fn detect_outliers(values: &[f64], cutoff: f64) -> OutlierReport {
+    if values.len() < 4 {
+        return OutlierReport { median: f64::NAN, mad: f64::NAN, outliers: Vec::new() };
+    }
+    let mut sorted: Vec<f64> = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let median = median_of(&sorted);
+    let mut deviations: Vec<f64> = values.iter().map(|x| (x - median).abs()).collect();
+    deviations.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let raw_mad = median_of(&deviations);
+    let mad = raw_mad * 1.4826;
+    let outliers = if raw_mad == 0.0 {
+        // Over half the values identical: anything different is an outlier.
+        values
+            .iter()
+            .enumerate()
+            .filter(|(_, x)| (**x - median).abs() > 0.0)
+            .map(|(i, _)| i)
+            .collect()
+    } else {
+        values
+            .iter()
+            .enumerate()
+            .filter(|(_, x)| 0.6745 * (**x - median).abs() / raw_mad > cutoff)
+            .map(|(i, _)| i)
+            .collect()
+    };
+    OutlierReport { median, mad, outliers }
+}
+
+/// Repair strategy: replace each flagged value with the column median.
+/// Returns the repaired copy and the number of repairs.
+pub fn repair_with_median(values: &[f64], cutoff: f64) -> (Vec<f64>, usize) {
+    let report = detect_outliers(values, cutoff);
+    if report.outliers.is_empty() {
+        return (values.to_vec(), 0);
+    }
+    let mut out = values.to_vec();
+    for &i in &report.outliers {
+        out[i] = report.median;
+    }
+    let n = report.outliers.len();
+    (out, n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn detects_obvious_outlier() {
+        let xs = [25.0, 27.0, 30.0, 28.0, 26.0, 29.0, 2700.0];
+        let r = detect_outliers(&xs, 3.5);
+        assert_eq!(r.outliers, vec![6]);
+        assert!((r.median - 28.0).abs() < 1.01);
+    }
+
+    #[test]
+    fn clean_column_has_no_outliers() {
+        let xs = [25.0, 27.0, 30.0, 28.0, 26.0, 29.0];
+        assert!(detect_outliers(&xs, 3.5).outliers.is_empty());
+    }
+
+    #[test]
+    fn tiny_columns_are_left_alone() {
+        assert!(detect_outliers(&[1.0, 1000.0], 3.5).outliers.is_empty());
+        assert!(detect_outliers(&[], 3.5).outliers.is_empty());
+    }
+
+    #[test]
+    fn constant_column_with_one_deviant() {
+        let xs = [5.0, 5.0, 5.0, 5.0, 9.0];
+        let r = detect_outliers(&xs, 3.5);
+        assert_eq!(r.outliers, vec![4], "zero-MAD column flags any deviation");
+    }
+
+    #[test]
+    fn repair_replaces_with_median() {
+        let xs = [25.0, 27.0, 30.0, 28.0, 26.0, 29.0, 2700.0];
+        let (fixed, n) = repair_with_median(&xs, 3.5);
+        assert_eq!(n, 1);
+        assert!(fixed[6] < 100.0);
+        assert_eq!(fixed[0], 25.0, "inliers untouched");
+        let (same, n0) = repair_with_median(&xs[..6], 3.5);
+        assert_eq!(n0, 0);
+        assert_eq!(same, &xs[..6]);
+    }
+
+    #[test]
+    fn robust_to_outlier_mass() {
+        // 20% outliers would wreck mean/std; median/MAD holds.
+        let mut xs = vec![50.0; 16];
+        xs.extend([5000.0, 6000.0, 7000.0, 8000.0]);
+        let r = detect_outliers(&xs, 3.5);
+        assert_eq!(r.outliers.len(), 4);
+        assert!(r.outliers.iter().all(|&i| i >= 16));
+    }
+}

@@ -1,0 +1,143 @@
+//! The ML text-cleaning / pre-processing extension.
+//!
+//! The paper's §IV trains an ML classifier on web text and uses it "for
+//! deduplication and data cleaning"; §1's pipeline pre-processes and filters
+//! WEBINSTANCE fragments before import. This module is the cleaning half: a
+//! naive-Bayes filter that separates content fragments from web junk
+//! (ads, navigation chrome, cookie banners) so that only real prose reaches
+//! the domain parser.
+
+use datatamer_ml::features::{SparseVec, Vocabulary};
+use datatamer_ml::NaiveBayes;
+
+/// Built-in junk exemplars (ad / chrome / boilerplate language).
+pub const JUNK_SEEDS: &[&str] = &[
+    "click here to subscribe to our newsletter today",
+    "accept cookies to continue browsing this site",
+    "advertisement sponsored content buy now limited offer",
+    "sign up login register forgot password",
+    "terms of service privacy policy all rights reserved",
+    "follow us on social media like and share",
+    "free shipping order now discount code checkout cart",
+    "enable javascript to view this page correctly",
+    "related articles you may also like trending now",
+    "download our app rate us leave a review",
+];
+
+/// Built-in content exemplars (editorial prose about shows).
+pub const CONTENT_SEEDS: &[&str] = &[
+    "the musical grossed well during previews at the theatre",
+    "critics praised the award-winning import from london",
+    "the production opened on broadway to strong reviews",
+    "tickets for the evening performance sold out quickly",
+    "the revival stars a celebrated stage actress",
+    "box office receipts climbed ninety percent of the maximum",
+    "the playwright discussed the new staging with reporters",
+    "audiences gathered near times square before curtain",
+    "the touring company announced additional cities this fall",
+    "the composer and director spoke after the matinee",
+];
+
+/// A trained junk-vs-content fragment classifier.
+pub struct TextCleaner {
+    vocab: Vocabulary,
+    model: NaiveBayes,
+}
+
+/// Classes used by the cleaner.
+const CLASS_JUNK: usize = 0;
+const CLASS_CONTENT: usize = 1;
+
+impl TextCleaner {
+    /// Train from explicit junk/content exemplars.
+    pub fn train(junk: &[&str], content: &[&str]) -> Self {
+        assert!(!junk.is_empty() && !content.is_empty(), "need both classes");
+        let mut vocab = Vocabulary::new();
+        for t in junk.iter().chain(content.iter()) {
+            vocab.fit_doc(t);
+        }
+        let mut examples: Vec<(SparseVec, usize)> = Vec::with_capacity(junk.len() + content.len());
+        for t in junk {
+            examples.push((vocab.counts(t), CLASS_JUNK));
+        }
+        for t in content {
+            examples.push((vocab.counts(t), CLASS_CONTENT));
+        }
+        let model = NaiveBayes::train(&examples, 2, vocab.len(), 0.5);
+        TextCleaner { vocab, model }
+    }
+
+    /// Train from the built-in seed corpora.
+    pub fn with_builtin_seeds() -> Self {
+        Self::train(JUNK_SEEDS, CONTENT_SEEDS)
+    }
+
+    /// True when the fragment looks like junk/boilerplate.
+    pub fn is_junk(&self, fragment: &str) -> bool {
+        self.model.predict(&self.vocab.counts(fragment)) == CLASS_JUNK
+    }
+
+    /// Filter a fragment stream, keeping content. Returns `(kept, dropped)`.
+    pub fn filter<'a>(&self, fragments: &[&'a str]) -> (Vec<&'a str>, usize) {
+        let mut kept = Vec::with_capacity(fragments.len());
+        let mut dropped = 0;
+        for f in fragments {
+            if self.is_junk(f) {
+                dropped += 1;
+            } else {
+                kept.push(*f);
+            }
+        }
+        (kept, dropped)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtin_cleaner_separates_obvious_cases() {
+        let cleaner = TextCleaner::with_builtin_seeds();
+        assert!(cleaner.is_junk("subscribe now and accept cookies for free shipping"));
+        assert!(!cleaner.is_junk("the musical grossed 960,998 during previews on broadway"));
+        assert!(!cleaner.is_junk("Matilda an award-winning import from London opened at the theatre"));
+    }
+
+    #[test]
+    fn filter_counts_drops() {
+        let cleaner = TextCleaner::with_builtin_seeds();
+        let fragments = [
+            "the production opened to strong reviews at the theatre",
+            "click here to subscribe and accept cookies now",
+            "tickets for the performance sold out during previews",
+        ];
+        let (kept, dropped) = cleaner.filter(&fragments);
+        assert_eq!(dropped, 1);
+        assert_eq!(kept.len(), 2);
+        assert!(kept.iter().all(|f| !f.contains("subscribe")));
+    }
+
+    #[test]
+    fn unknown_vocabulary_defaults_reasonably() {
+        let cleaner = TextCleaner::with_builtin_seeds();
+        // Entirely out-of-vocabulary text: must not panic; either class ok.
+        let _ = cleaner.is_junk("zzz qqq xxx yyy");
+    }
+
+    #[test]
+    #[should_panic(expected = "both classes")]
+    fn empty_class_panics() {
+        TextCleaner::train(&[], &["x"]);
+    }
+
+    #[test]
+    fn custom_seeds_override_domain() {
+        let cleaner = TextCleaner::train(
+            &["lorem ipsum dolor sit amet"],
+            &["real estate listings downtown"],
+        );
+        assert!(cleaner.is_junk("lorem ipsum dolor"));
+        assert!(!cleaner.is_junk("downtown real estate"));
+    }
+}

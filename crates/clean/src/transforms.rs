@@ -1,0 +1,172 @@
+//! Typed value transformations.
+
+use datatamer_model::infer::{parse_date, parse_decimal, parse_money};
+use datatamer_model::Value;
+
+/// Exchange rates into USD (major units per 1 unit of the key currency).
+/// Fixed table — the paper's transformation example is a static EUR→USD
+/// translation, not a live feed.
+pub const USD_RATES: &[(&str, f64)] = &[
+    ("USD", 1.0),
+    ("EUR", 1.30),
+    ("GBP", 1.55),
+    ("JPY", 0.010),
+];
+
+/// A value transformation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Transform {
+    /// Convert any recognised currency amount to US dollars (`€30` → `$39`).
+    CurrencyToUsd,
+    /// Normalise any recognised date to the paper's `M/D/YYYY` form.
+    DateToUs,
+    /// Normalise any recognised date to ISO `YYYY-MM-DD`.
+    DateToIso,
+    /// Strip a unit suffix and keep the number (`160 min` → `160`).
+    StripUnit(String),
+    /// Collapse whitespace runs and trim.
+    TidyWhitespace,
+    /// Uppercase the value (display canonicalisation).
+    Uppercase,
+    /// Scale a numeric value by a constant factor.
+    ScaleNumeric(f64),
+}
+
+impl Transform {
+    /// Apply to a value. Returns `None` when the transform does not apply
+    /// (callers keep the original value — cleaning must never destroy data
+    /// it does not understand).
+    pub fn apply(&self, v: &Value) -> Option<Value> {
+        match self {
+            Transform::CurrencyToUsd => {
+                let text = v.as_str()?;
+                let money = parse_money(text)?;
+                let rate = USD_RATES
+                    .iter()
+                    .find(|(c, _)| *c == money.currency)
+                    .map(|(_, r)| *r)?;
+                let usd = money.amount * rate;
+                // Keep integer rendering when exact, cents otherwise.
+                let rendered = if (usd - usd.round()).abs() < 1e-9 {
+                    format!("${:.0}", usd.round())
+                } else {
+                    format!("${usd:.2}")
+                };
+                Some(Value::Str(rendered))
+            }
+            Transform::DateToUs => {
+                let d = parse_date(v.as_str()?)?;
+                Some(Value::Str(d.to_us_string()))
+            }
+            Transform::DateToIso => {
+                let d = parse_date(v.as_str()?)?;
+                Some(Value::Str(d.to_iso_string()))
+            }
+            Transform::StripUnit(unit) => {
+                let text = v.as_str()?.trim();
+                let stripped = text
+                    .strip_suffix(unit.as_str())
+                    .map(str::trim_end)?;
+                let num = parse_decimal(stripped)?;
+                Some(if num.fract() == 0.0 {
+                    Value::Int(num as i64)
+                } else {
+                    Value::Float(num)
+                })
+            }
+            Transform::TidyWhitespace => {
+                let text = v.as_str()?;
+                let mut out = String::with_capacity(text.len());
+                let mut last_space = true;
+                for c in text.chars() {
+                    if c.is_whitespace() {
+                        if !last_space {
+                            out.push(' ');
+                            last_space = true;
+                        }
+                    } else {
+                        out.push(c);
+                        last_space = false;
+                    }
+                }
+                let trimmed = out.trim_end().to_owned();
+                (trimmed != *text).then_some(Value::Str(trimmed))
+            }
+            Transform::Uppercase => {
+                let text = v.as_str()?;
+                let upper = text.to_uppercase();
+                (upper != *text).then_some(Value::Str(upper))
+            }
+            Transform::ScaleNumeric(k) => {
+                let x = v.as_float()?;
+                Some(Value::Float(x * k))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn euros_become_dollars() {
+        // The paper's canonical example: translate euros into dollars.
+        let t = Transform::CurrencyToUsd;
+        assert_eq!(t.apply(&Value::from("€30")), Some(Value::from("$39")));
+        assert_eq!(t.apply(&Value::from("30 EUR")), Some(Value::from("$39")));
+        assert_eq!(t.apply(&Value::from("30 euros")), Some(Value::from("$39")));
+        assert_eq!(t.apply(&Value::from("$27")), Some(Value::from("$27")), "USD is identity");
+        assert_eq!(t.apply(&Value::from("£10")), Some(Value::from("$15.50")));
+        assert_eq!(t.apply(&Value::from("thirty")), None, "unparseable keeps original");
+        assert_eq!(t.apply(&Value::Int(30)), None, "non-strings pass through");
+    }
+
+    #[test]
+    fn dates_normalise_both_ways() {
+        let us = Transform::DateToUs;
+        let iso = Transform::DateToIso;
+        for spelling in ["3/4/2013", "2013-03-04", "March 4, 2013"] {
+            assert_eq!(us.apply(&Value::from(spelling)), Some(Value::from("3/4/2013")));
+            assert_eq!(iso.apply(&Value::from(spelling)), Some(Value::from("2013-03-04")));
+        }
+        assert_eq!(us.apply(&Value::from("not a date")), None);
+    }
+
+    #[test]
+    fn strip_unit() {
+        let t = Transform::StripUnit("min".into());
+        assert_eq!(t.apply(&Value::from("160 min")), Some(Value::Int(160)));
+        assert_eq!(t.apply(&Value::from("90.5 min")), Some(Value::Float(90.5)));
+        assert_eq!(t.apply(&Value::from("160")), None, "no unit, no transform");
+        assert_eq!(t.apply(&Value::from("min")), None);
+    }
+
+    #[test]
+    fn tidy_whitespace_only_reports_changes() {
+        let t = Transform::TidyWhitespace;
+        assert_eq!(t.apply(&Value::from("  Matilda   show ")), Some(Value::from("Matilda show")));
+        assert_eq!(t.apply(&Value::from("clean")), None, "already clean → no change");
+    }
+
+    #[test]
+    fn uppercase_and_scale() {
+        assert_eq!(
+            Transform::Uppercase.apply(&Value::from("show_name")),
+            Some(Value::from("SHOW_NAME"))
+        );
+        assert_eq!(Transform::Uppercase.apply(&Value::from("X")), None);
+        assert_eq!(
+            Transform::ScaleNumeric(2.0).apply(&Value::Int(21)),
+            Some(Value::Float(42.0))
+        );
+        assert_eq!(Transform::ScaleNumeric(2.0).apply(&Value::from("x")), None);
+    }
+
+    #[test]
+    fn rates_table_has_usd_identity() {
+        let usd = USD_RATES.iter().find(|(c, _)| *c == "USD").unwrap();
+        assert_eq!(usd.1, 1.0);
+        assert!(USD_RATES.iter().any(|(c, _)| *c == "EUR"));
+    }
+}

@@ -1,0 +1,105 @@
+//! Source registry.
+
+use datatamer_model::SourceId;
+
+/// The kind of a registered source.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SourceKind {
+    /// Rows-and-columns data (FTABLES-like).
+    Structured,
+    /// Web text processed by the domain parser.
+    Text,
+}
+
+/// Metadata about a registered source.
+#[derive(Debug, Clone)]
+pub struct SourceInfo {
+    /// The id assigned at registration.
+    pub id: SourceId,
+    /// Human-readable name.
+    pub name: String,
+    /// Kind.
+    pub kind: SourceKind,
+    /// Records (structured) or fragments (text) ingested from it.
+    pub record_count: u64,
+}
+
+/// Assigns ids and remembers every source.
+#[derive(Debug, Default)]
+pub struct Catalog {
+    sources: Vec<SourceInfo>,
+}
+
+impl Catalog {
+    /// Empty catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a source, receiving its id.
+    pub fn register(&mut self, name: impl Into<String>, kind: SourceKind) -> SourceId {
+        let id = SourceId(self.sources.len() as u32);
+        self.sources.push(SourceInfo { id, name: name.into(), kind, record_count: 0 });
+        id
+    }
+
+    /// Record how many records a source contributed.
+    pub fn set_record_count(&mut self, id: SourceId, count: u64) {
+        if let Some(info) = self.sources.iter_mut().find(|s| s.id == id) {
+            info.record_count = count;
+        }
+    }
+
+    /// Look up a source.
+    pub fn get(&self, id: SourceId) -> Option<&SourceInfo> {
+        self.sources.iter().find(|s| s.id == id)
+    }
+
+    /// Look up by name.
+    pub fn by_name(&self, name: &str) -> Option<&SourceInfo> {
+        self.sources.iter().find(|s| s.name == name)
+    }
+
+    /// All sources in registration order.
+    pub fn iter(&self) -> impl Iterator<Item = &SourceInfo> {
+        self.sources.iter()
+    }
+
+    /// Number of registered sources.
+    pub fn len(&self) -> usize {
+        self.sources.len()
+    }
+
+    /// True when no source is registered.
+    pub fn is_empty(&self) -> bool {
+        self.sources.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_assigns_sequential_ids() {
+        let mut c = Catalog::new();
+        let a = c.register("ftable_00", SourceKind::Structured);
+        let b = c.register("webtext", SourceKind::Text);
+        assert_eq!(a, SourceId(0));
+        assert_eq!(b, SourceId(1));
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.get(a).unwrap().kind, SourceKind::Structured);
+        assert_eq!(c.by_name("webtext").unwrap().id, b);
+        assert!(c.by_name("nope").is_none());
+    }
+
+    #[test]
+    fn record_counts_update() {
+        let mut c = Catalog::new();
+        let id = c.register("s", SourceKind::Structured);
+        c.set_record_count(id, 42);
+        assert_eq!(c.get(id).unwrap().record_count, 42);
+        c.set_record_count(SourceId(99), 1); // unknown id is a no-op
+        assert_eq!(c.iter().count(), 1);
+    }
+}

@@ -1,0 +1,86 @@
+//! System configuration.
+
+use datatamer_schema::IntegrationConfig;
+use datatamer_storage::CollectionConfig;
+
+/// Configuration of a [`crate::DataTamer`] instance.
+#[derive(Debug, Clone)]
+pub struct DataTamerConfig {
+    /// Storage namespace (the paper uses `dt`).
+    pub namespace: String,
+    /// Extent size in bytes for the sharded collections. The paper's extents
+    /// are 2 GB; the default here is 2 MB = the paper at 1/1000 scale, which
+    /// keeps `numExtents` in the ranges of Tables I–II.
+    pub extent_size: usize,
+    /// Shards per collection.
+    pub shards: usize,
+    /// Schema-integration thresholds.
+    pub integration: IntegrationConfig,
+    /// Threshold for fusing two show records as the same entity.
+    pub fusion_threshold: f64,
+    /// Whether the ML text cleaner filters fragments before parsing.
+    pub clean_text: bool,
+}
+
+impl Default for DataTamerConfig {
+    fn default() -> Self {
+        DataTamerConfig {
+            namespace: "dt".to_owned(),
+            extent_size: 2 * 1024 * 1024,
+            shards: 8,
+            integration: IntegrationConfig::default(),
+            fusion_threshold: 0.82,
+            clean_text: true,
+        }
+    }
+}
+
+impl DataTamerConfig {
+    /// Collection config derived from this system config.
+    pub fn collection_config(&self) -> CollectionConfig {
+        CollectionConfig { extent_size: self.extent_size, shards: self.shards }
+    }
+
+    /// A configuration scaled relative to the paper's deployment: `scale`
+    /// of 0.001 gives 2 MB extents (vs 2 GB). Counts scale in the callers;
+    /// extent size scales here so extent *counts* stay comparable.
+    pub fn at_scale(scale: f64) -> Self {
+        assert!(scale > 0.0, "scale must be positive");
+        let extent_size = ((2.0 * 1024.0 * 1024.0 * 1024.0) * scale).max(4096.0) as usize;
+        DataTamerConfig { extent_size, ..Default::default() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_paper_at_milliscale() {
+        let c = DataTamerConfig::default();
+        assert_eq!(c.extent_size, 2 * 1024 * 1024);
+        assert_eq!(c.namespace, "dt");
+        let cc = c.collection_config();
+        assert_eq!(cc.extent_size, c.extent_size);
+        assert_eq!(cc.shards, 8);
+    }
+
+    #[test]
+    fn at_scale_scales_extents() {
+        // 2 GiB × scale, so 0.001 lands within 3% of 2 MiB.
+        let milli = DataTamerConfig::at_scale(0.001);
+        let two_mib = 2 * 1024 * 1024;
+        assert!((milli.extent_size as i64 - two_mib as i64).unsigned_abs() < two_mib / 32);
+        let centi = DataTamerConfig::at_scale(0.01);
+        let ratio = centi.extent_size as f64 / milli.extent_size as f64;
+        assert!((ratio - 10.0).abs() < 0.01, "extent size scales linearly: {ratio}");
+        let tiny = DataTamerConfig::at_scale(1e-9);
+        assert_eq!(tiny.extent_size, 4096, "floor keeps extents usable");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_scale_panics() {
+        DataTamerConfig::at_scale(0.0);
+    }
+}

@@ -1,0 +1,250 @@
+//! Fusing text-derived and structured records over the global schema.
+//!
+//! The demo's payoff (Tables V → VI): a show looked up from web text alone
+//! has only `SHOW_NAME` and `TEXT_FEED`; after fusing the FTABLES sources,
+//! the same lookup also carries `THEATER`, `PERFORMANCE`, `CHEAPEST_PRICE`,
+//! and `FIRST`.
+
+use std::collections::HashMap;
+
+use datatamer_entity::consolidate::{merge_cluster, ConflictPolicy, MergePolicy};
+use datatamer_ml::DedupClassifier;
+use datatamer_model::Record;
+use datatamer_sim as sim;
+use datatamer_text::normalize::canonical_name;
+
+/// Canonical fused attribute names (Table VI spellings).
+pub const SHOW_NAME: &str = "SHOW_NAME";
+pub const THEATER: &str = "THEATER";
+pub const PERFORMANCE: &str = "PERFORMANCE";
+pub const TEXT_FEED: &str = "TEXT_FEED";
+pub const CHEAPEST_PRICE: &str = "CHEAPEST_PRICE";
+pub const FIRST: &str = "FIRST";
+
+/// How fused attributes resolve conflicts across sources.
+///
+/// * `CHEAPEST_PRICE` is the *cheapest* price seen — `NumericMin`.
+/// * `TEXT_FEED`, `THEATER`, `PERFORMANCE`, `FIRST` take the first source's
+///   value (source-priority resolution: the seed source is the cleanest).
+/// * Everything else majority-votes.
+pub fn fusion_merge_policy() -> MergePolicy {
+    MergePolicy {
+        per_attribute: vec![
+            (CHEAPEST_PRICE.to_owned(), ConflictPolicy::NumericMin),
+            (TEXT_FEED.to_owned(), ConflictPolicy::First),
+            (THEATER.to_owned(), ConflictPolicy::First),
+            (PERFORMANCE.to_owned(), ConflictPolicy::First),
+            (FIRST.to_owned(), ConflictPolicy::First),
+            (SHOW_NAME.to_owned(), ConflictPolicy::MajorityVote),
+        ],
+        default: ConflictPolicy::MajorityVote,
+    }
+}
+
+/// How candidate records are matched into the same fused entity.
+pub enum FusionPolicy {
+    /// Exact canonical-name grouping plus fuzzy attachment at a threshold.
+    Fuzzy { threshold: f64 },
+    /// ML dedup classifier on `SHOW_NAME` (probability ≥ 0.5 attaches).
+    Classifier(DedupClassifier),
+}
+
+impl FusionPolicy {
+    fn matches(&self, canon_key: &str, name: &str) -> bool {
+        let canon_b = canonical_name(name);
+        if canon_key == canon_b {
+            return true;
+        }
+        match self {
+            FusionPolicy::Fuzzy { threshold } => {
+                sim::jaro_winkler(canon_key, &canon_b) >= *threshold
+            }
+            FusionPolicy::Classifier(model) => model.is_duplicate(canon_key, &canon_b),
+        }
+    }
+}
+
+/// One fused entity with provenance counts.
+#[derive(Debug)]
+pub struct FusedEntity {
+    /// Canonical grouping key (lowercased, article-stripped show name).
+    pub key: String,
+    /// The composite record.
+    pub record: Record,
+    /// Input records merged into it.
+    pub member_count: usize,
+}
+
+/// Fuse records (text-derived + structured, already renamed to canonical
+/// attribute spellings) into one composite per distinct show.
+///
+/// Records group by the canonical form of `SHOW_NAME`; near-miss names
+/// (typos, case damage) attach to an existing group via `policy`. Record
+/// order matters: earlier records win `First`-policy attributes, so callers
+/// pass the cleanest source first.
+pub fn fuse_records(records: &[Record], policy: &FusionPolicy) -> Vec<FusedEntity> {
+    // Group indexes by canonical key, preserving first-seen group order.
+    let mut groups: Vec<(String, Vec<usize>)> = Vec::new();
+    let mut by_key: HashMap<String, usize> = HashMap::new();
+    for (i, r) in records.iter().enumerate() {
+        let Some(name) = r.get_text(SHOW_NAME) else { continue };
+        let canon = canonical_name(&name);
+        if canon.is_empty() {
+            continue;
+        }
+        let group_idx = match by_key.get(&canon) {
+            Some(g) => *g,
+            None => {
+                // Fuzzy attachment against existing group keys.
+                let attach = groups.iter().position(|(key, _)| policy.matches(key, &name));
+                match attach {
+                    Some(g) => {
+                        by_key.insert(canon.clone(), g);
+                        g
+                    }
+                    None => {
+                        groups.push((canon.clone(), Vec::new()));
+                        by_key.insert(canon.clone(), groups.len() - 1);
+                        groups.len() - 1
+                    }
+                }
+            }
+        };
+        groups[group_idx].1.push(i);
+    }
+
+    let merge_policy = fusion_merge_policy();
+    groups
+        .into_iter()
+        .map(|(key, members)| {
+            let refs: Vec<&Record> = members.iter().map(|&i| &records[i]).collect();
+            let record = merge_cluster(&refs, &merge_policy);
+            FusedEntity { key, record, member_count: members.len() }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datatamer_model::{RecordId, SourceId, Value};
+
+    fn rec(src: u32, id: u64, fields: Vec<(&str, &str)>) -> Record {
+        Record::from_pairs(
+            SourceId(src),
+            RecordId(id),
+            fields.into_iter().map(|(k, v)| (k, Value::from(v))).collect(),
+        )
+    }
+
+    fn fuzzy() -> FusionPolicy {
+        FusionPolicy::Fuzzy { threshold: 0.88 }
+    }
+
+    #[test]
+    fn table_v_to_vi_enrichment() {
+        // Structured record (FTABLES, cleanest source — listed first).
+        let structured = rec(
+            0,
+            0,
+            vec![
+                (SHOW_NAME, "Matilda"),
+                (THEATER, "Shubert 225 W. 44th St between 7th and 8th"),
+                (
+                    PERFORMANCE,
+                    "Tues at 7pm Wed at 8pm Thurs at 7pm Fri-Sat at 8pm Wed, Sat at 2pm Sun at 3pm",
+                ),
+                (CHEAPEST_PRICE, "$27"),
+                (FIRST, "3/4/2013"),
+            ],
+        );
+        // Text record.
+        let text = rec(
+            1,
+            1,
+            vec![
+                (SHOW_NAME, "Matilda"),
+                (TEXT_FEED, "..And Matilda an award-winning import from London, grossed 960,998.."),
+            ],
+        );
+        let fused = fuse_records(&[structured, text], &fuzzy());
+        assert_eq!(fused.len(), 1);
+        let r = &fused[0].record;
+        assert_eq!(fused[0].member_count, 2);
+        assert_eq!(r.get_text(SHOW_NAME).as_deref(), Some("Matilda"));
+        assert!(r.get_text(THEATER).unwrap().starts_with("Shubert"));
+        assert!(r.get_text(TEXT_FEED).unwrap().contains("960,998"));
+        assert_eq!(r.get_text(CHEAPEST_PRICE).as_deref(), Some("$27"));
+        assert_eq!(r.get_text(FIRST).as_deref(), Some("3/4/2013"));
+    }
+
+    #[test]
+    fn cheapest_price_takes_numeric_min_across_sources() {
+        let a = rec(0, 0, vec![(SHOW_NAME, "Wicked"), (CHEAPEST_PRICE, "$99")]);
+        let b = rec(1, 1, vec![(SHOW_NAME, "wicked"), (CHEAPEST_PRICE, "$45")]);
+        let fused = fuse_records(&[a, b], &fuzzy());
+        assert_eq!(fused.len(), 1);
+        assert_eq!(fused[0].record.get_text(CHEAPEST_PRICE).as_deref(), Some("$45"));
+    }
+
+    #[test]
+    fn typo_names_attach_fuzzily() {
+        let a = rec(0, 0, vec![(SHOW_NAME, "Goodfellas"), (CHEAPEST_PRICE, "$30")]);
+        let b = rec(1, 1, vec![(SHOW_NAME, "Goodfelas"), (TEXT_FEED, "typo feed")]);
+        let c = rec(2, 2, vec![(SHOW_NAME, "Annie"), (CHEAPEST_PRICE, "$50")]);
+        let fused = fuse_records(&[a, b, c], &fuzzy());
+        assert_eq!(fused.len(), 2, "{:?}", fused.iter().map(|f| &f.key).collect::<Vec<_>>());
+        let good = fused.iter().find(|f| f.key == "goodfellas").unwrap();
+        assert_eq!(good.member_count, 2);
+        assert!(good.record.get_text(TEXT_FEED).is_some());
+    }
+
+    #[test]
+    fn articles_and_case_unify() {
+        let a = rec(0, 0, vec![(SHOW_NAME, "The Walking Dead")]);
+        let b = rec(1, 1, vec![(SHOW_NAME, "WALKING DEAD")]);
+        let fused = fuse_records(&[a, b], &fuzzy());
+        assert_eq!(fused.len(), 1);
+        assert_eq!(fused[0].key, "walking dead");
+    }
+
+    #[test]
+    fn records_without_show_name_are_skipped() {
+        let a = rec(0, 0, vec![("other", "x")]);
+        let b = rec(1, 1, vec![(SHOW_NAME, "Annie")]);
+        let fused = fuse_records(&[a, b], &fuzzy());
+        assert_eq!(fused.len(), 1);
+        assert_eq!(fused[0].key, "annie");
+    }
+
+    #[test]
+    fn classifier_policy_attaches_duplicates() {
+        let pairs = vec![
+            ("matilda".to_owned(), "matilda!".to_owned(), true),
+            ("goodfellas".to_owned(), "goodfelas".to_owned(), true),
+            ("annie".to_owned(), "anni".to_owned(), true),
+            ("matilda".to_owned(), "wicked".to_owned(), false),
+            ("annie".to_owned(), "pippin".to_owned(), false),
+            ("goodfellas".to_owned(), "written".to_owned(), false),
+        ];
+        let model = DedupClassifier::train(&pairs, &Default::default());
+        let policy = FusionPolicy::Classifier(model);
+        let a = rec(0, 0, vec![(SHOW_NAME, "Goodfellas")]);
+        let b = rec(1, 1, vec![(SHOW_NAME, "Goodfelas")]);
+        let fused = fuse_records(&[a, b], &policy);
+        assert_eq!(fused.len(), 1);
+    }
+
+    #[test]
+    fn first_policy_prefers_earlier_records() {
+        let a = rec(0, 0, vec![(SHOW_NAME, "Annie"), (THEATER, "Palace 1564 Broadway")]);
+        let b = rec(1, 1, vec![(SHOW_NAME, "Annie"), (THEATER, "Gershwin 222 W. 51st St much longer string")]);
+        let fused = fuse_records(&[a, b], &fuzzy());
+        assert!(fused[0].record.get_text(THEATER).unwrap().starts_with("Palace"));
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(fuse_records(&[], &fuzzy()).is_empty());
+    }
+}

@@ -1,0 +1,253 @@
+//! Text ingestion: clean → parse → store → extract fusion records.
+//!
+//! Produces the paper's two text-side collections:
+//!
+//! * `instance` (WEBINSTANCE): one hierarchical document per kept fragment,
+//!   with **1 index** — exactly Table I's `nindexes: 1`.
+//! * `entity` (WEBENTITIES): one flat document per extracted mention, with
+//!   **8 indexes** — exactly Table II's `nindexes: 8`.
+
+use std::sync::Arc;
+
+use datatamer_clean::TextCleaner;
+use datatamer_model::{doc, Document, Record, RecordId, SourceId, Value};
+use datatamer_storage::{Collection, IndexSpec, Store};
+use datatamer_text::{DomainParser, EntityType};
+
+use crate::fusion::{SHOW_NAME, TEXT_FEED};
+
+/// Collection names used by the text side.
+pub const INSTANCE_COLLECTION: &str = "instance";
+pub const ENTITY_COLLECTION: &str = "entity";
+
+/// Outcome counts of a text ingestion run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct IngestStats {
+    /// Fragments offered.
+    pub fragments_seen: usize,
+    /// Fragments dropped by the ML cleaner.
+    pub fragments_dropped: usize,
+    /// Instance documents stored.
+    pub instances: u64,
+    /// Entity documents stored.
+    pub entities: u64,
+    /// Show records extracted for fusion.
+    pub show_records: usize,
+}
+
+/// Ingests raw fragments through the cleaner and parser into a store.
+pub struct TextIngestor {
+    parser: DomainParser,
+    cleaner: Option<TextCleaner>,
+}
+
+impl TextIngestor {
+    /// With a parser and the built-in ML cleaner.
+    pub fn new(parser: DomainParser) -> Self {
+        TextIngestor { parser, cleaner: Some(TextCleaner::with_builtin_seeds()) }
+    }
+
+    /// With a parser and no cleaning (ablation mode).
+    pub fn without_cleaner(parser: DomainParser) -> Self {
+        TextIngestor { parser, cleaner: None }
+    }
+
+    /// Ensure the `instance` and `entity` collections exist with the
+    /// paper's index layout (1 and 8 indexes respectively).
+    pub fn ensure_collections(
+        &self,
+        store: &Store,
+        config: datatamer_storage::CollectionConfig,
+    ) -> (Arc<Collection>, Arc<Collection>) {
+        let instance = store.collection_or_create(INSTANCE_COLLECTION, config.clone());
+        if instance.index_count() == 0 {
+            instance
+                .create_index(IndexSpec::new("by_entity_canonical", "entities.canonical"))
+                .expect("fresh collection");
+        }
+        let entity = store.collection_or_create(ENTITY_COLLECTION, config);
+        if entity.index_count() == 0 {
+            for (name, path) in [
+                ("by_type", "type"),
+                ("by_name", "name"),
+                ("by_canonical", "canonical"),
+                ("by_confidence", "confidence"),
+                ("by_fragment", "fragment_ref"),
+                ("by_source", "source"),
+                ("by_chars", "chars"),
+                ("by_context", "context"),
+            ] {
+                entity.create_index(IndexSpec::new(name, path)).expect("fresh collection");
+            }
+        }
+        (instance, entity)
+    }
+
+    /// Ingest fragments (with per-fragment source labels) into `store`,
+    /// extracting `(stats, show_records)` where show records carry
+    /// `SHOW_NAME` / `TEXT_FEED` for fusion. `text_source` tags the records.
+    pub fn ingest<'a, I>(
+        &self,
+        store: &Store,
+        config: datatamer_storage::CollectionConfig,
+        text_source: SourceId,
+        fragments: I,
+    ) -> (IngestStats, Vec<Record>)
+    where
+        I: IntoIterator<Item = (&'a str, &'a str)>, // (fragment, source label)
+    {
+        let (instance_col, entity_col) = self.ensure_collections(store, config);
+        let mut stats = IngestStats::default();
+        let mut show_records = Vec::new();
+        let mut next_record = 0u64;
+        for (fragment, label) in fragments {
+            stats.fragments_seen += 1;
+            if let Some(cleaner) = &self.cleaner {
+                if cleaner.is_junk(fragment) {
+                    stats.fragments_dropped += 1;
+                    continue;
+                }
+            }
+            let parsed = self.parser.parse(fragment);
+            let mut instance_doc = parsed.to_instance_doc();
+            instance_doc.set("source", Value::from(label));
+            let instance_id = instance_col.insert(&instance_doc);
+            stats.instances += 1;
+
+            for (mention, mut entity_doc) in
+                parsed.mentions.iter().zip(parsed.entity_docs())
+            {
+                entity_doc.set("fragment_ref", Value::Int(instance_id.0 as i64));
+                entity_doc.set("source", Value::from(label));
+                entity_doc.set("chars", Value::from(mention.text.len()));
+                entity_col.insert(&entity_doc);
+                stats.entities += 1;
+
+                // Movie mentions become fusion-ready show records.
+                if mention.entity_type == EntityType::Movie {
+                    let mut r = Record::new(text_source, RecordId(next_record));
+                    next_record += 1;
+                    r.set(SHOW_NAME, Value::from(mention.text.as_str()));
+                    r.set(TEXT_FEED, Value::from(fragment));
+                    show_records.push(r);
+                }
+            }
+        }
+        stats.show_records = show_records.len();
+        (stats, show_records)
+    }
+}
+
+/// Flatten one stored instance document into curation records (exposed for
+/// pipelines that run Data Tamer stages over text-derived data directly).
+pub fn flatten_instance(docd: &Document, source: SourceId, base: RecordId) -> Vec<Record> {
+    datatamer_model::flatten(docd, source, base, &datatamer_model::FlattenOptions::default())
+}
+
+/// Build a tiny instance document (used in tests and docs).
+pub fn example_instance() -> Document {
+    doc! {
+        "fragment" => "Matilda grossed 960,998",
+        "chars" => 23i64,
+        "entities" => Value::Array(vec![Value::Doc(doc! {
+            "type" => "Movie", "name" => "Matilda", "canonical" => "matilda"
+        })])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datatamer_storage::CollectionConfig;
+    use datatamer_text::Gazetteer;
+
+    fn ingestor() -> TextIngestor {
+        let mut g = Gazetteer::new();
+        g.add("Matilda", EntityType::Movie, 0.95);
+        g.add("London", EntityType::City, 0.9);
+        g.add("Wicked", EntityType::Movie, 0.95);
+        TextIngestor::new(DomainParser::with_gazetteer(g))
+    }
+
+    fn cfg() -> CollectionConfig {
+        CollectionConfig { extent_size: 64 * 1024, shards: 2 }
+    }
+
+    #[test]
+    fn collections_get_paper_index_counts() {
+        let store = Store::new("dt");
+        let ing = ingestor();
+        let (instance, entity) = ing.ensure_collections(&store, cfg());
+        assert_eq!(instance.index_count(), 1, "Table I: nindexes=1");
+        assert_eq!(entity.index_count(), 8, "Table II: nindexes=8");
+        // Idempotent.
+        let (i2, e2) = ing.ensure_collections(&store, cfg());
+        assert_eq!(i2.index_count(), 1);
+        assert_eq!(e2.index_count(), 8);
+    }
+
+    #[test]
+    fn ingest_stores_instances_and_entities() {
+        let store = Store::new("dt");
+        let ing = ingestor();
+        let fragments = [
+            ("Matilda an import from London grossed 960,998", "news"),
+            ("Wicked still sells out nightly", "blog"),
+        ];
+        let (stats, shows) = ing.ingest(&store, cfg(), SourceId(7), fragments);
+        assert_eq!(stats.fragments_seen, 2);
+        assert_eq!(stats.fragments_dropped, 0);
+        assert_eq!(stats.instances, 2);
+        assert!(stats.entities >= 3, "{stats:?}");
+        assert_eq!(stats.show_records, 2);
+        assert_eq!(shows.len(), 2);
+        assert_eq!(shows[0].get_text(SHOW_NAME).as_deref(), Some("Matilda"));
+        assert!(shows[0].get_text(TEXT_FEED).unwrap().contains("grossed"));
+        assert_eq!(shows[0].source, SourceId(7));
+
+        let instance = store.collection(INSTANCE_COLLECTION).unwrap();
+        assert_eq!(instance.len(), 2);
+        let entity = store.collection(ENTITY_COLLECTION).unwrap();
+        assert_eq!(entity.len(), stats.entities);
+        // Entity docs are queryable by type via the index.
+        let movies = entity
+            .with_index("by_type", |i| i.lookup(&Value::from("Movie")))
+            .unwrap();
+        assert_eq!(movies.len(), 2);
+    }
+
+    #[test]
+    fn cleaner_drops_junk() {
+        let store = Store::new("dt");
+        let ing = ingestor();
+        let fragments = [
+            ("Matilda grossed well at the theatre during previews", "news"),
+            ("click here to subscribe accept cookies buy now free shipping", "spam"),
+        ];
+        let (stats, _) = ing.ingest(&store, cfg(), SourceId(0), fragments);
+        assert_eq!(stats.fragments_dropped, 1);
+        assert_eq!(stats.instances, 1);
+    }
+
+    #[test]
+    fn without_cleaner_keeps_everything() {
+        let store = Store::new("dt");
+        let mut g = Gazetteer::new();
+        g.add("Matilda", EntityType::Movie, 0.9);
+        let ing = TextIngestor::without_cleaner(DomainParser::with_gazetteer(g));
+        let fragments =
+            [("click here to subscribe accept cookies buy now free shipping", "spam")];
+        let (stats, _) = ing.ingest(&store, cfg(), SourceId(0), fragments);
+        assert_eq!(stats.fragments_dropped, 0);
+        assert_eq!(stats.instances, 1);
+    }
+
+    #[test]
+    fn flatten_instance_explodes_entities() {
+        let d = example_instance();
+        let recs = flatten_instance(&d, SourceId(1), RecordId(0));
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].get_text("entities.name").as_deref(), Some("Matilda"));
+        assert_eq!(recs[0].get_text("entities.type").as_deref(), Some("Movie"));
+    }
+}

@@ -1,0 +1,34 @@
+//! DATA TAMER — the end-to-end curation and fusion system.
+//!
+//! This crate wires every substrate together into the architecture of the
+//! paper's Figure 1: data ingest (structured and parsed text), schema
+//! integration, data cleaning/transformation, entity consolidation,
+//! expert sourcing, and text/structured **fusion** with a query interface
+//! over the integrated global schema.
+//!
+//! * [`config`] — system configuration (extent sizing, thresholds, scale).
+//! * [`catalog`] — source registry assigning [`datatamer_model::SourceId`]s.
+//! * [`ingest`] — text ingestion: clean → parse → store WEBINSTANCE /
+//!   WEBENTITIES collections (with the paper's index layout) and extract
+//!   show records for fusion.
+//! * [`expert_bridge`] — expert panels answering escalated schema matches.
+//! * [`fusion`] — fusing text-derived and structured records over the
+//!   global schema (the Matilda enrichment of Tables V–VI).
+//! * [`query`] — demo queries: show lookup and top-k most-discussed
+//!   award-winning titles (Table IV).
+//! * [`pipeline`] — [`pipeline::DataTamer`], the public facade.
+
+pub mod catalog;
+pub mod config;
+pub mod expert_bridge;
+pub mod fusion;
+pub mod ingest;
+pub mod pipeline;
+pub mod query;
+
+pub use catalog::{Catalog, SourceInfo, SourceKind};
+pub use config::DataTamerConfig;
+pub use expert_bridge::ExpertPanelResolver;
+pub use fusion::{fuse_records, FusionPolicy};
+pub use ingest::{IngestStats, TextIngestor};
+pub use pipeline::DataTamer;

@@ -1,0 +1,395 @@
+//! The DATA TAMER facade: Figure 1 as an API.
+//!
+//! ```text
+//! structured sources ──┐
+//!                      ├─ ingest → schema integration → cleaning ─┐
+//! web text ─ parser ───┘                                          ├─ fusion → queries
+//!            (instance/entity collections, show records) ─────────┘
+//! ```
+
+use std::sync::Arc;
+
+use datatamer_clean::{CleaningEngine, CleaningReport};
+use datatamer_model::{doc, Record, SourceSchema, Value};
+use datatamer_schema::integrate::EscalationResolver;
+use datatamer_schema::{IntegrationReport, SchemaIntegrator};
+use datatamer_storage::{Collection, CollectionStats, Store};
+use datatamer_text::normalize::canonical_name;
+use datatamer_text::DomainParser;
+
+use crate::catalog::{Catalog, SourceKind};
+use crate::config::DataTamerConfig;
+use crate::fusion::{
+    fuse_records, FusedEntity, FusionPolicy, CHEAPEST_PRICE, FIRST, PERFORMANCE, SHOW_NAME,
+    THEATER,
+};
+use crate::ingest::{IngestStats, TextIngestor};
+use crate::query::{entity_type_histogram, top_discussed_award_winning, DiscussedShow};
+
+/// Name of the collection holding integrated (mapped + cleaned) records.
+pub const GLOBAL_RECORDS_COLLECTION: &str = "global_records";
+
+/// The Data Tamer system.
+pub struct DataTamer {
+    config: DataTamerConfig,
+    store: Store,
+    catalog: Catalog,
+    integrator: SchemaIntegrator,
+    structured_records: Vec<Record>,
+    text_show_records: Vec<Record>,
+    cleaning_reports: Vec<(String, CleaningReport)>,
+    text_stats: IngestStats,
+}
+
+impl DataTamer {
+    /// Build a system from a configuration.
+    pub fn new(config: DataTamerConfig) -> Self {
+        let integrator = SchemaIntegrator::new(
+            datatamer_schema::CompositeMatcher::broadway(),
+            config.integration.clone(),
+        );
+        DataTamer {
+            store: Store::new(config.namespace.clone()),
+            catalog: Catalog::new(),
+            integrator,
+            structured_records: Vec::new(),
+            text_show_records: Vec::new(),
+            cleaning_reports: Vec::new(),
+            text_stats: IngestStats::default(),
+            config,
+        }
+    }
+
+    /// Default-configured system.
+    pub fn with_defaults() -> Self {
+        Self::new(DataTamerConfig::default())
+    }
+
+    /// The underlying store (stats, ad-hoc queries).
+    pub fn store(&self) -> &Store {
+        &self.store
+    }
+
+    /// The source catalog.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// The growing global schema.
+    pub fn global_schema(&self) -> &datatamer_schema::GlobalSchema {
+        self.integrator.global()
+    }
+
+    /// Cleaning reports per registered source.
+    pub fn cleaning_reports(&self) -> &[(String, CleaningReport)] {
+        &self.cleaning_reports
+    }
+
+    /// Text ingestion statistics.
+    pub fn text_stats(&self) -> &IngestStats {
+        &self.text_stats
+    }
+
+    /// Integrated structured records (canonical attribute spellings).
+    pub fn structured_records(&self) -> &[Record] {
+        &self.structured_records
+    }
+
+    /// Text-derived show records.
+    pub fn text_show_records(&self) -> &[Record] {
+        &self.text_show_records
+    }
+
+    /// Register and integrate a structured source; thresholds only.
+    pub fn register_structured(
+        &mut self,
+        name: &str,
+        records: &[Record],
+    ) -> IntegrationReport {
+        let mut resolver = datatamer_schema::integrate::AcceptBest;
+        self.register_structured_with(name, records, &mut resolver)
+    }
+
+    /// Register and integrate a structured source, routing escalations
+    /// through `resolver` (e.g. an expert panel).
+    pub fn register_structured_with(
+        &mut self,
+        name: &str,
+        records: &[Record],
+        resolver: &mut dyn EscalationResolver,
+    ) -> IntegrationReport {
+        let source_id = self.catalog.register(name, SourceKind::Structured);
+        self.catalog.set_record_count(source_id, records.len() as u64);
+
+        // 1. Profile and integrate the schema.
+        let schema = SourceSchema::profile_records(source_id, name, records);
+        let report = self.integrator.integrate_with(&schema, resolver);
+
+        // 2. Build the source-attr → canonical-name mapping from decisions.
+        let mut mapping: Vec<(String, Option<String>)> = Vec::new();
+        for s in &report.suggestions {
+            let target = match s.decision.mapped_attr() {
+                Some(id) => self
+                    .integrator
+                    .global()
+                    .get(id)
+                    .map(|g| g.name.to_uppercase()),
+                None => match s.decision {
+                    datatamer_schema::Decision::Ignore => None,
+                    _ => Some(s.source_attr.to_uppercase()),
+                },
+            };
+            mapping.push((s.source_attr.clone(), target));
+        }
+
+        // 3. Map records onto the global schema (rename/drop attributes).
+        let mut mapped: Vec<Record> = records
+            .iter()
+            .map(|r| {
+                let mut out = Record::new(r.source, r.id);
+                for (attr, value) in r.iter() {
+                    match mapping.iter().find(|(a, _)| a == attr) {
+                        Some((_, Some(target))) => out.set(target.clone(), value.clone()),
+                        Some((_, None)) => {}
+                        None => out.set(attr.to_uppercase(), value.clone()),
+                    }
+                }
+                out
+            })
+            .collect();
+
+        // 4. Clean and transform (EUR→USD on prices, date normalisation...).
+        let engine = CleaningEngine::broadway(
+            CHEAPEST_PRICE,
+            FIRST,
+            &[SHOW_NAME, THEATER, PERFORMANCE],
+        );
+        let clean_report = engine.clean_all(&mut mapped);
+        self.cleaning_reports.push((name.to_owned(), clean_report));
+
+        // 5. Persist into the global-records collection.
+        let col = self
+            .store
+            .collection_or_create(GLOBAL_RECORDS_COLLECTION, self.config.collection_config());
+        for r in &mapped {
+            col.insert(&record_to_doc(r));
+        }
+        self.structured_records.extend(mapped);
+        report
+    }
+
+    /// Ingest web-text fragments through the domain parser into the
+    /// `instance` / `entity` collections and collect fusion show records.
+    pub fn ingest_webtext<'a, I>(&mut self, parser: DomainParser, fragments: I) -> IngestStats
+    where
+        I: IntoIterator<Item = (&'a str, &'a str)>,
+    {
+        let source_id = self.catalog.register("webtext", SourceKind::Text);
+        let ingestor = if self.config.clean_text {
+            TextIngestor::new(parser)
+        } else {
+            TextIngestor::without_cleaner(parser)
+        };
+        let (stats, shows) = ingestor.ingest(
+            &self.store,
+            self.config.collection_config(),
+            source_id,
+            fragments,
+        );
+        self.catalog.set_record_count(source_id, stats.instances);
+        self.text_show_records.extend(shows);
+        self.text_stats = stats.clone();
+        stats
+    }
+
+    /// Fuse structured + text show records into composite entities.
+    /// Structured records come first so source-priority conflict resolution
+    /// favours the curated sources.
+    pub fn fuse(&self) -> Vec<FusedEntity> {
+        let mut all: Vec<Record> =
+            Vec::with_capacity(self.structured_records.len() + self.text_show_records.len());
+        all.extend(self.structured_records.iter().cloned());
+        all.extend(self.text_show_records.iter().cloned());
+        fuse_records(&all, &FusionPolicy::Fuzzy { threshold: self.config.fusion_threshold })
+    }
+
+    /// Fuse only text-derived records (the Table V "before" state).
+    pub fn fuse_text_only(&self) -> Vec<FusedEntity> {
+        fuse_records(
+            &self.text_show_records,
+            &FusionPolicy::Fuzzy { threshold: self.config.fusion_threshold },
+        )
+    }
+
+    /// Look up one show in a fused entity set by (canonicalised) name.
+    pub fn lookup<'a>(
+        fused: &'a [FusedEntity],
+        show: &str,
+    ) -> Option<&'a FusedEntity> {
+        let key = canonical_name(show);
+        fused.iter().find(|f| f.key == key)
+    }
+
+    /// Table IV: top-k most discussed award-winning shows from web text.
+    pub fn top_discussed(&self, k: usize) -> Vec<DiscussedShow> {
+        match self.store.collection(crate::ingest::INSTANCE_COLLECTION) {
+            Some(c) => top_discussed_award_winning(&c, k),
+            None => Vec::new(),
+        }
+    }
+
+    /// Table III: entity counts by type.
+    pub fn entity_histogram(&self) -> Vec<(String, u64)> {
+        match self.store.collection(crate::ingest::ENTITY_COLLECTION) {
+            Some(c) => entity_type_histogram(&c),
+            None => Vec::new(),
+        }
+    }
+
+    /// Tables I/II: stats of a named collection.
+    pub fn collection_stats(&self, name: &str) -> Option<CollectionStats> {
+        self.store.stats(name)
+    }
+
+    /// Handle to a collection.
+    pub fn collection(&self, name: &str) -> Option<Arc<Collection>> {
+        self.store.collection(name)
+    }
+}
+
+/// Convert a flat record to a storable document (field order preserved).
+pub fn record_to_doc(r: &Record) -> datatamer_model::Document {
+    let mut d = doc! {
+        "_source" => Value::Int(i64::from(r.source.0)),
+        "_id" => Value::Int(r.id.0 as i64)
+    };
+    for (k, v) in r.iter() {
+        d.set(k, v.clone());
+    }
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fusion::TEXT_FEED;
+    use datatamer_model::{RecordId, SourceId};
+    use datatamer_text::{EntityType, Gazetteer};
+
+    fn small_config() -> DataTamerConfig {
+        DataTamerConfig {
+            extent_size: 64 * 1024,
+            shards: 2,
+            ..Default::default()
+        }
+    }
+
+    fn structured_rows(src: u32, show_attr: &str, price_attr: &str) -> Vec<Record> {
+        let rows = [("Matilda", "$27"), ("Wicked", "€60"), ("Annie", "$45")];
+        rows.iter()
+            .enumerate()
+            .map(|(i, (s, p))| {
+                Record::from_pairs(
+                    SourceId(src),
+                    RecordId(i as u64),
+                    vec![(show_attr, Value::from(*s)), (price_attr, Value::from(*p))],
+                )
+            })
+            .collect()
+    }
+
+    fn parser() -> DomainParser {
+        let mut g = Gazetteer::new();
+        for s in ["Matilda", "Wicked", "Annie"] {
+            g.add(s, EntityType::Movie, 0.95);
+        }
+        g.add("London", EntityType::City, 0.9);
+        DomainParser::with_gazetteer(g)
+    }
+
+    #[test]
+    fn register_structured_maps_cleans_and_stores() {
+        let mut dt = DataTamer::new(small_config());
+        let r1 = dt.register_structured("s1", &structured_rows(0, "show_name", "cheapest_price"));
+        assert_eq!(r1.new_attributes(), 2);
+        let r2 = dt.register_structured("s2", &structured_rows(1, "title", "cost"));
+        assert_eq!(dt.global_schema().len(), 2, "{:?}", dt.global_schema().attribute_names());
+        assert!(r2.auto_accepted() + r2.human_interventions() == 2);
+
+        // Records are canonically renamed and cleaned (EUR→USD).
+        let recs = dt.structured_records();
+        assert_eq!(recs.len(), 6);
+        assert!(recs.iter().all(|r| r.get(SHOW_NAME).is_some()));
+        let wicked = recs.iter().find(|r| r.get_text(SHOW_NAME).as_deref() == Some("Wicked")).unwrap();
+        assert_eq!(wicked.get_text(CHEAPEST_PRICE).as_deref(), Some("$78"), "€60 × 1.30");
+        // Stored in the global-records collection.
+        let col = dt.collection(GLOBAL_RECORDS_COLLECTION).unwrap();
+        assert_eq!(col.len(), 6);
+        assert_eq!(dt.cleaning_reports().len(), 2);
+        assert_eq!(dt.catalog().len(), 2);
+    }
+
+    #[test]
+    fn webtext_ingest_and_table_v_vi_flow() {
+        let mut dt = DataTamer::new(small_config());
+        dt.register_structured("ftable", &structured_rows(0, "show_name", "cheapest_price"));
+        let fragments = [
+            (
+                "And Matilda an award-winning import from London, grossed 960,998, or 93 percent of the maximum.",
+                "news",
+            ),
+            ("Wicked still sells out nightly on Broadway", "blog"),
+        ];
+        let stats = dt.ingest_webtext(parser(), fragments);
+        assert_eq!(stats.instances, 2);
+        assert_eq!(stats.show_records, 2);
+
+        // Table V: text-only lookup has the feed but no price.
+        let text_only = dt.fuse_text_only();
+        let matilda = DataTamer::lookup(&text_only, "Matilda").unwrap();
+        assert!(matilda.record.get_text(TEXT_FEED).unwrap().contains("960,998"));
+        assert!(matilda.record.get(CHEAPEST_PRICE).is_none());
+
+        // Table VI: fused lookup is enriched.
+        let fused = dt.fuse();
+        let matilda = DataTamer::lookup(&fused, "Matilda").unwrap();
+        assert_eq!(matilda.record.get_text(CHEAPEST_PRICE).as_deref(), Some("$27"));
+        assert!(matilda.record.get_text(TEXT_FEED).unwrap().contains("960,998"));
+        assert_eq!(matilda.member_count, 2);
+    }
+
+    #[test]
+    fn top_discussed_and_histogram_need_text() {
+        let dt = DataTamer::new(small_config());
+        assert!(dt.top_discussed(5).is_empty());
+        assert!(dt.entity_histogram().is_empty());
+        assert!(dt.collection_stats("instance").is_none());
+    }
+
+    #[test]
+    fn collection_stats_shape() {
+        let mut dt = DataTamer::new(small_config());
+        dt.ingest_webtext(parser(), [("Matilda at the theatre tonight", "news")]);
+        let stats = dt.collection_stats("instance").unwrap();
+        assert_eq!(stats.ns, "dt.instance");
+        assert_eq!(stats.count, 1);
+        assert_eq!(stats.nindexes, 1);
+        let estats = dt.collection_stats("entity").unwrap();
+        assert_eq!(estats.nindexes, 8);
+        assert_eq!(dt.text_stats().instances, 1);
+    }
+
+    #[test]
+    fn record_to_doc_preserves_fields() {
+        let r = Record::from_pairs(
+            SourceId(3),
+            RecordId(9),
+            vec![("A", Value::from("x")), ("B", Value::Int(2))],
+        );
+        let d = record_to_doc(&r);
+        assert_eq!(d.get("_source"), Some(&Value::Int(3)));
+        assert_eq!(d.get("_id"), Some(&Value::Int(9)));
+        assert_eq!(d.get("A"), Some(&Value::from("x")));
+        assert_eq!(d.get("B"), Some(&Value::Int(2)));
+    }
+}

@@ -1,0 +1,257 @@
+//! Noise injection: typos, case damage, format variance, nulls.
+//!
+//! The paper stresses that text-derived data "is usually much dirtier than
+//! typical structured data". This module is the dirt model: deterministic,
+//! seeded perturbations applied by the generators so that every downstream
+//! stage (matching, dedup, cleaning) faces realistic noise with known ground
+//! truth.
+
+use rand::RngExt;
+
+/// Apply one random typo: swap adjacent chars, delete a char, duplicate a
+/// char, or substitute with a neighbour letter. Strings shorter than 3 chars
+/// are returned unchanged (too destructive otherwise).
+pub fn typo(rng: &mut impl RngExt, s: &str) -> String {
+    let chars: Vec<char> = s.chars().collect();
+    if chars.len() < 3 {
+        return s.to_owned();
+    }
+    // Operate away from the first character: leading-char typos are rare in
+    // real data and destroy blocking keys.
+    let pos = rng.random_range(1..chars.len());
+    let mut out = chars.clone();
+    match rng.random_range(0..4) {
+        0 => {
+            // Swap with a neighbour, never touching the first character.
+            if pos + 1 < out.len() {
+                out.swap(pos, pos + 1);
+            } else {
+                out.swap(pos - 1, pos);
+            }
+        }
+        1 => {
+            out.remove(pos);
+        }
+        2 => {
+            let c = out[pos];
+            out.insert(pos, c);
+        }
+        _ => {
+            let sub = neighbour_letter(rng, out[pos]);
+            out[pos] = sub;
+        }
+    }
+    out.into_iter().collect()
+}
+
+fn neighbour_letter(rng: &mut impl RngExt, c: char) -> char {
+    if !c.is_ascii_alphabetic() {
+        return c;
+    }
+    let lower = c.is_ascii_lowercase();
+    let alphabet = b"abcdefghijklmnopqrstuvwxyz";
+    let idx = (c.to_ascii_lowercase() as u8 - b'a') as usize;
+    let delta = if rng.random_bool(0.5) { 1 } else { 25 };
+    let sub = alphabet[(idx + delta) % 26] as char;
+    if lower {
+        sub
+    } else {
+        sub.to_ascii_uppercase()
+    }
+}
+
+/// Randomly damage case: all-upper, all-lower, or title-case the string.
+pub fn case_damage(rng: &mut impl RngExt, s: &str) -> String {
+    match rng.random_range(0..3) {
+        0 => s.to_uppercase(),
+        1 => s.to_lowercase(),
+        _ => s
+            .split_whitespace()
+            .map(|w| {
+                let mut cs = w.chars();
+                match cs.next() {
+                    Some(f) => f.to_uppercase().collect::<String>() + &cs.as_str().to_lowercase(),
+                    None => String::new(),
+                }
+            })
+            .collect::<Vec<_>>()
+            .join(" "),
+    }
+}
+
+/// Render a dollar amount in one of several formats seen in scraped tables.
+pub fn money_variant(rng: &mut impl RngExt, amount: f64) -> String {
+    match rng.random_range(0..4) {
+        0 => format!("${amount:.0}"),
+        1 => format!("${amount:.2}"),
+        2 => format!("{amount:.0} USD"),
+        _ => format!("{amount:.0} dollars"),
+    }
+}
+
+/// Render a euro amount (the cleaning engine converts these to dollars,
+/// the paper's canonical transformation example).
+pub fn euro_variant(rng: &mut impl RngExt, amount: f64) -> String {
+    match rng.random_range(0..3) {
+        0 => format!("€{amount:.0}"),
+        1 => format!("{amount:.0} EUR"),
+        _ => format!("{amount:.0} euros"),
+    }
+}
+
+/// Render a date in one of the common formats the inference layer accepts.
+pub fn date_variant(rng: &mut impl RngExt, year: u16, month: u8, day: u8) -> String {
+    const MONTHS: [&str; 12] = [
+        "January", "February", "March", "April", "May", "June", "July", "August",
+        "September", "October", "November", "December",
+    ];
+    match rng.random_range(0..3) {
+        0 => format!("{month}/{day}/{year}"),
+        1 => format!("{year:04}-{month:02}-{day:02}"),
+        _ => format!("{} {day}, {year}", MONTHS[(month - 1) as usize]),
+    }
+}
+
+/// With probability `p`, return a null-ish cell rendering instead of `s`.
+pub fn maybe_null(rng: &mut impl RngExt, p: f64, s: String) -> String {
+    if rng.random_bool(p) {
+        ["", "N/A", "-", "null"][rng.random_range(0..4)].to_owned()
+    } else {
+        s
+    }
+}
+
+/// Perturb an entity name for duplicate generation: a chain of 1–2 dirt ops
+/// chosen among typo, case damage, article drop, and whitespace padding.
+pub fn perturb_name(rng: &mut impl RngExt, name: &str) -> String {
+    let mut out = name.to_owned();
+    let ops = rng.random_range(1..=2);
+    for _ in 0..ops {
+        out = match rng.random_range(0..5) {
+            0 => typo(rng, &out),
+            1 => case_damage(rng, &out),
+            2 => {
+                // Drop a leading article.
+                let lower = out.to_lowercase();
+                if let Some(rest) = lower.strip_prefix("the ") {
+                    // Preserve original casing of the remainder.
+                    out[out.len() - rest.len()..].to_owned()
+                } else {
+                    out
+                }
+            }
+            3 => format!(" {out} "),
+            _ => {
+                // Initialise a first name: "James Smith" -> "J. Smith".
+                let mut parts = out.split_whitespace();
+                match (parts.next(), parts.next()) {
+                    (Some(first), Some(_)) if first.len() > 1 && first.chars().all(char::is_alphabetic) => {
+                        let initial = first.chars().next().unwrap();
+                        let rest: Vec<&str> = out.split_whitespace().skip(1).collect();
+                        format!("{initial}. {}", rest.join(" "))
+                    }
+                    _ => out,
+                }
+            }
+        };
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn typo_changes_longer_strings() {
+        let mut r = rng(1);
+        let mut changed = 0;
+        for _ in 0..50 {
+            if typo(&mut r, "Matilda") != "Matilda" {
+                changed += 1;
+            }
+        }
+        assert!(changed > 40, "typos should usually change the string: {changed}");
+        assert_eq!(typo(&mut r, "ab"), "ab", "short strings untouched");
+        assert_eq!(typo(&mut r, ""), "");
+    }
+
+    #[test]
+    fn typo_preserves_first_char() {
+        let mut r = rng(2);
+        for _ in 0..100 {
+            let t = typo(&mut r, "Shubert");
+            assert!(t.starts_with('S'), "{t}");
+        }
+    }
+
+    #[test]
+    fn case_damage_produces_known_forms() {
+        let mut r = rng(3);
+        for _ in 0..20 {
+            let d = case_damage(&mut r, "The Walking Dead");
+            assert!(
+                d == "THE WALKING DEAD" || d == "the walking dead" || d == "The Walking Dead",
+                "{d}"
+            );
+        }
+    }
+
+    #[test]
+    fn money_and_euro_variants_parse() {
+        let mut r = rng(4);
+        for _ in 0..20 {
+            let m = money_variant(&mut r, 27.0);
+            let parsed = datatamer_model::infer::parse_money(&m).unwrap();
+            assert_eq!(parsed.currency, "USD");
+            assert!((parsed.amount - 27.0).abs() < 1e-9, "{m}");
+            let e = euro_variant(&mut r, 30.0);
+            let parsed = datatamer_model::infer::parse_money(&e).unwrap();
+            assert_eq!(parsed.currency, "EUR");
+        }
+    }
+
+    #[test]
+    fn date_variants_parse_to_same_date() {
+        let mut r = rng(5);
+        for _ in 0..20 {
+            let d = date_variant(&mut r, 2013, 3, 4);
+            let parsed = datatamer_model::infer::parse_date(&d).unwrap();
+            assert_eq!((parsed.year, parsed.month, parsed.day), (2013, 3, 4), "{d}");
+        }
+    }
+
+    #[test]
+    fn maybe_null_respects_probability_extremes() {
+        let mut r = rng(6);
+        assert_eq!(maybe_null(&mut r, 0.0, "x".into()), "x");
+        let nulled = maybe_null(&mut r, 1.0, "x".into());
+        assert!(["", "N/A", "-", "null"].contains(&nulled.as_str()));
+    }
+
+    #[test]
+    fn perturb_name_keeps_recognisable_similarity() {
+        let mut r = rng(7);
+        for _ in 0..50 {
+            let p = perturb_name(&mut r, "The Walking Dead");
+            let sim = datatamer_sim::jaro_winkler(
+                &p.to_lowercase().trim().replace("the ", ""),
+                "walking dead",
+            );
+            assert!(sim > 0.55, "perturbation too destructive: {p} ({sim})");
+        }
+    }
+
+    #[test]
+    fn perturbation_is_deterministic() {
+        let mut a = rng(8);
+        let mut b = rng(8);
+        assert_eq!(perturb_name(&mut a, "Goodfellas"), perturb_name(&mut b, "Goodfellas"));
+    }
+}

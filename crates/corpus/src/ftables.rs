@@ -1,0 +1,389 @@
+//! The FTABLES generator: 20 heterogeneous Broadway-show sources.
+//!
+//! The paper: "we used 20 structured data sources found using Google Fusion
+//! Tables having Broadway shows schedules, theater locations, and discounts.
+//! The structured sources on average have 5-20 different attributes and
+//! 10-100 rows." Source 0 is pinned to carry the literal Matilda row of
+//! Table VI so the fused demo query returns the paper's exact values.
+
+use std::collections::HashMap;
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use datatamer_model::{Record, RecordId, SourceId, Value};
+
+use crate::dirt;
+use crate::names;
+
+/// Canonical (global-schema) attribute names, in the spelling the paper's
+/// Table VI uses.
+pub mod canon {
+    pub const SHOW_NAME: &str = "SHOW_NAME";
+    pub const THEATER: &str = "THEATER";
+    pub const PERFORMANCE: &str = "PERFORMANCE";
+    pub const CHEAPEST_PRICE: &str = "CHEAPEST_PRICE";
+    pub const FIRST: &str = "FIRST";
+    pub const DISCOUNT: &str = "DISCOUNT";
+    pub const CITY: &str = "CITY";
+    pub const RUNTIME: &str = "RUNTIME";
+    pub const RATING: &str = "RATING";
+    pub const CAPACITY: &str = "CAPACITY";
+    pub const PHONE: &str = "PHONE";
+    pub const WEBSITE: &str = "WEBSITE";
+}
+
+/// Synonymous source-side spellings per canonical attribute. The first
+/// spelling is the "clean" one; generators draw uniformly.
+pub fn synonyms(canonical: &str) -> &'static [&'static str] {
+    match canonical {
+        canon::SHOW_NAME => &["show_name", "show", "title", "production", "name"],
+        canon::THEATER => &["theater", "theatre", "venue", "location", "house"],
+        canon::PERFORMANCE => &["performance", "schedule", "showtimes", "times", "curtain"],
+        canon::CHEAPEST_PRICE => &["cheapest_price", "price", "ticket_price", "cost", "from_price"],
+        canon::FIRST => &["first", "opening", "first_performance", "premiere", "opening_date"],
+        canon::DISCOUNT => &["discount", "deal", "savings", "promo"],
+        canon::CITY => &["city", "market", "town"],
+        canon::RUNTIME => &["runtime", "duration", "length_minutes"],
+        canon::RATING => &["rating", "stars", "score"],
+        canon::CAPACITY => &["capacity", "seats", "seating"],
+        canon::PHONE => &["phone", "box_office_phone", "telephone"],
+        canon::WEBSITE => &["website", "url", "link"],
+        _ => &[],
+    }
+}
+
+/// All canonical attributes the generator can emit (order matters: the
+/// first three are near-mandatory, matching "schedules, theater locations,
+/// and discounts").
+pub const CANONICAL_ATTRS: [&str; 12] = [
+    canon::SHOW_NAME,
+    canon::THEATER,
+    canon::CHEAPEST_PRICE,
+    canon::PERFORMANCE,
+    canon::FIRST,
+    canon::DISCOUNT,
+    canon::CITY,
+    canon::RUNTIME,
+    canon::RATING,
+    canon::CAPACITY,
+    canon::PHONE,
+    canon::WEBSITE,
+];
+
+/// The Table VI Matilda row, verbatim.
+pub const MATILDA_THEATER: &str = "Shubert 225 W. 44th St between 7th and 8th";
+pub const MATILDA_PERFORMANCE: &str =
+    "Tues at 7pm Wed at 8pm Thurs at 7pm Fri-Sat at 8pm Wed, Sat at 2pm Sun at 3pm";
+pub const MATILDA_PRICE: &str = "$27";
+pub const MATILDA_FIRST: &str = "3/4/2013";
+
+/// One generated structured source with its ground-truth mapping.
+#[derive(Debug, Clone)]
+pub struct GeneratedSource {
+    /// Source id (stable across a generation run).
+    pub id: SourceId,
+    /// Human-readable name, e.g. `ftable_03`.
+    pub name: String,
+    /// The records.
+    pub records: Vec<Record>,
+    /// Ground truth: source attribute name → canonical attribute.
+    pub mapping: HashMap<String, &'static str>,
+}
+
+/// Generator configuration.
+#[derive(Debug, Clone)]
+pub struct FtablesConfig {
+    /// Number of sources (the paper used 20).
+    pub num_sources: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Probability a cell is nulled out.
+    pub null_rate: f64,
+    /// Probability a string cell receives a typo.
+    pub typo_rate: f64,
+    /// Probability a price renders in euros (exercises the EUR→USD
+    /// transformation, the paper's canonical cleaning example).
+    pub euro_rate: f64,
+}
+
+impl Default for FtablesConfig {
+    fn default() -> Self {
+        FtablesConfig {
+            num_sources: 20,
+            seed: 0x0F7A_B1E5,
+            null_rate: 0.05,
+            typo_rate: 0.08,
+            euro_rate: 0.15,
+        }
+    }
+}
+
+/// Generate the FTABLES sources. `SourceId`s start at `base_source_id`.
+pub fn generate(config: &FtablesConfig, base_source_id: u32) -> Vec<GeneratedSource> {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let shows = names::all_shows();
+    (0..config.num_sources)
+        .map(|i| {
+            let id = SourceId(base_source_id + i as u32);
+            let name = format!("ftable_{i:02}");
+            // Attribute selection: SHOW_NAME always; THEATER and PRICE almost
+            // always; 5–12 attributes total (the paper: 5–20).
+            let mut attrs: Vec<&'static str> = vec![canon::SHOW_NAME];
+            if rng.random_bool(0.9) {
+                attrs.push(canon::THEATER);
+            }
+            if rng.random_bool(0.9) {
+                attrs.push(canon::CHEAPEST_PRICE);
+            }
+            for extra in &CANONICAL_ATTRS[3..] {
+                if rng.random_bool(0.55) {
+                    attrs.push(extra);
+                }
+            }
+            // Source 0 must carry the full Table VI attribute set.
+            if i == 0 {
+                for must in [canon::THEATER, canon::CHEAPEST_PRICE, canon::PERFORMANCE, canon::FIRST] {
+                    if !attrs.contains(&must) {
+                        attrs.push(must);
+                    }
+                }
+            }
+            // Pick a synonym spelling per attribute.
+            let mut mapping = HashMap::new();
+            let mut spelling: Vec<(String, &'static str)> = Vec::with_capacity(attrs.len());
+            for canonical in &attrs {
+                let pool = synonyms(canonical);
+                let pick = if i == 0 {
+                    // Clean spellings in the seed source keep the global
+                    // schema's bootstrap names readable.
+                    pool[0]
+                } else {
+                    pool[rng.random_range(0..pool.len())]
+                };
+                mapping.insert(pick.to_owned(), *canonical);
+                spelling.push((pick.to_owned(), canonical));
+            }
+
+            let num_rows = rng.random_range(10..=100);
+            let mut records = Vec::with_capacity(num_rows);
+            for row in 0..num_rows {
+                let show = shows[rng.random_range(0..shows.len())];
+                let rec = generate_row(
+                    &mut rng, config, id,
+                    RecordId(row as u64),
+                    show, &spelling,
+                );
+                records.push(rec);
+            }
+            // Pin the Matilda row into source 0 (replacing row 0).
+            if i == 0 {
+                records[0] = matilda_row(id, &spelling);
+            }
+            GeneratedSource { id, name, records, mapping }
+        })
+        .collect()
+}
+
+fn generate_row(
+    rng: &mut StdRng,
+    config: &FtablesConfig,
+    source: SourceId,
+    id: RecordId,
+    show: &str,
+    spelling: &[(String, &'static str)],
+) -> Record {
+    let (theater, addr) = names::THEATERS[rng.random_range(0..names::THEATERS.len())];
+    let mut rec = Record::new(source, id);
+    for (attr_name, canonical) in spelling {
+        let raw = match *canonical {
+            canon::SHOW_NAME => {
+                let mut s = show.to_owned();
+                if rng.random_bool(config.typo_rate) {
+                    s = dirt::typo(rng, &s);
+                }
+                if rng.random_bool(0.15) {
+                    s = dirt::case_damage(rng, &s);
+                }
+                s
+            }
+            canon::THEATER => format!("{theater} {addr}"),
+            canon::CHEAPEST_PRICE => {
+                // Floor of 30: keeps the pinned Matilda "$27" (Table VI) the
+                // global minimum so NumericMin fusion reproduces the paper.
+                let amount = rng.random_range(30..160) as f64;
+                if rng.random_bool(config.euro_rate) {
+                    dirt::euro_variant(rng, amount)
+                } else {
+                    dirt::money_variant(rng, amount)
+                }
+            }
+            canon::PERFORMANCE => random_schedule(rng),
+            canon::FIRST => {
+                let month = rng.random_range(1..=12u8);
+                let day = rng.random_range(1..=28u8);
+                dirt::date_variant(rng, 2013, month, day)
+            }
+            canon::DISCOUNT => format!("{}%", rng.random_range(10..60)),
+            canon::CITY => names::CITIES[rng.random_range(0..names::CITIES.len())].to_owned(),
+            canon::RUNTIME => format!("{} min", rng.random_range(80..200)),
+            canon::RATING => format!("{:.1}", 2.0 + rng.random::<f64>() * 3.0),
+            canon::CAPACITY => rng.random_range(400..1900).to_string(),
+            canon::PHONE => format!(
+                "(212) 555-{:04}",
+                rng.random_range(0..10_000)
+            ),
+            canon::WEBSITE => names::random_url(rng),
+            _ => unreachable!("unknown canonical attribute"),
+        };
+        let cell = dirt::maybe_null(rng, config.null_rate, raw);
+        rec.set(attr_name.clone(), Value::Str(cell));
+    }
+    rec
+}
+
+fn random_schedule(rng: &mut StdRng) -> String {
+    const DAYS: [&str; 7] = ["Mon", "Tues", "Wed", "Thurs", "Fri", "Sat", "Sun"];
+    let n = rng.random_range(2..=4);
+    let mut parts = Vec::with_capacity(n);
+    for _ in 0..n {
+        let d = DAYS[rng.random_range(0..7)];
+        let h = rng.random_range(1..=9);
+        parts.push(format!("{d} at {h}pm"));
+    }
+    parts.join(" ")
+}
+
+fn matilda_row(source: SourceId, spelling: &[(String, &'static str)]) -> Record {
+    let mut rec = Record::new(source, RecordId(0));
+    for (attr_name, canonical) in spelling {
+        let cell: String = match *canonical {
+            canon::SHOW_NAME => "Matilda".into(),
+            canon::THEATER => MATILDA_THEATER.into(),
+            canon::PERFORMANCE => MATILDA_PERFORMANCE.into(),
+            canon::CHEAPEST_PRICE => MATILDA_PRICE.into(),
+            canon::FIRST => MATILDA_FIRST.into(),
+            canon::DISCOUNT => "25%".into(),
+            canon::CITY => "New York".into(),
+            canon::RUNTIME => "160 min".into(),
+            canon::RATING => "4.8".into(),
+            canon::CAPACITY => "1460".into(),
+            canon::PHONE => "(212) 555-0044".into(),
+            canon::WEBSITE => "http://playbill.com/shows/matilda".into(),
+            _ => unreachable!(),
+        };
+        rec.set(attr_name.clone(), Value::Str(cell));
+    }
+    rec
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gen() -> Vec<GeneratedSource> {
+        generate(&FtablesConfig::default(), 100)
+    }
+
+    #[test]
+    fn twenty_sources_with_paper_cardinalities() {
+        let sources = gen();
+        assert_eq!(sources.len(), 20);
+        for s in &sources {
+            assert!(
+                (10..=100).contains(&s.records.len()),
+                "{} has {} rows",
+                s.name,
+                s.records.len()
+            );
+            let arity = s.records[0].len();
+            assert!((3..=20).contains(&arity), "{} arity {arity}", s.name);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = gen();
+        let b = gen();
+        assert_eq!(a[3].records[5], b[3].records[5]);
+        let c = generate(&FtablesConfig { seed: 99, ..Default::default() }, 100);
+        assert_ne!(a[3].records[5], c[3].records[5]);
+    }
+
+    #[test]
+    fn source_zero_carries_table_vi_matilda() {
+        let sources = gen();
+        let s0 = &sources[0];
+        let matilda = &s0.records[0];
+        assert_eq!(matilda.get_text("show_name").as_deref(), Some("Matilda"));
+        assert_eq!(matilda.get_text("theater").as_deref(), Some(MATILDA_THEATER));
+        assert_eq!(matilda.get_text("performance").as_deref(), Some(MATILDA_PERFORMANCE));
+        assert_eq!(matilda.get_text("cheapest_price").as_deref(), Some(MATILDA_PRICE));
+        assert_eq!(matilda.get_text("first").as_deref(), Some(MATILDA_FIRST));
+    }
+
+    #[test]
+    fn mapping_covers_every_attribute() {
+        for s in gen() {
+            for rec in &s.records {
+                for name in rec.field_names() {
+                    assert!(
+                        s.mapping.contains_key(name),
+                        "{}: attribute {name} missing from ground truth",
+                        s.name
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn spellings_vary_across_sources() {
+        let sources = gen();
+        let mut show_spellings: std::collections::HashSet<&str> = Default::default();
+        for s in &sources {
+            for (attr, canonical) in &s.mapping {
+                if *canonical == canon::SHOW_NAME {
+                    show_spellings.insert(attr);
+                }
+            }
+        }
+        assert!(
+            show_spellings.len() >= 3,
+            "schema heterogeneity required: {show_spellings:?}"
+        );
+    }
+
+    #[test]
+    fn prices_include_euros_for_transformation() {
+        let sources = gen();
+        let mut euros = 0;
+        let mut dollars = 0;
+        for s in &sources {
+            for r in &s.records {
+                for (name, v) in r.iter() {
+                    if s.mapping.get(name) == Some(&canon::CHEAPEST_PRICE) {
+                        if let Some(m) = datatamer_model::infer::parse_money(&v.to_text()) {
+                            match m.currency {
+                                "EUR" => euros += 1,
+                                "USD" => dollars += 1,
+                                _ => {}
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        assert!(euros > 10, "need euro prices to exercise the transform: {euros}");
+        assert!(dollars > euros, "dollars should dominate");
+    }
+
+    #[test]
+    fn synonym_table_consistency() {
+        for canonical in CANONICAL_ATTRS {
+            let pool = synonyms(canonical);
+            assert!(!pool.is_empty(), "{canonical} has no spellings");
+        }
+        assert!(synonyms("NOPE").is_empty());
+    }
+}

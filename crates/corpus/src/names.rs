@@ -1,0 +1,247 @@
+//! Name pools for the synthetic corpus.
+//!
+//! Pools cover every entity type of the paper's Table III. The show list is
+//! anchored on Table IV's ten "most discussed award-winning movies/shows" so
+//! the top-k reproduction can emerge from generated data, padded with other
+//! real Broadway-era titles for realistic variety.
+
+use rand::RngExt;
+
+/// Table IV's top-10 most discussed award-winning movies/shows, in the
+/// paper's order.
+pub const TABLE_IV_SHOWS: [&str; 10] = [
+    "The Walking Dead",
+    "Written",
+    "Mean Streets",
+    "Goodfellas",
+    "Matilda",
+    "The Wolverine",
+    "Trees Lounge",
+    "Raging Bull",
+    "Berkeley in the Sixties",
+    "Never Should Have",
+];
+
+/// Additional award-winning titles (discussed less than the Table IV ten).
+pub const OTHER_AWARD_SHOWS: [&str; 14] = [
+    "Kinky Boots",
+    "Pippin",
+    "Once",
+    "The Book of Mormon",
+    "Annie",
+    "Cinderella",
+    "Lucky Guy",
+    "Vanya and Sonia",
+    "The Nance",
+    "Ann",
+    "Motown",
+    "Bring It On",
+    "The Assembled Parties",
+    "Virginia Woolf",
+];
+
+/// Popular but *not* award-winning titles — heavily discussed noise that the
+/// Table IV query must filter out.
+pub const NON_AWARD_SHOWS: [&str; 8] = [
+    "Spider-Man Turn Off the Dark",
+    "Rock of Ages",
+    "Mamma Mia",
+    "Jersey Boys",
+    "Newsies",
+    "Wicked",
+    "Chicago",
+    "The Lion King",
+];
+
+/// Broadway theatres with street addresses (feeds FTABLES and Table VI).
+pub const THEATERS: [(&str, &str); 12] = [
+    ("Shubert", "225 W. 44th St between 7th and 8th"),
+    ("Ambassador", "219 W. 49th St between Broadway and 8th"),
+    ("Gershwin", "222 W. 51st St between Broadway and 8th"),
+    ("Imperial", "249 W. 45th St between Broadway and 8th"),
+    ("Majestic", "245 W. 44th St between 7th and 8th"),
+    ("Winter Garden", "1634 Broadway at 50th"),
+    ("Al Hirschfeld", "302 W. 45th St between 8th and 9th"),
+    ("Ethel Barrymore", "243 W. 47th St between Broadway and 8th"),
+    ("Eugene O'Neill", "230 W. 49th St between Broadway and 8th"),
+    ("Palace", "1564 Broadway at 47th"),
+    ("Lyceum", "149 W. 45th St between 6th and 7th"),
+    ("St. James", "246 W. 44th St between 7th and 8th"),
+];
+
+/// First names for synthetic people.
+pub const FIRST_NAMES: [&str; 24] = [
+    "James", "Mary", "Robert", "Patricia", "John", "Jennifer", "Michael", "Linda", "David",
+    "Elizabeth", "William", "Barbara", "Richard", "Susan", "Joseph", "Jessica", "Thomas",
+    "Sarah", "Daniel", "Karen", "Matthew", "Nancy", "Anthony", "Lisa",
+];
+
+/// Last names for synthetic people.
+pub const LAST_NAMES: [&str; 24] = [
+    "Smith", "Johnson", "Williams", "Brown", "Jones", "Garcia", "Miller", "Davis", "Rodriguez",
+    "Martinez", "Hernandez", "Lopez", "Gonzalez", "Wilson", "Anderson", "Thomas", "Taylor",
+    "Moore", "Jackson", "Martin", "Lee", "Perez", "Thompson", "White",
+];
+
+/// Company stems; designators are appended by the generator.
+pub const COMPANY_STEMS: [&str; 16] = [
+    "Recorded Future", "Acme Media", "Global Data", "Blue Harbor", "Northlight", "Vertex",
+    "Pinnacle Arts", "Crestview", "Silverline", "Broadway Across America", "Stagecraft",
+    "Marquee Partners", "Footlight", "Curtain Call", "Playbill Media", "Encore Analytics",
+];
+
+/// Organizations (non-company).
+pub const ORGANIZATIONS: [&str; 10] = [
+    "Actors Equity Association",
+    "The Broadway League",
+    "Lincoln Center",
+    "Roundabout Theatre Company",
+    "Manhattan Theatre Club",
+    "Second Stage",
+    "The Public Theater",
+    "Theatre Development Fund",
+    "Dramatists Guild",
+    "Stage Directors Society",
+];
+
+/// Cities.
+pub const CITIES: [&str; 14] = [
+    "New York", "London", "Chicago", "Boston", "Toronto", "Los Angeles", "San Francisco",
+    "Philadelphia", "Washington", "Seattle", "Denver", "Austin", "Atlanta", "Minneapolis",
+];
+
+/// Geo entities beyond cities (regions, landmarks, districts).
+pub const GEO_ENTITIES: [&str; 10] = [
+    "Broadway", "Times Square", "West End", "Manhattan", "Brooklyn", "Hudson River",
+    "Central Park", "Lincoln Tunnel", "New England", "Silicon Valley",
+];
+
+/// Industry terms.
+pub const INDUSTRY_TERMS: [&str; 12] = [
+    "box office", "gross receipts", "previews", "matinee", "touring production", "revival",
+    "cast recording", "standing ovation", "opening night", "ticket sales", "subscription",
+    "premium seating",
+];
+
+/// Position titles.
+pub const POSITIONS: [&str; 10] = [
+    "producer", "director", "CEO", "playwright", "composer", "president", "chairman",
+    "actress", "actor", "manager",
+];
+
+/// Products.
+pub const PRODUCTS: [&str; 10] = [
+    "iPhone", "Kindle", "PlayStation", "Walkman", "ThinkPad", "Crest Whitestrips",
+    "Diet Coke", "Air Jordan", "Instant Pot", "Gore-Tex",
+];
+
+/// Facilities (non-theatre).
+pub const FACILITIES: [&str; 8] = [
+    "Madison Square Garden", "Radio City Music Hall", "Carnegie Hall", "Barclays Center",
+    "Javits Center", "Grand Central Terminal", "Penn Station", "Yankee Stadium",
+];
+
+/// Medical conditions.
+pub const MEDICAL_CONDITIONS: [&str; 8] = [
+    "influenza", "laryngitis", "migraine", "asthma", "tendonitis", "vertigo", "insomnia",
+    "bronchitis",
+];
+
+/// Technologies.
+pub const TECHNOLOGIES: [&str; 8] = [
+    "machine learning", "cloud computing", "3D printing", "LED lighting", "motion capture",
+    "augmented reality", "fiber optics", "solar panels",
+];
+
+/// Provinces / states.
+pub const PROVINCES: [&str; 10] = [
+    "New York State", "California", "Ontario", "Massachusetts", "Illinois", "Texas",
+    "Quebec", "New Jersey", "Connecticut", "Pennsylvania",
+];
+
+/// URL hosts for synthetic links.
+pub const URL_HOSTS: [&str; 8] = [
+    "playbill.com", "broadway.org", "nytimes.com", "variety.com", "theatermania.com",
+    "recordedfuture.com", "backstage.com", "timeout.com",
+];
+
+/// All award-winning titles (Table IV ten + others).
+pub fn award_winning_shows() -> Vec<&'static str> {
+    TABLE_IV_SHOWS.iter().chain(OTHER_AWARD_SHOWS.iter()).copied().collect()
+}
+
+/// Every show title, award-winning first.
+pub fn all_shows() -> Vec<&'static str> {
+    award_winning_shows().into_iter().chain(NON_AWARD_SHOWS).collect()
+}
+
+/// Draw a synthetic person name.
+pub fn random_person(rng: &mut impl RngExt) -> String {
+    let f = FIRST_NAMES[rng.random_range(0..FIRST_NAMES.len())];
+    let l = LAST_NAMES[rng.random_range(0..LAST_NAMES.len())];
+    format!("{f} {l}")
+}
+
+/// Draw a synthetic company name (stem + designator).
+pub fn random_company(rng: &mut impl RngExt) -> String {
+    let stem = COMPANY_STEMS[rng.random_range(0..COMPANY_STEMS.len())];
+    let suffix = ["Inc", "Corp", "Ltd", "LLC"][rng.random_range(0..4)];
+    format!("{stem} {suffix}")
+}
+
+/// Draw a synthetic URL.
+pub fn random_url(rng: &mut impl RngExt) -> String {
+    let host = URL_HOSTS[rng.random_range(0..URL_HOSTS.len())];
+    let path = ["shows", "reviews", "news", "tickets", "schedule"][rng.random_range(0..5)];
+    let n = rng.random_range(100..9999);
+    format!("http://{host}/{path}/{n}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn table_iv_list_is_exact() {
+        assert_eq!(TABLE_IV_SHOWS[0], "The Walking Dead");
+        assert_eq!(TABLE_IV_SHOWS[4], "Matilda");
+        assert_eq!(TABLE_IV_SHOWS[9], "Never Should Have");
+        assert_eq!(TABLE_IV_SHOWS.len(), 10);
+    }
+
+    #[test]
+    fn pools_are_disjoint_where_required() {
+        // Award-winning and non-award pools must not overlap, or the Table IV
+        // filter becomes ambiguous.
+        for a in award_winning_shows() {
+            assert!(!NON_AWARD_SHOWS.contains(&a), "{a} in both pools");
+        }
+    }
+
+    #[test]
+    fn shubert_address_matches_table_vi() {
+        let (name, addr) = THEATERS[0];
+        assert_eq!(name, "Shubert");
+        assert_eq!(addr, "225 W. 44th St between 7th and 8th");
+    }
+
+    #[test]
+    fn random_draws_are_deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(1);
+        assert_eq!(random_person(&mut a), random_person(&mut b));
+        assert_eq!(random_company(&mut a), random_company(&mut b));
+        assert_eq!(random_url(&mut a), random_url(&mut b));
+    }
+
+    #[test]
+    fn urls_are_lexically_urls() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..20 {
+            let u = random_url(&mut rng);
+            assert_eq!(datatamer_model::infer::infer_str(&u), datatamer_model::LexicalType::Url);
+        }
+    }
+}

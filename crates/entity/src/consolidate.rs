@@ -1,0 +1,254 @@
+//! Composite-record merge with conflict resolution.
+//!
+//! Once a cluster of records is believed to describe one entity, Data Tamer
+//! consolidates them "into a composite entity record". Different attributes
+//! want different policies: names want the most common spelling, free text
+//! wants the longest variant, prices want the minimum.
+
+use std::collections::HashMap;
+
+use datatamer_model::{Record, RecordId, SourceId, Value};
+
+/// Conflict resolution policy for merging one attribute's values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConflictPolicy {
+    /// Most frequent non-null value; ties break to the first seen.
+    MajorityVote,
+    /// Longest text rendering (favours information-rich variants).
+    Longest,
+    /// First non-null in cluster order (source priority order).
+    First,
+    /// Numeric minimum (e.g. CHEAPEST_PRICE); non-numeric falls back to
+    /// majority vote.
+    NumericMin,
+    /// Numeric maximum; non-numeric falls back to majority vote.
+    NumericMax,
+}
+
+/// Per-attribute policies with a default.
+#[derive(Debug, Clone)]
+pub struct MergePolicy {
+    /// `(attribute, policy)` overrides.
+    pub per_attribute: Vec<(String, ConflictPolicy)>,
+    /// Policy for attributes without an override.
+    pub default: ConflictPolicy,
+}
+
+impl Default for MergePolicy {
+    fn default() -> Self {
+        MergePolicy { per_attribute: Vec::new(), default: ConflictPolicy::MajorityVote }
+    }
+}
+
+impl MergePolicy {
+    /// Policy for an attribute.
+    pub fn policy_of(&self, attr: &str) -> ConflictPolicy {
+        self.per_attribute
+            .iter()
+            .find(|(a, _)| a == attr)
+            .map(|(_, p)| *p)
+            .unwrap_or(self.default)
+    }
+}
+
+/// Merge a cluster of records into one composite record.
+///
+/// The composite's identity is the first record's `(source, id)`; every
+/// attribute present in any member appears in the composite (first-seen
+/// attribute order), resolved per policy over the members' non-null values.
+pub fn merge_cluster(records: &[&Record], policy: &MergePolicy) -> Record {
+    assert!(!records.is_empty(), "cannot merge an empty cluster");
+    let mut composite = Record::new(records[0].source, records[0].id);
+    // First-seen attribute order across the cluster.
+    let mut attr_order: Vec<&str> = Vec::new();
+    for r in records {
+        for name in r.field_names() {
+            if !attr_order.contains(&name) {
+                attr_order.push(name);
+            }
+        }
+    }
+    for attr in attr_order {
+        let values: Vec<&Value> = records
+            .iter()
+            .filter_map(|r| r.get(attr))
+            .filter(|v| !v.is_null())
+            .collect();
+        if values.is_empty() {
+            composite.set(attr, Value::Null);
+            continue;
+        }
+        let resolved = resolve(&values, policy.policy_of(attr));
+        composite.set(attr, resolved);
+    }
+    composite
+}
+
+fn resolve(values: &[&Value], policy: ConflictPolicy) -> Value {
+    match policy {
+        ConflictPolicy::First => (*values[0]).clone(),
+        ConflictPolicy::Longest => (*values
+            .iter()
+            .max_by_key(|v| v.to_text().len())
+            .expect("non-empty"))
+        .clone(),
+        ConflictPolicy::MajorityVote => majority(values),
+        ConflictPolicy::NumericMin => numeric_extreme(values, true),
+        ConflictPolicy::NumericMax => numeric_extreme(values, false),
+    }
+}
+
+fn majority(values: &[&Value]) -> Value {
+    let mut counts: HashMap<String, (usize, usize)> = HashMap::new(); // text -> (count, first_idx)
+    for (i, v) in values.iter().enumerate() {
+        let e = counts.entry(v.to_text()).or_insert((0, i));
+        e.0 += 1;
+    }
+    let (_, (_, idx)) = counts
+        .into_iter()
+        .max_by(|(_, (ca, ia)), (_, (cb, ib))| ca.cmp(cb).then(ib.cmp(ia)))
+        .expect("non-empty");
+    (*values[idx]).clone()
+}
+
+fn numeric_extreme(values: &[&Value], min: bool) -> Value {
+    let parsed: Vec<(usize, f64)> = values
+        .iter()
+        .enumerate()
+        .filter_map(|(i, v)| numeric_of(v).map(|x| (i, x)))
+        .collect();
+    if parsed.is_empty() {
+        return majority(values);
+    }
+    let (idx, _) = parsed
+        .into_iter()
+        .min_by(|(_, a), (_, b)| {
+            let ord = a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal);
+            if min {
+                ord
+            } else {
+                ord.reverse()
+            }
+        })
+        .expect("non-empty");
+    (*values[idx]).clone()
+}
+
+fn numeric_of(v: &Value) -> Option<f64> {
+    if let Some(x) = v.as_float() {
+        return Some(x);
+    }
+    let text = v.to_text();
+    datatamer_model::infer::parse_money(&text)
+        .map(|m| m.amount)
+        .or_else(|| datatamer_model::infer::parse_decimal(&text))
+}
+
+/// Assign composite record ids: `(source, id)` of each cluster's first
+/// member, preserved for provenance back-tracking.
+pub fn composite_identity(cluster: &[&Record]) -> (SourceId, RecordId) {
+    cluster[0].key()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(id: u64, fields: Vec<(&str, &str)>) -> Record {
+        Record::from_pairs(
+            SourceId(0),
+            RecordId(id),
+            fields.into_iter().map(|(k, v)| (k, Value::from(v))).collect(),
+        )
+    }
+
+    #[test]
+    fn majority_vote_picks_common_spelling() {
+        let rs = [
+            rec(0, vec![("name", "Matilda")]),
+            rec(1, vec![("name", "MATILDA")]),
+            rec(2, vec![("name", "Matilda")]),
+        ];
+        let refs: Vec<&Record> = rs.iter().collect();
+        let merged = merge_cluster(&refs, &MergePolicy::default());
+        assert_eq!(merged.get_text("name").as_deref(), Some("Matilda"));
+    }
+
+    #[test]
+    fn longest_keeps_richest_text() {
+        let rs = [
+            rec(0, vec![("venue", "Shubert")]),
+            rec(1, vec![("venue", "Shubert 225 W. 44th St between 7th and 8th")]),
+        ];
+        let refs: Vec<&Record> = rs.iter().collect();
+        let policy = MergePolicy {
+            per_attribute: vec![("venue".into(), ConflictPolicy::Longest)],
+            default: ConflictPolicy::MajorityVote,
+        };
+        let merged = merge_cluster(&refs, &policy);
+        assert!(merged.get_text("venue").unwrap().contains("225 W. 44th"));
+    }
+
+    #[test]
+    fn numeric_min_handles_money_strings() {
+        let rs = [
+            rec(0, vec![("price", "$45")]),
+            rec(1, vec![("price", "$27")]),
+            rec(2, vec![("price", "$99.50")]),
+        ];
+        let refs: Vec<&Record> = rs.iter().collect();
+        let policy = MergePolicy {
+            per_attribute: vec![("price".into(), ConflictPolicy::NumericMin)],
+            default: ConflictPolicy::MajorityVote,
+        };
+        let merged = merge_cluster(&refs, &policy);
+        assert_eq!(merged.get_text("price").as_deref(), Some("$27"));
+    }
+
+    #[test]
+    fn numeric_max_and_fallback() {
+        let rs = [rec(0, vec![("cap", "1460")]), rec(1, vec![("cap", "900")])];
+        let refs: Vec<&Record> = rs.iter().collect();
+        let policy = MergePolicy {
+            per_attribute: vec![("cap".into(), ConflictPolicy::NumericMax)],
+            default: ConflictPolicy::MajorityVote,
+        };
+        assert_eq!(merge_cluster(&refs, &policy).get_text("cap").as_deref(), Some("1460"));
+        // Non-numeric values under a numeric policy fall back to majority.
+        let rs = [rec(0, vec![("cap", "big")]), rec(1, vec![("cap", "big")])];
+        let refs: Vec<&Record> = rs.iter().collect();
+        assert_eq!(merge_cluster(&refs, &policy).get_text("cap").as_deref(), Some("big"));
+    }
+
+    #[test]
+    fn union_of_attributes_with_nulls() {
+        let rs = [
+            rec(0, vec![("name", "Matilda")]),
+            rec(1, vec![("name", "Matilda"), ("price", "$27")]),
+        ];
+        let refs: Vec<&Record> = rs.iter().collect();
+        let merged = merge_cluster(&refs, &MergePolicy::default());
+        assert_eq!(merged.get_text("price").as_deref(), Some("$27"));
+        assert_eq!(merged.len(), 2);
+        // Identity comes from the first member.
+        assert_eq!(merged.id, RecordId(0));
+        assert_eq!(composite_identity(&refs), (SourceId(0), RecordId(0)));
+    }
+
+    #[test]
+    fn first_policy_respects_order() {
+        let rs = [rec(0, vec![("x", "a")]), rec(1, vec![("x", "b")])];
+        let refs: Vec<&Record> = rs.iter().collect();
+        let policy = MergePolicy {
+            per_attribute: vec![("x".into(), ConflictPolicy::First)],
+            default: ConflictPolicy::MajorityVote,
+        };
+        assert_eq!(merge_cluster(&refs, &policy).get_text("x").as_deref(), Some("a"));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty cluster")]
+    fn empty_cluster_panics() {
+        merge_cluster(&[], &MergePolicy::default());
+    }
+}

@@ -1,0 +1,28 @@
+//! Entity consolidation.
+//!
+//! Data Tamer's entity-consolidation module finds "records from different
+//! data sources which describe the same entity" and consolidates them into
+//! composite entity records. At web scale all-pairs comparison is
+//! impossible, so the pipeline is: **block** (candidate generation) →
+//! **score** pairs (rule-based or the ML dedup classifier) → **cluster**
+//! (union-find over accepted pairs) → **merge** into composite records with
+//! conflict resolution.
+//!
+//! * [`blocking`] — token, Soundex, sorted-neighbourhood, and MinHash-LSH
+//!   candidate generation.
+//! * [`pairsim`] — weighted per-attribute record-pair similarity.
+//! * [`cluster`] — union-find clustering of accepted pairs.
+//! * [`consolidate`] — composite-record merge with conflict resolution.
+//! * [`pipeline`] — the end-to-end consolidation pipeline with statistics.
+
+pub mod blocking;
+pub mod cluster;
+pub mod consolidate;
+pub mod pairsim;
+pub mod pipeline;
+
+pub use blocking::{Blocker, BlockingStrategy};
+pub use cluster::UnionFind;
+pub use consolidate::{merge_cluster, ConflictPolicy};
+pub use pairsim::{PairScorer, RecordSimilarity};
+pub use pipeline::{ConsolidationPipeline, ConsolidationResult, PipelineConfig};

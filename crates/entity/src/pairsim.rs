@@ -1,0 +1,197 @@
+//! Record-pair similarity scoring.
+
+use datatamer_model::{Record, Value};
+use datatamer_sim as sim;
+use datatamer_ml::DedupClassifier;
+
+/// How a pair of records is scored.
+pub enum PairScorer {
+    /// Rule-based weighted attribute similarity with an accept threshold.
+    Rules(RecordSimilarity),
+    /// The trained ML dedup classifier applied to a key attribute
+    /// (probability ≥ 0.5 accepts).
+    Classifier { key_attr: String, model: DedupClassifier },
+}
+
+impl PairScorer {
+    /// Score a pair in `[0, 1]`.
+    pub fn score(&self, a: &Record, b: &Record) -> f64 {
+        match self {
+            PairScorer::Rules(rs) => rs.score(a, b),
+            PairScorer::Classifier { key_attr, model } => {
+                match (a.get_text(key_attr), b.get_text(key_attr)) {
+                    (Some(x), Some(y)) => model.proba(&x, &y),
+                    _ => 0.0,
+                }
+            }
+        }
+    }
+}
+
+/// Weighted per-attribute record similarity.
+///
+/// Shared attributes compare value-by-value with type-aware measures; the
+/// result is the weighted mean over compared attributes. Attributes missing
+/// on either side contribute nothing (curated sources are sparse — absence
+/// is not evidence of difference).
+#[derive(Debug, Clone)]
+pub struct RecordSimilarity {
+    /// `(attribute, weight)`; attributes not listed get `default_weight`.
+    pub weights: Vec<(String, f64)>,
+    /// Weight of attributes not explicitly listed.
+    pub default_weight: f64,
+}
+
+impl Default for RecordSimilarity {
+    fn default() -> Self {
+        RecordSimilarity { weights: Vec::new(), default_weight: 1.0 }
+    }
+}
+
+impl RecordSimilarity {
+    /// Build with explicit attribute weights.
+    pub fn with_weights(weights: Vec<(String, f64)>, default_weight: f64) -> Self {
+        RecordSimilarity { weights, default_weight }
+    }
+
+    fn weight_of(&self, attr: &str) -> f64 {
+        self.weights
+            .iter()
+            .find(|(a, _)| a == attr)
+            .map(|(_, w)| *w)
+            .unwrap_or(self.default_weight)
+    }
+
+    /// Similarity in `[0, 1]`; 0.0 when no attribute is comparable.
+    pub fn score(&self, a: &Record, b: &Record) -> f64 {
+        let mut total_weight = 0.0;
+        let mut acc = 0.0;
+        for (attr, va) in a.iter() {
+            let Some(vb) = b.get(attr) else { continue };
+            if va.is_null() || vb.is_null() {
+                continue;
+            }
+            let w = self.weight_of(attr);
+            if w == 0.0 {
+                continue;
+            }
+            acc += w * value_similarity(va, vb);
+            total_weight += w;
+        }
+        if total_weight == 0.0 {
+            0.0
+        } else {
+            acc / total_weight
+        }
+    }
+}
+
+/// Type-aware scalar similarity.
+pub fn value_similarity(a: &Value, b: &Value) -> f64 {
+    if let (Some(x), Some(y)) = (a.as_float(), b.as_float()) { return sim::relative_diff_similarity(x, y) }
+    let (ta, tb) = (a.to_text(), b.to_text());
+    // Numeric-looking strings (prices, years) compare numerically.
+    if let (Some(x), Some(y)) = (parse_numericish(&ta), parse_numericish(&tb)) {
+        return sim::relative_diff_similarity(x, y);
+    }
+    let la = ta.to_lowercase();
+    let lb = tb.to_lowercase();
+    if la == lb {
+        return 1.0;
+    }
+    // Blend character- and token-level for robustness across lengths.
+    let jw = sim::jaro_winkler(&la, &lb);
+    let sa: std::collections::HashSet<String> = sim::tokenize(&la).into_iter().collect();
+    let sb: std::collections::HashSet<String> = sim::tokenize(&lb).into_iter().collect();
+    let jac = sim::jaccard(&sa, &sb);
+    0.6 * jw + 0.4 * jac
+}
+
+fn parse_numericish(s: &str) -> Option<f64> {
+    use datatamer_model::infer;
+    if let Some(m) = infer::parse_money(s) {
+        return Some(m.amount);
+    }
+    infer::parse_decimal(s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datatamer_model::{RecordId, SourceId};
+    use datatamer_ml::logreg::LogRegConfig;
+
+    fn rec(fields: Vec<(&str, &str)>) -> Record {
+        Record::from_pairs(
+            SourceId(0),
+            RecordId(0),
+            fields.into_iter().map(|(k, v)| (k, Value::from(v))).collect(),
+        )
+    }
+
+    #[test]
+    fn identical_records_score_one() {
+        let a = rec(vec![("name", "Matilda"), ("price", "$27")]);
+        let s = RecordSimilarity::default();
+        assert!((s.score(&a, &a) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn near_duplicates_score_high_distinct_low() {
+        let s = RecordSimilarity::default();
+        let a = rec(vec![("name", "Matilda"), ("price", "$27")]);
+        let b = rec(vec![("name", "matilda"), ("price", "$28")]);
+        let c = rec(vec![("name", "The Lion King"), ("price", "$150")]);
+        assert!(s.score(&a, &b) > 0.9, "{}", s.score(&a, &b));
+        assert!(s.score(&a, &c) < 0.5, "{}", s.score(&a, &c));
+    }
+
+    #[test]
+    fn missing_and_null_attributes_are_neutral() {
+        let s = RecordSimilarity::default();
+        let a = rec(vec![("name", "Matilda"), ("venue", "Shubert")]);
+        let mut b = rec(vec![("name", "Matilda")]);
+        assert!((s.score(&a, &b) - 1.0).abs() < 1e-9, "venue absent on b is ignored");
+        b.set("venue", Value::Null);
+        assert!((s.score(&a, &b) - 1.0).abs() < 1e-9, "null venue is ignored");
+        let empty = rec(vec![]);
+        assert_eq!(s.score(&a, &empty), 0.0, "nothing comparable");
+    }
+
+    #[test]
+    fn weights_shift_the_score() {
+        let a = rec(vec![("name", "Matilda"), ("city", "New York")]);
+        let b = rec(vec![("name", "Wicked"), ("city", "New York")]);
+        let name_heavy = RecordSimilarity::with_weights(vec![("name".into(), 10.0)], 1.0);
+        let city_heavy = RecordSimilarity::with_weights(vec![("city".into(), 10.0)], 1.0);
+        assert!(city_heavy.score(&a, &b) > name_heavy.score(&a, &b));
+    }
+
+    #[test]
+    fn numeric_strings_compare_numerically() {
+        assert!(value_similarity(&Value::from("$27"), &Value::from("27 USD")) > 0.99);
+        assert!(value_similarity(&Value::from("1900"), &Value::from("1901")) > 0.99);
+        assert!(value_similarity(&Value::from("$20"), &Value::from("$200")) < 0.2);
+        assert_eq!(value_similarity(&Value::Int(5), &Value::Int(5)), 1.0);
+    }
+
+    #[test]
+    fn classifier_scorer_uses_key_attribute() {
+        let pairs = vec![
+            ("Matilda".to_owned(), "matilda".to_owned(), true),
+            ("Matilda".to_owned(), "Wicked".to_owned(), false),
+            ("Annie".to_owned(), "Annie!".to_owned(), true),
+            ("Annie".to_owned(), "Pippin".to_owned(), false),
+            ("Goodfellas".to_owned(), "Goodfelas".to_owned(), true),
+            ("Goodfellas".to_owned(), "Written".to_owned(), false),
+        ];
+        let model = DedupClassifier::train(&pairs, &LogRegConfig::default());
+        let scorer = PairScorer::Classifier { key_attr: "name".into(), model };
+        let a = rec(vec![("name", "Matilda")]);
+        let b = rec(vec![("name", "matilda ")]);
+        let c = rec(vec![("name", "Rock of Ages")]);
+        assert!(scorer.score(&a, &b) > scorer.score(&a, &c));
+        let no_key = rec(vec![("other", "x")]);
+        assert_eq!(scorer.score(&a, &no_key), 0.0);
+    }
+}

@@ -1,0 +1,161 @@
+//! Priority task queue with domain routing.
+
+use std::collections::BinaryHeap;
+
+use crate::task::{ExpertTask, TaskId, TaskKind};
+
+#[derive(Debug, PartialEq, Eq)]
+struct QueueEntry {
+    priority: u32,
+    // Reverse insertion tiebreak: FIFO among equal priorities.
+    seq: std::cmp::Reverse<u64>,
+    id: TaskId,
+}
+
+impl Ord for QueueEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.priority.cmp(&other.priority).then_with(|| self.seq.cmp(&other.seq))
+    }
+}
+
+impl PartialOrd for QueueEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A queue of expert tasks, popped highest-priority first (FIFO on ties),
+/// optionally filtered by expert domain.
+#[derive(Debug, Default)]
+pub struct ExpertQueue {
+    heap: BinaryHeap<QueueEntry>,
+    tasks: std::collections::HashMap<TaskId, ExpertTask>,
+    next_id: u64,
+    next_seq: u64,
+}
+
+impl ExpertQueue {
+    /// An empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of pending tasks.
+    pub fn len(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// True when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+
+    /// Submit a task; the queue assigns the id.
+    pub fn submit(&mut self, kind: TaskKind, priority: u32) -> TaskId {
+        let id = TaskId(self.next_id);
+        self.next_id += 1;
+        let task = ExpertTask::new(id, kind, priority);
+        self.heap.push(QueueEntry { priority, seq: std::cmp::Reverse(self.next_seq), id });
+        self.next_seq += 1;
+        self.tasks.insert(id, task);
+        id
+    }
+
+    /// Pop the highest-priority pending task.
+    pub fn pop(&mut self) -> Option<ExpertTask> {
+        while let Some(entry) = self.heap.pop() {
+            if let Some(task) = self.tasks.remove(&entry.id) {
+                return Some(task);
+            }
+            // Stale heap entry for a cancelled task: skip.
+        }
+        None
+    }
+
+    /// Pop the highest-priority task an expert of `domain` can answer.
+    pub fn pop_for_domain(&mut self, domain: &str) -> Option<ExpertTask> {
+        // Drain into a side buffer until a matching task appears, then
+        // restore the skipped ones.
+        let mut skipped = Vec::new();
+        let mut found = None;
+        while let Some(entry) = self.heap.pop() {
+            match self.tasks.get(&entry.id) {
+                Some(task) if task.kind.domain() == domain => {
+                    let task = self.tasks.remove(&entry.id).expect("present");
+                    found = Some(task);
+                    break;
+                }
+                Some(_) => skipped.push(entry),
+                None => {} // stale
+            }
+        }
+        for e in skipped {
+            self.heap.push(e);
+        }
+        found
+    }
+
+    /// Cancel a pending task. Returns whether it existed.
+    pub fn cancel(&mut self, id: TaskId) -> bool {
+        self.tasks.remove(&id).is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dup(a: &str) -> TaskKind {
+        TaskKind::DupConfirm { a: a.into(), b: "x".into() }
+    }
+
+    fn schema(attr: &str) -> TaskKind {
+        TaskKind::SchemaMatch { source_attr: attr.into(), candidate: "g".into(), score: 0.5 }
+    }
+
+    #[test]
+    fn pops_by_priority_then_fifo() {
+        let mut q = ExpertQueue::new();
+        q.submit(dup("low"), 1);
+        q.submit(dup("high"), 9);
+        q.submit(dup("mid_first"), 5);
+        q.submit(dup("mid_second"), 5);
+        let order: Vec<String> = std::iter::from_fn(|| q.pop())
+            .map(|t| match t.kind {
+                TaskKind::DupConfirm { a, .. } => a,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(order, vec!["high", "mid_first", "mid_second", "low"]);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn domain_routing_skips_other_kinds() {
+        let mut q = ExpertQueue::new();
+        q.submit(dup("d1"), 9);
+        q.submit(schema("s1"), 5);
+        q.submit(dup("d2"), 1);
+        let t = q.pop_for_domain("schema").unwrap();
+        assert_eq!(t.kind.domain(), "schema");
+        assert_eq!(q.len(), 2, "skipped tasks restored");
+        // Next schema pop finds nothing.
+        assert!(q.pop_for_domain("schema").is_none());
+        assert_eq!(q.len(), 2);
+        // Dedup pops still honour priority.
+        let t = q.pop_for_domain("dedup").unwrap();
+        assert!(matches!(t.kind, TaskKind::DupConfirm { ref a, .. } if a == "d1"));
+    }
+
+    #[test]
+    fn cancel_makes_heap_entry_stale() {
+        let mut q = ExpertQueue::new();
+        let id = q.submit(dup("gone"), 9);
+        q.submit(dup("stays"), 1);
+        assert!(q.cancel(id));
+        assert!(!q.cancel(id));
+        let t = q.pop().unwrap();
+        assert!(matches!(t.kind, TaskKind::DupConfirm { ref a, .. } if a == "stays"));
+        assert!(q.pop().is_none());
+    }
+}

@@ -1,0 +1,137 @@
+//! Classification metrics.
+
+use std::fmt;
+
+/// Binary confusion matrix.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ConfusionMatrix {
+    pub tp: u64,
+    pub fp: u64,
+    pub tn: u64,
+    pub fn_: u64,
+}
+
+impl ConfusionMatrix {
+    /// Record one `(predicted, actual)` outcome.
+    pub fn record(&mut self, predicted: bool, actual: bool) {
+        match (predicted, actual) {
+            (true, true) => self.tp += 1,
+            (true, false) => self.fp += 1,
+            (false, false) => self.tn += 1,
+            (false, true) => self.fn_ += 1,
+        }
+    }
+
+    /// Merge another matrix into this one.
+    pub fn merge(&mut self, other: &ConfusionMatrix) {
+        self.tp += other.tp;
+        self.fp += other.fp;
+        self.tn += other.tn;
+        self.fn_ += other.fn_;
+    }
+
+    /// Total observations.
+    pub fn total(&self) -> u64 {
+        self.tp + self.fp + self.tn + self.fn_
+    }
+
+    /// Derive the summary metrics.
+    pub fn metrics(&self) -> BinaryMetrics {
+        let div = |num: u64, den: u64| if den == 0 { 0.0 } else { num as f64 / den as f64 };
+        let precision = div(self.tp, self.tp + self.fp);
+        let recall = div(self.tp, self.tp + self.fn_);
+        let f1 = if precision + recall == 0.0 {
+            0.0
+        } else {
+            2.0 * precision * recall / (precision + recall)
+        };
+        BinaryMetrics {
+            precision,
+            recall,
+            f1,
+            accuracy: div(self.tp + self.tn, self.total()),
+        }
+    }
+}
+
+/// Precision / recall / F1 / accuracy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BinaryMetrics {
+    pub precision: f64,
+    pub recall: f64,
+    pub f1: f64,
+    pub accuracy: f64,
+}
+
+impl fmt::Display for BinaryMetrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "P={:.1}% R={:.1}% F1={:.1}% acc={:.1}%",
+            self.precision * 100.0,
+            self.recall * 100.0,
+            self.f1 * 100.0,
+            self.accuracy * 100.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_classifier() {
+        let mut cm = ConfusionMatrix::default();
+        for _ in 0..10 {
+            cm.record(true, true);
+            cm.record(false, false);
+        }
+        let m = cm.metrics();
+        assert_eq!(m.precision, 1.0);
+        assert_eq!(m.recall, 1.0);
+        assert_eq!(m.f1, 1.0);
+        assert_eq!(m.accuracy, 1.0);
+    }
+
+    #[test]
+    fn textbook_values() {
+        // tp=8, fp=2 -> P=0.8; tp=8, fn=2 -> R=0.8; F1=0.8
+        let cm = ConfusionMatrix { tp: 8, fp: 2, tn: 88, fn_: 2 };
+        let m = cm.metrics();
+        assert!((m.precision - 0.8).abs() < 1e-12);
+        assert!((m.recall - 0.8).abs() < 1e-12);
+        assert!((m.f1 - 0.8).abs() < 1e-12);
+        assert!((m.accuracy - 0.96).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_cases_do_not_divide_by_zero() {
+        let m = ConfusionMatrix::default().metrics();
+        assert_eq!(m.precision, 0.0);
+        assert_eq!(m.recall, 0.0);
+        assert_eq!(m.f1, 0.0);
+        assert_eq!(m.accuracy, 0.0);
+        // Never predicts positive.
+        let cm = ConfusionMatrix { tp: 0, fp: 0, tn: 5, fn_: 5 };
+        assert_eq!(cm.metrics().precision, 0.0);
+        assert_eq!(cm.metrics().accuracy, 0.5);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = ConfusionMatrix { tp: 1, fp: 2, tn: 3, fn_: 4 };
+        let b = ConfusionMatrix { tp: 10, fp: 20, tn: 30, fn_: 40 };
+        a.merge(&b);
+        assert_eq!(a, ConfusionMatrix { tp: 11, fp: 22, tn: 33, fn_: 44 });
+        assert_eq!(a.total(), 110);
+    }
+
+    #[test]
+    fn display_is_percentages() {
+        let cm = ConfusionMatrix { tp: 89, fp: 11, tn: 0, fn_: 10 };
+        let shown = cm.metrics().to_string();
+        assert!(shown.contains("P=89.0%"), "{shown}");
+        assert!(shown.contains("R=89.9%"), "{shown}");
+    }
+}

@@ -1,0 +1,79 @@
+//! Error type shared across the Data Tamer workspace.
+
+use std::fmt;
+
+/// Workspace-wide result alias.
+pub type Result<T> = std::result::Result<T, DtError>;
+
+/// Errors produced anywhere in the Data Tamer reproduction.
+///
+/// A single error enum is used across crates so that pipeline stages can be
+/// composed without per-crate error-conversion boilerplate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DtError {
+    /// A document or value failed to decode from its binary representation.
+    Decode(String),
+    /// A value had an unexpected type for the requested operation.
+    Type { expected: &'static str, got: &'static str },
+    /// A named entity (collection, attribute, source...) was not found.
+    NotFound(String),
+    /// A named entity already exists and may not be redefined.
+    AlreadyExists(String),
+    /// Input data was structurally invalid (e.g. empty source, bad path).
+    Invalid(String),
+    /// A configuration parameter was out of range.
+    Config(String),
+    /// An I/O failure, carried as a string to keep the error `Clone + Eq`.
+    Io(String),
+}
+
+impl fmt::Display for DtError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DtError::Decode(m) => write!(f, "decode error: {m}"),
+            DtError::Type { expected, got } => {
+                write!(f, "type error: expected {expected}, got {got}")
+            }
+            DtError::NotFound(m) => write!(f, "not found: {m}"),
+            DtError::AlreadyExists(m) => write!(f, "already exists: {m}"),
+            DtError::Invalid(m) => write!(f, "invalid input: {m}"),
+            DtError::Config(m) => write!(f, "configuration error: {m}"),
+            DtError::Io(m) => write!(f, "io error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for DtError {}
+
+impl From<std::io::Error> for DtError {
+    fn from(e: std::io::Error) -> Self {
+        DtError::Io(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_variant_context() {
+        let e = DtError::Type { expected: "int", got: "str" };
+        assert_eq!(e.to_string(), "type error: expected int, got str");
+        let e = DtError::NotFound("dt.instance".into());
+        assert!(e.to_string().contains("dt.instance"));
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        let e: DtError = io.into();
+        assert!(matches!(e, DtError::Io(_)));
+        assert!(e.to_string().contains("gone"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(DtError::Invalid("x".into()), DtError::Invalid("x".into()));
+        assert_ne!(DtError::Invalid("x".into()), DtError::Invalid("y".into()));
+    }
+}

@@ -1,0 +1,28 @@
+//! Core data model for the Data Tamer reproduction.
+//!
+//! This crate defines the dynamic value system ([`Value`]), hierarchical
+//! semi-structured documents ([`Document`]), the *flattening* step that turns
+//! hierarchical data into flat [`Record`]s (the paper's prerequisite before
+//! any Data Tamer processing), per-source schemas with statistical attribute
+//! profiles ([`SourceSchema`], [`AttributeProfile`]), and lexical type
+//! inference ([`infer::LexicalType`]).
+//!
+//! Everything downstream — the sharded storage engine, the schema-integration
+//! facility, entity consolidation, cleaning, and fusion — is built on these
+//! types.
+
+pub mod document;
+pub mod error;
+pub mod flatten;
+pub mod infer;
+pub mod record;
+pub mod schema;
+pub mod value;
+
+pub use document::Document;
+pub use error::{DtError, Result};
+pub use flatten::{flatten, ArrayMode, FlattenOptions};
+pub use infer::LexicalType;
+pub use record::{AttrId, Record, RecordId, SourceId};
+pub use schema::{AttributeDef, AttributeProfile, SourceSchema};
+pub use value::Value;

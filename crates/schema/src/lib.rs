@@ -1,0 +1,30 @@
+//! Schema integration facility.
+//!
+//! Data Tamer builds its global schema *bottom-up*: the first source's
+//! attributes seed the global schema; each later source is matched
+//! attribute-by-attribute against it with heuristic scores; high-confidence
+//! matches auto-accept, mid-confidence ones escalate to experts, and
+//! unmatched attributes are added as new global attributes or ignored
+//! (paper Figs 2–3).
+//!
+//! * [`global`] — the growing global schema with per-attribute merged
+//!   profiles and provenance.
+//! * [`synonyms`] — a domain synonym dictionary used by the name matcher.
+//! * [`matchers`] — the matcher ensemble: name, value-overlap,
+//!   distribution, and TF-IDF content matchers plus a weighted composite
+//!   (Data Tamer's "experts").
+//! * [`suggestion`] — match suggestions, scores, and decisions.
+//! * [`integrate`] — the integration loop with accept/escalate thresholds
+//!   and pluggable human resolution.
+
+pub mod global;
+pub mod integrate;
+pub mod matchers;
+pub mod suggestion;
+pub mod synonyms;
+
+pub use global::{GlobalAttribute, GlobalSchema};
+pub use integrate::{IntegrationConfig, IntegrationReport, SchemaIntegrator};
+pub use matchers::{CompositeMatcher, MatcherWeights};
+pub use suggestion::{Decision, MatchCandidate, MatchSuggestion};
+pub use synonyms::SynonymDict;

@@ -1,0 +1,363 @@
+//! The attribute matcher ensemble (Data Tamer's "experts").
+//!
+//! Each matcher scores a candidate `(source attribute, global attribute)`
+//! pair in `[0, 1]` from a different signal; the composite combines them.
+//! The per-pair scores these produce are the "heuristic matching scores" the
+//! paper's Figs 2–3 display next to each suggested match target.
+
+use std::collections::HashMap;
+
+use datatamer_model::{AttributeDef, LexicalType};
+use datatamer_sim as sim;
+
+use crate::global::GlobalAttribute;
+use crate::synonyms::SynonymDict;
+
+/// A matcher scores source-vs-global attribute pairs.
+pub trait AttributeMatcher {
+    /// Stable matcher name (for score breakdowns).
+    fn name(&self) -> &'static str;
+    /// Score in `[0, 1]`.
+    fn score(&self, source: &AttributeDef, global: &GlobalAttribute) -> f64;
+}
+
+/// Name-based matcher: Jaro-Winkler on the raw names blended with
+/// synonym-aware token-set similarity.
+#[derive(Debug, Clone)]
+pub struct NameMatcher {
+    synonyms: SynonymDict,
+}
+
+impl NameMatcher {
+    /// With a synonym dictionary.
+    pub fn new(synonyms: SynonymDict) -> Self {
+        NameMatcher { synonyms }
+    }
+}
+
+impl AttributeMatcher for NameMatcher {
+    fn name(&self) -> &'static str {
+        "name"
+    }
+
+    fn score(&self, source: &AttributeDef, global: &GlobalAttribute) -> f64 {
+        let a = source.name.to_lowercase();
+        let b = global.name.to_lowercase();
+        let jw = sim::jaro_winkler(&a, &b);
+        let ta = sim::tokenize(&source.name);
+        let tb = sim::tokenize(&global.name);
+        let syn = self.synonyms.token_similarity(&ta, &tb);
+        jw.max(syn) * 0.85 + jw.min(syn) * 0.15
+    }
+}
+
+/// Value-overlap matcher: weighted Jaccard between sampled value multisets.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ValueOverlapMatcher;
+
+impl AttributeMatcher for ValueOverlapMatcher {
+    fn name(&self) -> &'static str {
+        "value_overlap"
+    }
+
+    fn score(&self, source: &AttributeDef, global: &GlobalAttribute) -> f64 {
+        let to_map = |attr: &datatamer_model::AttributeProfile| -> HashMap<String, f64> {
+            attr.sample_values()
+                .iter()
+                .map(|v| (v.to_lowercase(), attr.sample_frequency(v) as f64))
+                .collect()
+        };
+        let a = to_map(&source.profile);
+        let b = to_map(&global.profile);
+        if a.is_empty() || b.is_empty() {
+            return 0.0;
+        }
+        sim::weighted_jaccard(&a, &b)
+    }
+}
+
+/// Distribution matcher: lexical-type agreement plus (for numeric columns)
+/// numeric-shape similarity and (for text) length-profile similarity.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DistributionMatcher;
+
+impl AttributeMatcher for DistributionMatcher {
+    fn name(&self) -> &'static str {
+        "distribution"
+    }
+
+    fn score(&self, source: &AttributeDef, global: &GlobalAttribute) -> f64 {
+        let ta = source.profile.dominant_type();
+        let tb = global.profile.dominant_type();
+        if ta == LexicalType::Null || tb == LexicalType::Null {
+            return 0.0;
+        }
+        let type_score = if ta == tb {
+            1.0
+        } else if ta.is_numeric() == tb.is_numeric() {
+            0.4
+        } else {
+            0.0
+        };
+        let shape_score = match (source.profile.numeric_stats(), global.profile.numeric_stats()) {
+            (Some(a), Some(b)) => {
+                sim::stats_similarity(a.mean, a.std, a.min, a.max, b.mean, b.std, b.min, b.max)
+            }
+            (None, None) => {
+                sim::relative_diff_similarity(source.profile.mean_len(), global.profile.mean_len())
+            }
+            _ => 0.0,
+        };
+        0.55 * type_score + 0.45 * shape_score
+    }
+}
+
+/// TF-IDF content matcher: cosine between the token bags of the sampled
+/// values, with IDF fitted over all attributes seen so far.
+#[derive(Debug, Clone, Default)]
+pub struct TfIdfMatcher {
+    model: sim::CosineModel,
+}
+
+impl TfIdfMatcher {
+    /// Fit IDF weights over attribute value-bags (one "document" per
+    /// attribute). Called by the integrator whenever the global schema grows.
+    pub fn fit(attribute_value_texts: &[String]) -> Self {
+        TfIdfMatcher { model: sim::CosineModel::fit_texts(attribute_value_texts) }
+    }
+}
+
+/// Concatenated sample values as one text per attribute.
+pub fn value_bag(profile: &datatamer_model::AttributeProfile) -> String {
+    profile.sample_values().join(" ")
+}
+
+impl AttributeMatcher for TfIdfMatcher {
+    fn name(&self) -> &'static str {
+        "tfidf"
+    }
+
+    fn score(&self, source: &AttributeDef, global: &GlobalAttribute) -> f64 {
+        let a = value_bag(&source.profile);
+        let b = value_bag(&global.profile);
+        if a.is_empty() || b.is_empty() {
+            return 0.0;
+        }
+        self.model.similarity(&a, &b)
+    }
+}
+
+/// Weights for the composite matcher.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MatcherWeights {
+    pub name: f64,
+    pub value_overlap: f64,
+    pub distribution: f64,
+    pub tfidf: f64,
+}
+
+impl Default for MatcherWeights {
+    fn default() -> Self {
+        MatcherWeights { name: 0.42, value_overlap: 0.22, distribution: 0.16, tfidf: 0.20 }
+    }
+}
+
+impl MatcherWeights {
+    fn total(&self) -> f64 {
+        self.name + self.value_overlap + self.distribution + self.tfidf
+    }
+}
+
+/// The weighted ensemble of all matchers.
+pub struct CompositeMatcher {
+    name_matcher: NameMatcher,
+    value_matcher: ValueOverlapMatcher,
+    dist_matcher: DistributionMatcher,
+    tfidf_matcher: TfIdfMatcher,
+    weights: MatcherWeights,
+}
+
+impl CompositeMatcher {
+    /// Build with default weights and the Broadway synonym dictionary.
+    pub fn broadway() -> Self {
+        Self::new(SynonymDict::broadway(), MatcherWeights::default())
+    }
+
+    /// Build with explicit pieces.
+    pub fn new(synonyms: SynonymDict, weights: MatcherWeights) -> Self {
+        assert!(weights.total() > 0.0, "weights must not all be zero");
+        CompositeMatcher {
+            name_matcher: NameMatcher::new(synonyms),
+            value_matcher: ValueOverlapMatcher,
+            dist_matcher: DistributionMatcher,
+            tfidf_matcher: TfIdfMatcher::default(),
+            weights,
+        }
+    }
+
+    /// Refresh the TF-IDF model against the current global schema's value
+    /// bags (IDF drifts as the schema grows bottom-up).
+    pub fn refit_tfidf(&mut self, global: &crate::global::GlobalSchema) {
+        let bags: Vec<String> = global.iter().map(|a| value_bag(&a.profile)).collect();
+        self.tfidf_matcher = TfIdfMatcher::fit(&bags);
+    }
+
+    /// The combined score.
+    ///
+    /// A pair is credible when **either** the names agree strongly (synonym
+    /// dictionaries, abbreviations) **or** the contents overlap strongly
+    /// (shared value domains) — averaging the two starves both signals:
+    /// price columns have near-zero value overlap across sources even when
+    /// the names are exact synonyms. The composite therefore takes the max
+    /// of a name-led blend and a content-led blend, each seasoned with the
+    /// distribution signal, and then folds in the configured weights as a
+    /// tilt between the two blends.
+    pub fn score(&self, source: &AttributeDef, global: &GlobalAttribute) -> f64 {
+        let name = self.name_matcher.score(source, global);
+        let value = self.value_matcher.score(source, global);
+        let dist = self.dist_matcher.score(source, global);
+        let tfidf = self.tfidf_matcher.score(source, global);
+        let name_led = 0.80 * name + 0.20 * dist;
+        let content_led = 0.45 * value + 0.30 * tfidf + 0.25 * dist;
+        let w = &self.weights;
+        let name_share = (w.name + w.distribution / 2.0) / w.total();
+        let content_share = 1.0 - name_share;
+        // The dominant blend carries the score; the weaker blend
+        // contributes proportionally to its configured share.
+        if name_led >= content_led {
+            name_led.max(name_led * name_share + content_led * content_share)
+        } else {
+            content_led.max(content_led * content_share + name_led * name_share)
+        }
+    }
+
+    /// Per-matcher score breakdown `(matcher name, score)`.
+    pub fn breakdown(&self, source: &AttributeDef, global: &GlobalAttribute) -> Vec<(&'static str, f64)> {
+        vec![
+            (self.name_matcher.name(), self.name_matcher.score(source, global)),
+            (self.value_matcher.name(), self.value_matcher.score(source, global)),
+            (self.dist_matcher.name(), self.dist_matcher.score(source, global)),
+            (self.tfidf_matcher.name(), self.tfidf_matcher.score(source, global)),
+        ]
+    }
+
+    /// The active weights.
+    pub fn weights(&self) -> MatcherWeights {
+        self.weights
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::global::GlobalSchema;
+    use datatamer_model::{Record, RecordId, SourceId, SourceSchema, Value};
+
+    fn attr(name: &str, values: &[&str]) -> AttributeDef {
+        let sid = SourceId(1);
+        let records: Vec<Record> = values
+            .iter()
+            .enumerate()
+            .map(|(i, v)| Record::from_pairs(sid, RecordId(i as u64), vec![(name, Value::from(*v))]))
+            .collect();
+        let schema = SourceSchema::profile_records(sid, "s", &records);
+        schema.attributes[0].clone()
+    }
+
+    fn globalize(a: &AttributeDef) -> GlobalAttribute {
+        let mut g = GlobalSchema::new();
+        let id = g.add_attribute(SourceId(0), a);
+        g.get(id).unwrap().clone()
+    }
+
+    #[test]
+    fn name_matcher_uses_synonyms() {
+        let m = NameMatcher::new(SynonymDict::broadway());
+        let price = attr("price", &["$27"]);
+        let cost = globalize(&attr("cost", &["$30"]));
+        let venue = globalize(&attr("venue", &["Shubert"]));
+        assert!(m.score(&price, &cost) > 0.8, "synonyms must score high");
+        assert!(m.score(&price, &venue) < 0.5);
+        let exact = globalize(&attr("price", &["$1"]));
+        assert!(m.score(&price, &exact) > 0.99);
+    }
+
+    #[test]
+    fn value_overlap_detects_shared_domains() {
+        let m = ValueOverlapMatcher;
+        let a = attr("show", &["Matilda", "Wicked", "Annie", "Pippin"]);
+        let b = globalize(&attr("title", &["Matilda", "Wicked", "Chicago", "Annie"]));
+        let c = globalize(&attr("venue", &["Shubert", "Gershwin", "Palace"]));
+        assert!(m.score(&a, &b) > 0.4, "shared shows overlap");
+        assert_eq!(m.score(&a, &c), 0.0, "disjoint domains");
+    }
+
+    #[test]
+    fn distribution_matcher_separates_types() {
+        let m = DistributionMatcher;
+        let price_a = attr("p1", &["$20", "$45", "$99"]);
+        let price_b = globalize(&attr("p2", &["$25", "$50", "$110"]));
+        let text = globalize(&attr("desc", &["a lovely show", "great fun tonight"]));
+        assert!(m.score(&price_a, &price_b) > 0.6);
+        assert!(m.score(&price_a, &text) < 0.3);
+        let empty = AttributeDef {
+            name: "empty".into(),
+            profile: datatamer_model::AttributeProfile::default(),
+        };
+        assert_eq!(m.score(&empty, &price_b), 0.0);
+    }
+
+    #[test]
+    fn distribution_matcher_separates_ranges() {
+        let m = DistributionMatcher;
+        // Same lexical type (integer) but disjoint ranges: years vs seats.
+        let years = attr("year", &["2010", "2011", "2012", "2013"]);
+        let seats = globalize(&attr("seats", &["400", "900", "1500", "1800"]));
+        let years2 = globalize(&attr("yr", &["2009", "2012", "2014"]));
+        assert!(m.score(&years, &years2) > m.score(&years, &seats));
+    }
+
+    #[test]
+    fn tfidf_matcher_scores_content() {
+        let a = attr("addr1", &["225 W. 44th St", "219 W. 49th St"]);
+        let b = globalize(&attr("addr2", &["225 W. 44th St", "1634 Broadway"]));
+        let c = globalize(&attr("names", &["Matilda", "Annie"]));
+        let bags = vec![
+            value_bag(&a.profile),
+            value_bag(&b.profile),
+            value_bag(&c.profile),
+        ];
+        let m = TfIdfMatcher::fit(&bags);
+        assert!(m.score(&a, &b) > m.score(&a, &c));
+    }
+
+    #[test]
+    fn composite_prefers_true_match() {
+        let mut composite = CompositeMatcher::broadway();
+        let mut g = GlobalSchema::new();
+        let show = attr("show_name", &["Matilda", "Wicked", "Annie"]);
+        let price = attr("cheapest_price", &["$27", "$45", "$99"]);
+        g.add_attribute(SourceId(0), &show);
+        g.add_attribute(SourceId(0), &price);
+        composite.refit_tfidf(&g);
+        let incoming_title = attr("title", &["Matilda", "Pippin", "Wicked"]);
+        let g_show = g.by_name("show_name").unwrap();
+        let g_price = g.by_name("cheapest_price").unwrap();
+        let to_show = composite.score(&incoming_title, g_show);
+        let to_price = composite.score(&incoming_title, g_price);
+        assert!(to_show > to_price, "title→show_name must beat title→price ({to_show} vs {to_price})");
+        assert!(to_show > 0.5);
+        let breakdown = composite.breakdown(&incoming_title, g_show);
+        assert_eq!(breakdown.len(), 4);
+        assert!(breakdown.iter().all(|(_, s)| (0.0..=1.0).contains(s)));
+    }
+
+    #[test]
+    #[should_panic(expected = "weights")]
+    fn zero_weights_panic() {
+        CompositeMatcher::new(
+            SynonymDict::new(),
+            MatcherWeights { name: 0.0, value_overlap: 0.0, distribution: 0.0, tfidf: 0.0 },
+        );
+    }
+}

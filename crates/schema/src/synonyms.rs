@@ -1,0 +1,142 @@
+//! Domain synonym dictionary for attribute-name matching.
+//!
+//! Attribute names across scraped sources rarely share spellings ("price" /
+//! "cost" / "fare"); a synonym dictionary lets the name matcher credit these
+//! as matches. Sets are symmetric and transitive within a group.
+
+use std::collections::HashMap;
+
+/// A token-level synonym dictionary (union-find-free: small fixed groups).
+#[derive(Debug, Clone, Default)]
+pub struct SynonymDict {
+    /// token → group id
+    groups: HashMap<String, u32>,
+    next_group: u32,
+}
+
+impl SynonymDict {
+    /// An empty dictionary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The built-in dictionary for the Broadway / web-text domain.
+    pub fn broadway() -> Self {
+        let mut d = SynonymDict::new();
+        d.add_group(&["show", "title", "production", "name", "movie"]);
+        d.add_group(&["theater", "theatre", "venue", "location", "house", "hall"]);
+        d.add_group(&["performance", "schedule", "showtimes", "times", "curtain"]);
+        d.add_group(&["price", "cost", "fare", "ticket", "fee"]);
+        d.add_group(&["cheapest", "lowest", "minimum", "from"]);
+        d.add_group(&["first", "opening", "premiere", "debut"]);
+        d.add_group(&["discount", "deal", "savings", "promo"]);
+        d.add_group(&["city", "market", "town"]);
+        d.add_group(&["runtime", "duration", "length"]);
+        d.add_group(&["rating", "stars", "score"]);
+        d.add_group(&["capacity", "seats", "seating"]);
+        d.add_group(&["phone", "telephone"]);
+        d.add_group(&["website", "url", "link", "web"]);
+        d.add_group(&["date", "day"]);
+        d.add_group(&["feed", "fragment", "text", "excerpt"]);
+        d
+    }
+
+    /// Register a synonym group (lowercased).
+    pub fn add_group<S: AsRef<str>>(&mut self, tokens: &[S]) {
+        // If any token already belongs to a group, merge into that group.
+        let existing = tokens
+            .iter()
+            .find_map(|t| self.groups.get(&t.as_ref().to_lowercase()).copied());
+        let gid = existing.unwrap_or_else(|| {
+            let g = self.next_group;
+            self.next_group += 1;
+            g
+        });
+        for t in tokens {
+            self.groups.insert(t.as_ref().to_lowercase(), gid);
+        }
+    }
+
+    /// True when two tokens are the same or registered synonyms.
+    pub fn are_synonyms(&self, a: &str, b: &str) -> bool {
+        let (a, b) = (a.to_lowercase(), b.to_lowercase());
+        if a == b {
+            return true;
+        }
+        match (self.groups.get(&a), self.groups.get(&b)) {
+            (Some(x), Some(y)) => x == y,
+            _ => false,
+        }
+    }
+
+    /// Token-set similarity with synonym credit: greedy best-match of each
+    /// token of `a` against tokens of `b` (1.0 exact/synonym), normalised
+    /// with a containment bias — `"cost"` fully contained in
+    /// `"cheapest_price"`'s synonym set should score high even though the
+    /// token counts differ (attribute names are routinely abbreviated).
+    pub fn token_similarity(&self, a_tokens: &[String], b_tokens: &[String]) -> f64 {
+        if a_tokens.is_empty() && b_tokens.is_empty() {
+            return 1.0;
+        }
+        if a_tokens.is_empty() || b_tokens.is_empty() {
+            return 0.0;
+        }
+        let mut used = vec![false; b_tokens.len()];
+        let mut matched = 0usize;
+        for ta in a_tokens {
+            if let Some(pos) = b_tokens
+                .iter()
+                .enumerate()
+                .position(|(j, tb)| !used[j] && self.are_synonyms(ta, tb))
+            {
+                used[pos] = true;
+                matched += 1;
+            }
+        }
+        let small = a_tokens.len().min(b_tokens.len()) as f64;
+        let large = a_tokens.len().max(b_tokens.len()) as f64;
+        0.75 * (matched as f64 / small) + 0.25 * (matched as f64 / large)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtin_groups_work() {
+        let d = SynonymDict::broadway();
+        assert!(d.are_synonyms("price", "cost"));
+        assert!(d.are_synonyms("theater", "venue"));
+        assert!(d.are_synonyms("Theatre", "THEATER"), "case-insensitive");
+        assert!(!d.are_synonyms("price", "theater"));
+        assert!(d.are_synonyms("xyzzy", "xyzzy"), "identity without registration");
+        assert!(!d.are_synonyms("xyzzy", "plugh"));
+    }
+
+    #[test]
+    fn add_group_merges_overlapping() {
+        let mut d = SynonymDict::new();
+        d.add_group(&["a", "b"]);
+        d.add_group(&["b", "c"]);
+        assert!(d.are_synonyms("a", "c"), "transitive through shared token");
+    }
+
+    #[test]
+    fn token_similarity_counts_synonym_matches() {
+        let d = SynonymDict::broadway();
+        let toks = |s: &str| -> Vec<String> {
+            s.split_whitespace().map(str::to_owned).collect()
+        };
+        assert_eq!(d.token_similarity(&toks("ticket price"), &toks("price ticket")), 1.0);
+        assert_eq!(d.token_similarity(&toks("cheapest price"), &toks("lowest cost")), 1.0);
+        // "show" matches "title" (synonyms); "name" has no partner left.
+        // Containment bias: 0.75·(1/1) + 0.25·(1/2) = 0.875.
+        assert!((d.token_similarity(&toks("show name"), &toks("title")) - 0.875).abs() < 1e-9);
+        // Full containment of the abbreviation scores high.
+        assert!(d.token_similarity(&toks("cost"), &toks("cheapest price")) > 0.85);
+        assert_eq!(d.token_similarity(&toks("price"), &toks("venue")), 0.0);
+        assert_eq!(d.token_similarity(&[], &[]), 1.0);
+        assert_eq!(d.token_similarity(&toks("x"), &[]), 0.0);
+    }
+}

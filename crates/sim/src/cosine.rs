@@ -1,0 +1,195 @@
+//! TF-IDF weighted cosine similarity between token bags.
+//!
+//! Used by the content-based schema matcher: each attribute's sampled values
+//! form a token bag; IDF weights are learned over the corpus of attributes so
+//! that ubiquitous tokens ("the", "st", "new") stop dominating scores.
+
+use std::collections::HashMap;
+
+use crate::tokens::tokenize;
+
+/// Inverse document frequency weights learned from a corpus of documents
+/// (each document = one token bag).
+#[derive(Debug, Clone, Default)]
+pub struct TfIdfWeights {
+    idf: HashMap<String, f64>,
+    num_docs: usize,
+}
+
+impl TfIdfWeights {
+    /// Fit IDF weights on an iterator of documents (token slices).
+    pub fn fit<'a, I, D>(docs: I) -> Self
+    where
+        I: IntoIterator<Item = D>,
+        D: IntoIterator<Item = &'a str>,
+    {
+        let mut df: HashMap<String, usize> = HashMap::new();
+        let mut num_docs = 0usize;
+        for doc in docs {
+            num_docs += 1;
+            let mut seen: Vec<&str> = Vec::new();
+            for tok in doc {
+                if !seen.contains(&tok) {
+                    seen.push(tok);
+                    *df.entry(tok.to_owned()).or_insert(0) += 1;
+                }
+            }
+        }
+        let idf = df
+            .into_iter()
+            .map(|(tok, d)| {
+                // Smoothed IDF, always positive.
+                let w = ((1.0 + num_docs as f64) / (1.0 + d as f64)).ln() + 1.0;
+                (tok, w)
+            })
+            .collect();
+        TfIdfWeights { idf, num_docs }
+    }
+
+    /// Number of documents the weights were fitted on.
+    pub fn num_docs(&self) -> usize {
+        self.num_docs
+    }
+
+    /// IDF weight for a token; unseen tokens get the maximum-rarity weight.
+    pub fn idf(&self, token: &str) -> f64 {
+        match self.idf.get(token) {
+            Some(w) => *w,
+            None => ((1.0 + self.num_docs as f64) / 1.0).ln() + 1.0,
+        }
+    }
+}
+
+/// A reusable TF-IDF vectoriser + cosine scorer.
+#[derive(Debug, Clone, Default)]
+pub struct CosineModel {
+    weights: TfIdfWeights,
+}
+
+impl CosineModel {
+    /// Build from pre-fitted weights.
+    pub fn new(weights: TfIdfWeights) -> Self {
+        CosineModel { weights }
+    }
+
+    /// Fit IDF weights over raw text documents.
+    pub fn fit_texts<S: AsRef<str>>(texts: &[S]) -> Self {
+        let tokenized: Vec<Vec<String>> =
+            texts.iter().map(|t| tokenize(t.as_ref())).collect();
+        let weights = TfIdfWeights::fit(
+            tokenized.iter().map(|toks| toks.iter().map(String::as_str)),
+        );
+        CosineModel { weights }
+    }
+
+    /// TF-IDF vector of a token slice (L2-normalised).
+    pub fn vectorize(&self, tokens: &[String]) -> HashMap<String, f64> {
+        let mut tf: HashMap<String, f64> = HashMap::new();
+        for t in tokens {
+            *tf.entry(t.clone()).or_insert(0.0) += 1.0;
+        }
+        let mut norm = 0.0;
+        for (tok, f) in tf.iter_mut() {
+            // Sub-linear TF damping.
+            *f = (1.0 + f.ln()) * self.weights.idf(tok);
+            norm += *f * *f;
+        }
+        let norm = norm.sqrt();
+        if norm > 0.0 {
+            for f in tf.values_mut() {
+                *f /= norm;
+            }
+        }
+        tf
+    }
+
+    /// Cosine similarity of two raw texts under the fitted weights.
+    pub fn similarity(&self, a: &str, b: &str) -> f64 {
+        let va = self.vectorize(&tokenize(a));
+        let vb = self.vectorize(&tokenize(b));
+        dot(&va, &vb).clamp(0.0, 1.0)
+    }
+
+    /// Cosine similarity of two pre-tokenised bags.
+    pub fn similarity_tokens(&self, a: &[String], b: &[String]) -> f64 {
+        dot(&self.vectorize(a), &self.vectorize(b)).clamp(0.0, 1.0)
+    }
+}
+
+fn dot(a: &HashMap<String, f64>, b: &HashMap<String, f64>) -> f64 {
+    // Iterate the smaller map.
+    let (small, large) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    small
+        .iter()
+        .filter_map(|(k, va)| large.get(k).map(|vb| va * vb))
+        .sum()
+}
+
+/// Plain (unweighted) cosine similarity between two texts — useful before
+/// any corpus exists to fit IDF on.
+pub fn plain_cosine(a: &str, b: &str) -> f64 {
+    let model = CosineModel::default();
+    model.similarity(a, b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_texts_score_one() {
+        let m = CosineModel::fit_texts(&["the shubert theatre", "broadway shows"]);
+        assert!((m.similarity("Matilda at the Shubert", "Matilda at the Shubert") - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn disjoint_texts_score_zero() {
+        let m = CosineModel::default();
+        assert_eq!(m.similarity("alpha beta", "gamma delta"), 0.0);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let m = CosineModel::default();
+        assert_eq!(m.similarity("", ""), 0.0);
+        assert_eq!(m.similarity("x", ""), 0.0);
+    }
+
+    #[test]
+    fn idf_downweights_common_tokens() {
+        // "theatre" appears in every doc; "matilda" in one.
+        let docs = vec![
+            "shubert theatre",
+            "ambassador theatre",
+            "gershwin theatre",
+            "matilda theatre",
+        ];
+        let m = CosineModel::fit_texts(&docs);
+        // Sharing only the common token scores below sharing the rare one.
+        let common_only = m.similarity("shubert theatre", "gershwin theatre");
+        let rare_shared = m.similarity("matilda musical", "matilda show");
+        assert!(rare_shared > common_only, "{rare_shared} vs {common_only}");
+    }
+
+    #[test]
+    fn unseen_tokens_get_max_idf() {
+        let m = CosineModel::fit_texts(&["a b", "a c"]);
+        let w = m.weights.idf("zzz");
+        assert!(w >= m.weights.idf("a"));
+        assert_eq!(m.weights.num_docs(), 2);
+    }
+
+    #[test]
+    fn symmetry_and_bounds() {
+        let m = CosineModel::fit_texts(&["w 44th st", "b'way and 53rd"]);
+        let s1 = m.similarity("225 W. 44th St", "W 44th Street");
+        let s2 = m.similarity("W 44th Street", "225 W. 44th St");
+        assert!((s1 - s2).abs() < 1e-12);
+        assert!((0.0..=1.0).contains(&s1));
+    }
+
+    #[test]
+    fn plain_cosine_works_without_fit() {
+        assert!(plain_cosine("show name", "name of show") > 0.5);
+    }
+}

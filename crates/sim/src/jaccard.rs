@@ -1,0 +1,99 @@
+//! Jaccard set similarity over token sets.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::Hash;
+
+/// Jaccard similarity `|A ∩ B| / |A ∪ B|`; `1.0` when both sets are empty.
+pub fn jaccard<T: Eq + Hash>(a: &HashSet<T>, b: &HashSet<T>) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    let inter = a.intersection(b).count();
+    let union = a.len() + b.len() - inter;
+    inter as f64 / union as f64
+}
+
+/// Weighted (multiset) Jaccard: `Σ min(fa, fb) / Σ max(fa, fb)` over the
+/// union of keys. Robust when token frequency matters (value-overlap
+/// matching between columns with repeated values).
+pub fn weighted_jaccard<T: Eq + Hash>(a: &HashMap<T, f64>, b: &HashMap<T, f64>) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    let mut num = 0.0;
+    let mut den = 0.0;
+    for (k, fa) in a {
+        let fb = b.get(k).copied().unwrap_or(0.0);
+        num += fa.min(fb);
+        den += fa.max(fb);
+    }
+    for (k, fb) in b {
+        if !a.contains_key(k) {
+            den += fb;
+        }
+    }
+    if den == 0.0 {
+        return 1.0;
+    }
+    num / den
+}
+
+/// Convenience: Jaccard over the token sets of two strings.
+pub fn token_jaccard(a: &str, b: &str) -> f64 {
+    let sa: HashSet<String> = crate::tokens::tokenize(a).into_iter().collect();
+    let sb: HashSet<String> = crate::tokens::tokenize(b).into_iter().collect();
+    jaccard(&sa, &sb)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(items: &[&str]) -> HashSet<String> {
+        items.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn basic_overlap() {
+        let a = set(&["a", "b", "c"]);
+        let b = set(&["b", "c", "d"]);
+        assert!((jaccard(&a, &b) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn identity_disjoint_empty() {
+        let a = set(&["x"]);
+        assert_eq!(jaccard(&a, &a), 1.0);
+        assert_eq!(jaccard(&a, &set(&["y"])), 0.0);
+        assert_eq!(jaccard::<String>(&HashSet::new(), &HashSet::new()), 1.0);
+        assert_eq!(jaccard(&a, &HashSet::new()), 0.0);
+    }
+
+    #[test]
+    fn weighted_uses_frequencies() {
+        let mut a = HashMap::new();
+        a.insert("x", 2.0);
+        a.insert("y", 1.0);
+        let mut b = HashMap::new();
+        b.insert("x", 1.0);
+        b.insert("z", 1.0);
+        // min sums: x->1; max sums: x->2, y->1, z->1 => 1/4
+        assert!((weighted_jaccard(&a, &b) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_empty_and_zero() {
+        let empty: HashMap<&str, f64> = HashMap::new();
+        assert_eq!(weighted_jaccard(&empty, &empty), 1.0);
+        let mut z = HashMap::new();
+        z.insert("x", 0.0);
+        assert_eq!(weighted_jaccard(&z, &z), 1.0);
+    }
+
+    #[test]
+    fn token_jaccard_normalizes_case_and_punct() {
+        assert_eq!(token_jaccard("Show Name", "show_name"), 1.0);
+        assert!(token_jaccard("cheapest price", "price") > 0.4);
+        assert_eq!(token_jaccard("abc", "xyz"), 0.0);
+    }
+}

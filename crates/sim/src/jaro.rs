@@ -1,0 +1,118 @@
+//! Jaro and Jaro-Winkler similarity.
+//!
+//! Jaro-Winkler is the workhorse for short name-like strings (show titles,
+//! person names, attribute names): it is tolerant of transpositions and
+//! rewards common prefixes, which suits typo-style dirt.
+
+/// Jaro similarity in `[0, 1]`.
+pub fn jaro(a: &str, b: &str) -> f64 {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    let window = (a.len().max(b.len()) / 2).saturating_sub(1);
+    let mut b_used = vec![false; b.len()];
+    let mut matches = 0usize;
+    let mut a_matched: Vec<char> = Vec::new();
+    for (i, ca) in a.iter().enumerate() {
+        let lo = i.saturating_sub(window);
+        let hi = (i + window + 1).min(b.len());
+        for j in lo..hi {
+            if !b_used[j] && b[j] == *ca {
+                b_used[j] = true;
+                matches += 1;
+                a_matched.push(*ca);
+                break;
+            }
+        }
+    }
+    if matches == 0 {
+        return 0.0;
+    }
+    let b_matched: Vec<char> = b
+        .iter()
+        .zip(b_used.iter())
+        .filter_map(|(c, used)| used.then_some(*c))
+        .collect();
+    let transpositions = a_matched
+        .iter()
+        .zip(b_matched.iter())
+        .filter(|(x, y)| x != y)
+        .count()
+        / 2;
+    let m = matches as f64;
+    (m / a.len() as f64 + m / b.len() as f64 + (m - transpositions as f64) / m) / 3.0
+}
+
+/// Jaro-Winkler similarity with standard prefix scale 0.1 and prefix cap 4.
+pub fn jaro_winkler(a: &str, b: &str) -> f64 {
+    let j = jaro(a, b);
+    let prefix = a
+        .chars()
+        .zip(b.chars())
+        .take(4)
+        .take_while(|(x, y)| x == y)
+        .count();
+    (j + prefix as f64 * 0.1 * (1.0 - j)).min(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-3
+    }
+
+    #[test]
+    fn textbook_jaro() {
+        assert!(close(jaro("MARTHA", "MARHTA"), 0.944));
+        assert!(close(jaro("DIXON", "DICKSONX"), 0.767));
+        assert!(close(jaro("JELLYFISH", "SMELLYFISH"), 0.896));
+    }
+
+    #[test]
+    fn textbook_jaro_winkler() {
+        assert!(close(jaro_winkler("MARTHA", "MARHTA"), 0.961));
+        assert!(close(jaro_winkler("DIXON", "DICKSONX"), 0.813));
+    }
+
+    #[test]
+    fn identity_and_disjoint() {
+        assert_eq!(jaro("abc", "abc"), 1.0);
+        assert_eq!(jaro("", ""), 1.0);
+        assert_eq!(jaro("abc", ""), 0.0);
+        assert_eq!(jaro("abc", "xyz"), 0.0);
+        assert_eq!(jaro_winkler("abc", "abc"), 1.0);
+    }
+
+    #[test]
+    fn symmetric() {
+        let pairs = [("Matilda", "Mathilda"), ("Shubert", "Schubert"), ("a", "ab")];
+        for (x, y) in pairs {
+            assert!(close(jaro(x, y), jaro(y, x)));
+            assert!(close(jaro_winkler(x, y), jaro_winkler(y, x)));
+        }
+    }
+
+    #[test]
+    fn winkler_rewards_prefix() {
+        // Same Jaro, different shared prefix -> JW prefers the prefix match.
+        let with_prefix = jaro_winkler("theater", "theatre");
+        let plain = jaro("theater", "theatre");
+        assert!(with_prefix >= plain);
+        assert!(jaro_winkler("prefix_abc", "prefix_xyz") > jaro("prefix_abc", "prefix_xyz"));
+    }
+
+    #[test]
+    fn bounded_in_unit_interval() {
+        for (x, y) in [("Matilda", "The Wolverine"), ("", "x"), ("aa", "aaaa")] {
+            let s = jaro_winkler(x, y);
+            assert!((0.0..=1.0).contains(&s), "{x} {y} -> {s}");
+        }
+    }
+}

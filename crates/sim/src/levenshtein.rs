@@ -1,0 +1,116 @@
+//! Levenshtein edit distance.
+
+/// Classic Levenshtein distance (insert / delete / substitute, unit cost),
+/// computed over Unicode scalar values with a two-row rolling buffer.
+pub fn levenshtein(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.is_empty() {
+        return b.len();
+    }
+    if b.is_empty() {
+        return a.len();
+    }
+    // Keep the inner loop over the shorter string for cache friendliness.
+    let (short, long) = if a.len() <= b.len() { (&a, &b) } else { (&b, &a) };
+    let mut prev: Vec<usize> = (0..=short.len()).collect();
+    let mut cur = vec![0usize; short.len() + 1];
+    for (i, lc) in long.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, sc) in short.iter().enumerate() {
+            let sub = prev[j] + usize::from(lc != sc);
+            cur[j + 1] = sub.min(prev[j + 1] + 1).min(cur[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[short.len()]
+}
+
+/// Levenshtein distance with an early-exit bound: returns `None` as soon as
+/// the distance is guaranteed to exceed `max`. Much faster for blocking-time
+/// filtering where most pairs are far apart.
+pub fn bounded_levenshtein(a: &str, b: &str, max: usize) -> Option<usize> {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.len().abs_diff(b.len()) > max {
+        return None;
+    }
+    if a.is_empty() {
+        return Some(b.len());
+    }
+    if b.is_empty() {
+        return Some(a.len());
+    }
+    let (short, long) = if a.len() <= b.len() { (&a, &b) } else { (&b, &a) };
+    let mut prev: Vec<usize> = (0..=short.len()).collect();
+    let mut cur = vec![0usize; short.len() + 1];
+    for (i, lc) in long.iter().enumerate() {
+        cur[0] = i + 1;
+        let mut row_min = cur[0];
+        for (j, sc) in short.iter().enumerate() {
+            let sub = prev[j] + usize::from(lc != sc);
+            cur[j + 1] = sub.min(prev[j + 1] + 1).min(cur[j] + 1);
+            row_min = row_min.min(cur[j + 1]);
+        }
+        if row_min > max {
+            return None;
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    let d = prev[short.len()];
+    (d <= max).then_some(d)
+}
+
+/// Normalised Levenshtein similarity: `1 - distance / max_len`, and `1.0`
+/// when both strings are empty.
+pub fn levenshtein_similarity(a: &str, b: &str) -> f64 {
+    let max_len = a.chars().count().max(b.chars().count());
+    if max_len == 0 {
+        return 1.0;
+    }
+    1.0 - levenshtein(a, b) as f64 / max_len as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn textbook_cases() {
+        assert_eq!(levenshtein("kitten", "sitting"), 3);
+        assert_eq!(levenshtein("flaw", "lawn"), 2);
+        assert_eq!(levenshtein("", ""), 0);
+        assert_eq!(levenshtein("abc", ""), 3);
+        assert_eq!(levenshtein("", "abc"), 3);
+        assert_eq!(levenshtein("same", "same"), 0);
+    }
+
+    #[test]
+    fn unicode_counts_scalars() {
+        assert_eq!(levenshtein("café", "cafe"), 1);
+        assert_eq!(levenshtein("€27", "$27"), 1);
+    }
+
+    #[test]
+    fn symmetric() {
+        assert_eq!(levenshtein("theater", "theatre"), levenshtein("theatre", "theater"));
+    }
+
+    #[test]
+    fn bounded_matches_exact_within_bound() {
+        assert_eq!(bounded_levenshtein("kitten", "sitting", 3), Some(3));
+        assert_eq!(bounded_levenshtein("kitten", "sitting", 2), None);
+        assert_eq!(bounded_levenshtein("abc", "xyzabc", 2), None); // length gap
+        assert_eq!(bounded_levenshtein("", "ab", 2), Some(2));
+        assert_eq!(bounded_levenshtein("same", "same", 0), Some(0));
+    }
+
+    #[test]
+    fn similarity_normalises() {
+        assert_eq!(levenshtein_similarity("", ""), 1.0);
+        assert_eq!(levenshtein_similarity("abc", "abc"), 1.0);
+        assert_eq!(levenshtein_similarity("abc", "xyz"), 0.0);
+        let s = levenshtein_similarity("theater", "theatre");
+        assert!(s > 0.7 && s < 1.0);
+    }
+}

@@ -1,0 +1,265 @@
+//! MinHash signatures and banded LSH for candidate generation.
+//!
+//! Entity consolidation at web scale cannot compare all pairs; Data Tamer
+//! blocks candidates first. MinHash LSH gives near-neighbour candidates in
+//! Jaccard space: records whose token sets are similar land in the same
+//! band bucket with high probability.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// 64-bit FNV-1a, seeded by XOR-folding the seed into the offset basis.
+/// Hand-rolled so the signature scheme has zero dependencies and is stable
+/// across platforms and runs.
+fn fnv1a_seeded(bytes: &[u8], seed: u64) -> u64 {
+    let mut h = 0xcbf29ce484222325u64 ^ seed.wrapping_mul(0x9e3779b97f4a7c15);
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    // Final avalanche (splitmix64 tail) to decorrelate the seeds.
+    h ^= h >> 30;
+    h = h.wrapping_mul(0xbf58476d1ce4e5b9);
+    h ^= h >> 27;
+    h = h.wrapping_mul(0x94d049bb133111eb);
+    h ^ (h >> 31)
+}
+
+/// A MinHash signature: one minimum per hash function.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Signature(pub Vec<u64>);
+
+impl Signature {
+    /// Estimated Jaccard similarity: fraction of agreeing components.
+    pub fn estimate_jaccard(&self, other: &Signature) -> f64 {
+        assert_eq!(
+            self.0.len(),
+            other.0.len(),
+            "signatures must come from the same MinHasher"
+        );
+        if self.0.is_empty() {
+            return 0.0;
+        }
+        let agree = self.0.iter().zip(&other.0).filter(|(a, b)| a == b).count();
+        agree as f64 / self.0.len() as f64
+    }
+}
+
+/// Computes MinHash signatures with `k` seeded hash functions.
+#[derive(Debug, Clone)]
+pub struct MinHasher {
+    seeds: Vec<u64>,
+}
+
+impl MinHasher {
+    /// Create a hasher with `k` hash functions derived from `seed`.
+    pub fn new(k: usize, seed: u64) -> Self {
+        let seeds = (0..k as u64)
+            .map(|i| seed.wrapping_add(i.wrapping_mul(0x9e3779b97f4a7c15)).wrapping_add(1))
+            .collect();
+        MinHasher { seeds }
+    }
+
+    /// Number of hash functions (signature length).
+    pub fn k(&self) -> usize {
+        self.seeds.len()
+    }
+
+    /// Signature of a token set. An empty set yields an all-`u64::MAX`
+    /// signature (which never collides with non-empty ones except by chance).
+    pub fn signature<S: AsRef<str>>(&self, tokens: &[S]) -> Signature {
+        let mut mins = vec![u64::MAX; self.seeds.len()];
+        for t in tokens {
+            let bytes = t.as_ref().as_bytes();
+            for (slot, seed) in mins.iter_mut().zip(&self.seeds) {
+                let h = fnv1a_seeded(bytes, *seed);
+                if h < *slot {
+                    *slot = h;
+                }
+            }
+        }
+        Signature(mins)
+    }
+}
+
+/// Banded locality-sensitive hashing over MinHash signatures.
+///
+/// Items whose signatures agree on *all* rows of at least one band become
+/// candidate pairs. With `b` bands of `r` rows the match probability is
+/// `1 - (1 - s^r)^b` for Jaccard similarity `s`.
+#[derive(Debug)]
+pub struct MinHashLsh<K> {
+    bands: usize,
+    rows: usize,
+    // For each band, bucket-hash -> member keys.
+    tables: Vec<HashMap<u64, Vec<K>>>,
+}
+
+impl<K: Clone + Eq + Hash> MinHashLsh<K> {
+    /// Create an LSH index; `bands * rows` must equal the signature length
+    /// used with [`MinHashLsh::insert`].
+    pub fn new(bands: usize, rows: usize) -> Self {
+        assert!(bands > 0 && rows > 0, "bands and rows must be positive");
+        MinHashLsh { bands, rows, tables: vec![HashMap::new(); bands] }
+    }
+
+    /// Insert an item's signature under `key`.
+    pub fn insert(&mut self, key: K, sig: &Signature) {
+        assert_eq!(
+            sig.0.len(),
+            self.bands * self.rows,
+            "signature length must equal bands*rows"
+        );
+        for (band, table) in self.tables.iter_mut().enumerate() {
+            let chunk = &sig.0[band * self.rows..(band + 1) * self.rows];
+            let h = hash_chunk(chunk, band as u64);
+            table.entry(h).or_default().push(key.clone());
+        }
+    }
+
+    /// Query candidate keys sharing at least one band bucket with `sig`.
+    /// The result is deduplicated but unordered.
+    pub fn candidates(&self, sig: &Signature) -> Vec<K> {
+        let mut seen: HashMap<&K, ()> = HashMap::new();
+        let mut out = Vec::new();
+        for (band, table) in self.tables.iter().enumerate() {
+            let chunk = &sig.0[band * self.rows..(band + 1) * self.rows];
+            let h = hash_chunk(chunk, band as u64);
+            if let Some(members) = table.get(&h) {
+                for m in members {
+                    if seen.insert(m, ()).is_none() {
+                        out.push(m.clone());
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// All candidate pairs across the index (each unordered pair once).
+    pub fn candidate_pairs(&self) -> Vec<(K, K)>
+    where
+        K: Ord,
+    {
+        let mut pairs: Vec<(K, K)> = Vec::new();
+        let mut seen: std::collections::HashSet<(K, K)> = std::collections::HashSet::new();
+        for table in &self.tables {
+            for members in table.values() {
+                for i in 0..members.len() {
+                    for j in (i + 1)..members.len() {
+                        let (a, b) = if members[i] <= members[j] {
+                            (members[i].clone(), members[j].clone())
+                        } else {
+                            (members[j].clone(), members[i].clone())
+                        };
+                        if a != b && seen.insert((a.clone(), b.clone())) {
+                            pairs.push((a, b));
+                        }
+                    }
+                }
+            }
+        }
+        pairs
+    }
+}
+
+fn hash_chunk(chunk: &[u64], band: u64) -> u64 {
+    let mut h = 0x517cc1b727220a95u64 ^ band;
+    for &v in chunk {
+        h ^= v;
+        h = h.wrapping_mul(0x2545f4914f6cdd1d);
+        h ^= h >> 29;
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(s: &str) -> Vec<String> {
+        crate::tokens::tokenize(s)
+    }
+
+    #[test]
+    fn identical_sets_identical_signatures() {
+        let h = MinHasher::new(64, 42);
+        let a = h.signature(&toks("the walking dead tv show"));
+        let b = h.signature(&toks("the walking dead tv show"));
+        assert_eq!(a, b);
+        assert_eq!(a.estimate_jaccard(&b), 1.0);
+    }
+
+    #[test]
+    fn estimate_tracks_true_jaccard() {
+        let h = MinHasher::new(256, 7);
+        // True Jaccard: 3 shared of 5 union = 0.6
+        let a = h.signature(&["a", "b", "c", "d"]);
+        let b = h.signature(&["b", "c", "d", "e"]);
+        let est = a.estimate_jaccard(&b);
+        assert!((est - 0.6).abs() < 0.15, "estimate {est} too far from 0.6");
+    }
+
+    #[test]
+    fn disjoint_sets_estimate_near_zero() {
+        let h = MinHasher::new(128, 1);
+        let a = h.signature(&["aaa", "bbb", "ccc"]);
+        let b = h.signature(&["xxx", "yyy", "zzz"]);
+        assert!(a.estimate_jaccard(&b) < 0.1);
+    }
+
+    #[test]
+    fn empty_set_signature_is_max() {
+        let h = MinHasher::new(4, 0);
+        let e = h.signature::<&str>(&[]);
+        assert!(e.0.iter().all(|&v| v == u64::MAX));
+    }
+
+    #[test]
+    fn deterministic_across_hashers_with_same_seed() {
+        let h1 = MinHasher::new(32, 99);
+        let h2 = MinHasher::new(32, 99);
+        assert_eq!(h1.signature(&["x", "y"]), h2.signature(&["x", "y"]));
+        let h3 = MinHasher::new(32, 100);
+        assert_ne!(h1.signature(&["x", "y"]), h3.signature(&["x", "y"]));
+    }
+
+    #[test]
+    fn lsh_finds_similar_misses_dissimilar() {
+        let h = MinHasher::new(32, 5);
+        let mut lsh: MinHashLsh<usize> = MinHashLsh::new(8, 4);
+        let docs = [
+            "matilda the musical at the shubert theatre",
+            "matilda musical shubert theatre broadway",
+            "completely different unrelated text tokens here",
+        ];
+        let sigs: Vec<Signature> = docs.iter().map(|d| h.signature(&toks(d))).collect();
+        for (i, s) in sigs.iter().enumerate() {
+            lsh.insert(i, s);
+        }
+        let cands = lsh.candidates(&sigs[0]);
+        assert!(cands.contains(&0));
+        assert!(cands.contains(&1), "similar doc should be a candidate");
+        assert!(!cands.contains(&2), "dissimilar doc should not be a candidate");
+    }
+
+    #[test]
+    fn candidate_pairs_dedup() {
+        let h = MinHasher::new(16, 3);
+        let mut lsh: MinHashLsh<u32> = MinHashLsh::new(4, 4);
+        let s1 = h.signature(&["a", "b", "c"]);
+        let s2 = h.signature(&["a", "b", "c"]);
+        lsh.insert(1, &s1);
+        lsh.insert(2, &s2);
+        let pairs = lsh.candidate_pairs();
+        assert_eq!(pairs, vec![(1, 2)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "signature length")]
+    fn wrong_signature_length_panics() {
+        let h = MinHasher::new(8, 3);
+        let mut lsh: MinHashLsh<u32> = MinHashLsh::new(4, 4);
+        lsh.insert(0, &h.signature(&["a"]));
+    }
+}

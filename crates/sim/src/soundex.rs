@@ -1,0 +1,80 @@
+//! American Soundex phonetic encoding.
+//!
+//! Used as a cheap blocking key for person-name consolidation: names that
+//! sound alike ("Smith"/"Smyth") share a code and land in the same block.
+
+/// Soundex code of a word: first letter + 3 digits (zero padded).
+/// Returns `None` when the input contains no ASCII letter.
+pub fn soundex(word: &str) -> Option<String> {
+    let mut chars = word.chars().filter(|c| c.is_ascii_alphabetic());
+    let first = chars.next()?.to_ascii_uppercase();
+    let mut code = String::with_capacity(4);
+    code.push(first);
+    let mut last_digit = digit_of(first);
+    for c in chars {
+        let d = digit_of(c.to_ascii_uppercase());
+        if d == 0 {
+            // Vowels (and y) reset adjacency; h/w are transparent.
+            if !matches!(c.to_ascii_lowercase(), 'h' | 'w') {
+                last_digit = 0;
+            }
+        } else if d != last_digit {
+            code.push(char::from(b'0' + d));
+            last_digit = d;
+            if code.len() == 4 {
+                return Some(code);
+            }
+        }
+    }
+    while code.len() < 4 {
+        code.push('0');
+    }
+    Some(code)
+}
+
+fn digit_of(c: char) -> u8 {
+    match c {
+        'B' | 'F' | 'P' | 'V' => 1,
+        'C' | 'G' | 'J' | 'K' | 'Q' | 'S' | 'X' | 'Z' => 2,
+        'D' | 'T' => 3,
+        'L' => 4,
+        'M' | 'N' => 5,
+        'R' => 6,
+        _ => 0, // vowels + h, w, y
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn textbook_codes() {
+        assert_eq!(soundex("Robert").as_deref(), Some("R163"));
+        assert_eq!(soundex("Rupert").as_deref(), Some("R163"));
+        assert_eq!(soundex("Ashcraft").as_deref(), Some("A261"));
+        assert_eq!(soundex("Ashcroft").as_deref(), Some("A261"));
+        assert_eq!(soundex("Tymczak").as_deref(), Some("T522"));
+        assert_eq!(soundex("Pfister").as_deref(), Some("P236"));
+        assert_eq!(soundex("Honeyman").as_deref(), Some("H555"));
+    }
+
+    #[test]
+    fn similar_names_collide() {
+        assert_eq!(soundex("Smith"), soundex("Smyth"));
+        assert_eq!(soundex("Gubanov"), soundex("Gubanoff"));
+    }
+
+    #[test]
+    fn short_and_edge_inputs() {
+        assert_eq!(soundex("A").as_deref(), Some("A000"));
+        assert_eq!(soundex(""), None);
+        assert_eq!(soundex("123"), None);
+        assert_eq!(soundex("  o'Brien ").as_deref(), Some("O165"));
+    }
+
+    #[test]
+    fn case_insensitive() {
+        assert_eq!(soundex("STONEBRAKER"), soundex("stonebraker"));
+    }
+}

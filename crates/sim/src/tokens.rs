@@ -1,0 +1,74 @@
+//! Lightweight tokenisation shared by the similarity measures.
+//!
+//! This is deliberately simpler than the full linguistic tokenizer in
+//! `datatamer-text`: similarity tokenisation must be cheap (it runs on every
+//! candidate pair) and stable (scores must not drift with parser changes).
+
+/// Lowercase a token and strip non-alphanumeric edges.
+///
+/// Returns `None` when nothing alphanumeric remains.
+pub fn normalize_token(raw: &str) -> Option<String> {
+    let trimmed = raw.trim_matches(|c: char| !c.is_alphanumeric());
+    if trimmed.is_empty() {
+        return None;
+    }
+    Some(trimmed.to_lowercase())
+}
+
+/// Split into normalised word tokens on whitespace and punctuation
+/// boundaries (underscores, hyphens, dots and camelCase also split, which
+/// matters for attribute names like `show_name` / `showName` / `Show-Name`).
+pub fn tokenize(text: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    let mut prev_lower = false;
+    for c in text.chars() {
+        let is_word = c.is_alphanumeric();
+        let camel_break = c.is_uppercase() && prev_lower;
+        if (!is_word || camel_break)
+            && !cur.is_empty() {
+                out.push(std::mem::take(&mut cur).to_lowercase());
+            }
+        if is_word {
+            cur.push(c);
+        }
+        prev_lower = c.is_lowercase() || c.is_ascii_digit();
+    }
+    if !cur.is_empty() {
+        out.push(cur.to_lowercase());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splits_snake_kebab_dot_camel() {
+        assert_eq!(tokenize("show_name"), vec!["show", "name"]);
+        assert_eq!(tokenize("Show-Name"), vec!["show", "name"]);
+        assert_eq!(tokenize("show.name"), vec!["show", "name"]);
+        assert_eq!(tokenize("showName"), vec!["show", "name"]);
+        assert_eq!(tokenize("CHEAPEST_PRICE"), vec!["cheapest", "price"]);
+    }
+
+    #[test]
+    fn keeps_digits_with_letters() {
+        assert_eq!(tokenize("44th St"), vec!["44th", "st"]);
+        assert_eq!(tokenize("w. 44th"), vec!["w", "44th"]);
+    }
+
+    #[test]
+    fn empty_and_punct_only() {
+        assert!(tokenize("").is_empty());
+        assert!(tokenize("--- ...").is_empty());
+    }
+
+    #[test]
+    fn normalize_strips_edges() {
+        assert_eq!(normalize_token("\"Matilda\","), Some("matilda".into()));
+        assert_eq!(normalize_token("..."), None);
+        assert_eq!(normalize_token("$27"), Some("27".into()));
+    }
+}

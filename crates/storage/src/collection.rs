@@ -1,0 +1,517 @@
+//! Sharded collections of documents.
+//!
+//! Inserts route round-robin to shards; each shard owns a chain of
+//! fixed-size extents behind its own lock, so concurrent ingest scales with
+//! shard count — the in-process analogue of the paper's distributed
+//! 2 GB-extent collections. Document ids pack `(shard, extent, slot)` so
+//! point reads touch exactly one shard with no id→location map.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::RwLock;
+
+use datatamer_model::{Document, DtError, Result, Value};
+
+use crate::encode::encode_document;
+use crate::extent::Extent;
+use crate::index::{Index, IndexSpec};
+use crate::stats::CollectionStats;
+
+/// Packed document id: `shard (8) | extent (24) | slot (32)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DocId(pub u64);
+
+impl DocId {
+    /// Pack from components.
+    pub fn pack(shard: u8, extent: u32, slot: u32) -> Self {
+        debug_assert!(extent < (1 << 24), "extent index exceeds 24 bits");
+        DocId((u64::from(shard) << 56) | (u64::from(extent) << 32) | u64::from(slot))
+    }
+
+    /// Shard component.
+    pub fn shard(self) -> u8 {
+        (self.0 >> 56) as u8
+    }
+
+    /// Extent-within-shard component.
+    pub fn extent(self) -> u32 {
+        ((self.0 >> 32) & 0x00ff_ffff) as u32
+    }
+
+    /// Slot-within-extent component.
+    pub fn slot(self) -> u32 {
+        self.0 as u32
+    }
+}
+
+/// Collection configuration.
+#[derive(Debug, Clone)]
+pub struct CollectionConfig {
+    /// Extent capacity in bytes (the paper's extents are 2 GB; scale-down
+    /// experiments shrink this so `numExtents` stays in the paper's range).
+    pub extent_size: usize,
+    /// Number of shards (1–256).
+    pub shards: usize,
+}
+
+impl Default for CollectionConfig {
+    fn default() -> Self {
+        CollectionConfig { extent_size: 2 * 1024 * 1024, shards: 8 }
+    }
+}
+
+#[derive(Debug, Default)]
+struct Shard {
+    extents: Vec<Extent>,
+}
+
+/// A sharded document collection with secondary indexes.
+pub struct Collection {
+    name: String,
+    config: CollectionConfig,
+    shards: Vec<RwLock<Shard>>,
+    indexes: RwLock<Vec<Index>>,
+    count: AtomicU64,
+    next_shard: AtomicU64,
+}
+
+impl Collection {
+    /// Create an empty collection.
+    pub fn new(name: impl Into<String>, config: CollectionConfig) -> Result<Self> {
+        if config.shards == 0 || config.shards > 256 {
+            return Err(DtError::Config(format!(
+                "shard count {} out of range 1..=256",
+                config.shards
+            )));
+        }
+        if config.extent_size == 0 {
+            return Err(DtError::Config("extent_size must be positive".into()));
+        }
+        let shards = (0..config.shards).map(|_| RwLock::new(Shard::default())).collect();
+        Ok(Collection {
+            name: name.into(),
+            config,
+            shards,
+            indexes: RwLock::new(Vec::new()),
+            count: AtomicU64::new(0),
+            next_shard: AtomicU64::new(0),
+        })
+    }
+
+    /// Collection name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The configuration this collection was created with.
+    pub fn config(&self) -> &CollectionConfig {
+        &self.config
+    }
+
+    /// Number of live documents.
+    pub fn len(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// True when no live documents exist.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Insert a document, returning its id.
+    pub fn insert(&self, doc: &Document) -> DocId {
+        let encoded = encode_document(doc);
+        let shard_no =
+            (self.next_shard.fetch_add(1, Ordering::Relaxed) % self.shards.len() as u64) as usize;
+        let id = {
+            let mut shard = self.shards[shard_no].write();
+            let (extent_idx, slot) = loop {
+                if let Some(last) = shard.extents.last_mut() {
+                    if let Some(slot) = last.append(&encoded) {
+                        break (shard.extents.len() - 1, slot);
+                    }
+                }
+                shard.extents.push(Extent::new(self.config.extent_size));
+            };
+            DocId::pack(shard_no as u8, extent_idx as u32, slot)
+        };
+        {
+            let mut indexes = self.indexes.write();
+            for idx in indexes.iter_mut() {
+                idx.insert(id, doc);
+            }
+        }
+        self.count.fetch_add(1, Ordering::Relaxed);
+        id
+    }
+
+    /// Insert many documents, returning their ids.
+    pub fn insert_many<'a, I: IntoIterator<Item = &'a Document>>(&self, docs: I) -> Vec<DocId> {
+        docs.into_iter().map(|d| self.insert(d)).collect()
+    }
+
+    /// Fetch a document by id.
+    pub fn get(&self, id: DocId) -> Option<Document> {
+        let shard = self.shards.get(id.shard() as usize)?.read();
+        let extent = shard.extents.get(id.extent() as usize)?;
+        extent.get(id.slot()).and_then(|r| r.ok())
+    }
+
+    /// Delete a document by id. Returns whether it was live.
+    pub fn delete(&self, id: DocId) -> bool {
+        let Some(lock) = self.shards.get(id.shard() as usize) else {
+            return false;
+        };
+        let doc = {
+            let mut shard = lock.write();
+            let Some(extent) = shard.extents.get_mut(id.extent() as usize) else {
+                return false;
+            };
+            let Some(doc) = extent.get(id.slot()).and_then(|r| r.ok()) else {
+                return false;
+            };
+            if !extent.delete(id.slot()) {
+                return false;
+            }
+            doc
+        };
+        let mut indexes = self.indexes.write();
+        for idx in indexes.iter_mut() {
+            idx.remove(id, &doc);
+        }
+        drop(indexes);
+        self.count.fetch_sub(1, Ordering::Relaxed);
+        true
+    }
+
+    /// Create a secondary index, back-filling existing documents.
+    pub fn create_index(&self, spec: IndexSpec) -> Result<()> {
+        {
+            let indexes = self.indexes.read();
+            if indexes.iter().any(|i| i.spec.name == spec.name) {
+                return Err(DtError::AlreadyExists(format!("index {}", spec.name)));
+            }
+        }
+        let mut idx = Index::new(spec);
+        self.for_each(|id, doc| idx.insert(id, doc));
+        self.indexes.write().push(idx);
+        Ok(())
+    }
+
+    /// Number of indexes.
+    pub fn index_count(&self) -> usize {
+        self.indexes.read().len()
+    }
+
+    /// Run `f` against an index by name.
+    pub fn with_index<T>(&self, name: &str, f: impl FnOnce(&Index) -> T) -> Option<T> {
+        let indexes = self.indexes.read();
+        indexes.iter().find(|i| i.spec.name == name).map(f)
+    }
+
+    /// Find an index covering `path`, applying `f` to it.
+    pub fn with_index_on_path<T>(&self, path: &str, f: impl FnOnce(&Index) -> T) -> Option<T> {
+        let indexes = self.indexes.read();
+        indexes.iter().find(|i| i.spec.path == path).map(f)
+    }
+
+    /// Sequentially visit every live document.
+    pub fn for_each(&self, mut f: impl FnMut(DocId, &Document)) {
+        for (shard_no, lock) in self.shards.iter().enumerate() {
+            let shard = lock.read();
+            for (extent_idx, extent) in shard.extents.iter().enumerate() {
+                for (slot, bytes) in extent.iter_live() {
+                    if let Ok(doc) = crate::encode::decode_document(bytes) {
+                        f(DocId::pack(shard_no as u8, extent_idx as u32, slot), &doc);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Scan all shards in parallel, collecting `f`'s non-`None` outputs.
+    /// Output order is deterministic: shard-major, then extent, then slot.
+    pub fn parallel_scan<T, F>(&self, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(DocId, &Document) -> Option<T> + Sync,
+    {
+        let mut per_shard: Vec<Vec<T>> = Vec::with_capacity(self.shards.len());
+        crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .shards
+                .iter()
+                .enumerate()
+                .map(|(shard_no, lock)| {
+                    let f = &f;
+                    scope.spawn(move |_| {
+                        let shard = lock.read();
+                        let mut out = Vec::new();
+                        for (extent_idx, extent) in shard.extents.iter().enumerate() {
+                            for (slot, bytes) in extent.iter_live() {
+                                if let Ok(doc) = crate::encode::decode_document(bytes) {
+                                    let id =
+                                        DocId::pack(shard_no as u8, extent_idx as u32, slot);
+                                    if let Some(t) = f(id, &doc) {
+                                        out.push(t);
+                                    }
+                                }
+                            }
+                        }
+                        out
+                    })
+                })
+                .collect();
+            for h in handles {
+                per_shard.push(h.join().expect("scan worker panicked"));
+            }
+        })
+        .expect("crossbeam scope failed");
+        per_shard.into_iter().flatten().collect()
+    }
+
+    /// Group-by over a path: `(value, count)` in value order. Uses an index
+    /// on the path when one exists, otherwise a parallel scan.
+    pub fn count_by(&self, path: &str) -> Vec<(Value, u64)> {
+        if let Some(counts) = self.with_index_on_path(path, |idx| {
+            idx.key_counts().into_iter().map(|(k, n)| (k, n as u64)).collect::<Vec<_>>()
+        }) {
+            return counts;
+        }
+        let values = self.parallel_scan(|_, doc| doc.get_path(path).cloned());
+        let mut counts: std::collections::BTreeMap<crate::index::IndexKey, u64> =
+            std::collections::BTreeMap::new();
+        for v in values {
+            *counts.entry(crate::index::IndexKey(v)).or_insert(0) += 1;
+        }
+        counts.into_iter().map(|(k, n)| (k.0, n)).collect()
+    }
+
+    /// Statistics in the shape of the paper's Tables I–II.
+    pub fn stats(&self, namespace: &str) -> CollectionStats {
+        let mut num_extents = 0usize;
+        let mut last_extent_size = 0usize;
+        let mut data_bytes = 0usize;
+        // The "last" extent is the most recently allocated across all shards;
+        // we take the maximum-fill convention: report the byte size of the
+        // final extent of the last shard that has one.
+        for lock in &self.shards {
+            let shard = lock.read();
+            num_extents += shard.extents.len();
+            for e in &shard.extents {
+                data_bytes += e.used_bytes();
+            }
+            if let Some(last) = shard.extents.last() {
+                last_extent_size = last.capacity();
+            }
+        }
+        let indexes = self.indexes.read();
+        let total_index_size = indexes.iter().map(|i| i.size_bytes()).sum();
+        let count = self.len();
+        CollectionStats {
+            ns: format!("{namespace}.{}", self.name),
+            count,
+            num_extents,
+            nindexes: indexes.len(),
+            last_extent_size,
+            total_index_size,
+            data_size: data_bytes,
+            avg_obj_size: if count == 0 { 0.0 } else { data_bytes as f64 / count as f64 },
+        }
+    }
+
+    /// Access for persistence: snapshot extents per shard.
+    pub(crate) fn snapshot_extents(&self) -> Vec<Vec<Vec<u8>>> {
+        self.shards
+            .iter()
+            .map(|lock| lock.read().extents.iter().map(|e| e.to_bytes()).collect())
+            .collect()
+    }
+
+    /// Restore a collection from persisted extents and index specs.
+    pub(crate) fn restore(
+        name: String,
+        config: CollectionConfig,
+        shard_extents: Vec<Vec<Vec<u8>>>,
+        index_specs: Vec<IndexSpec>,
+    ) -> Result<Self> {
+        if shard_extents.len() != config.shards {
+            return Err(DtError::Decode(format!(
+                "expected {} shards, found {}",
+                config.shards,
+                shard_extents.len()
+            )));
+        }
+        let col = Collection::new(name, config)?;
+        let mut total = 0u64;
+        for (shard_no, extents) in shard_extents.into_iter().enumerate() {
+            let mut shard = col.shards[shard_no].write();
+            for bytes in extents {
+                let e = Extent::from_bytes(&bytes)?;
+                total += e.live_count() as u64;
+                shard.extents.push(e);
+            }
+        }
+        col.count.store(total, Ordering::Relaxed);
+        for spec in index_specs {
+            col.create_index(spec)?;
+        }
+        Ok(col)
+    }
+
+    /// Index specs currently defined, in creation order.
+    pub fn index_specs(&self) -> Vec<IndexSpec> {
+        self.indexes.read().iter().map(|i| i.spec.clone()).collect()
+    }
+}
+
+impl std::fmt::Debug for Collection {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Collection")
+            .field("name", &self.name)
+            .field("count", &self.len())
+            .field("shards", &self.shards.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datatamer_model::doc;
+
+    fn small() -> Collection {
+        Collection::new("test", CollectionConfig { extent_size: 256, shards: 4 }).unwrap()
+    }
+
+    #[test]
+    fn docid_packing_roundtrips() {
+        let id = DocId::pack(255, (1 << 24) - 1, u32::MAX);
+        assert_eq!(id.shard(), 255);
+        assert_eq!(id.extent(), (1 << 24) - 1);
+        assert_eq!(id.slot(), u32::MAX);
+        let id = DocId::pack(3, 17, 42);
+        assert_eq!((id.shard(), id.extent(), id.slot()), (3, 17, 42));
+    }
+
+    #[test]
+    fn insert_get_roundtrip() {
+        let c = small();
+        let d = doc! {"show" => "Matilda", "price" => 27i64};
+        let id = c.insert(&d);
+        assert_eq!(c.get(id), Some(d));
+        assert_eq!(c.len(), 1);
+        assert!(c.get(DocId::pack(0, 9, 9)).is_none());
+    }
+
+    #[test]
+    fn inserts_spread_over_shards_and_extents() {
+        let c = small();
+        for i in 0..100i64 {
+            c.insert(&doc! {"i" => i, "pad" => "x".repeat(40)});
+        }
+        assert_eq!(c.len(), 100);
+        let stats = c.stats("dt");
+        assert!(stats.num_extents > 4, "tiny extents must chain: {}", stats.num_extents);
+        assert_eq!(stats.count, 100);
+        assert_eq!(stats.last_extent_size, 256);
+    }
+
+    #[test]
+    fn delete_removes_and_updates_count() {
+        let c = small();
+        let id = c.insert(&doc! {"a" => 1i64});
+        assert!(c.delete(id));
+        assert!(!c.delete(id));
+        assert_eq!(c.len(), 0);
+        assert!(c.get(id).is_none());
+    }
+
+    #[test]
+    fn index_backfills_and_maintains() {
+        let c = small();
+        let d1 = doc! {"type" => "Person"};
+        let d2 = doc! {"type" => "City"};
+        let id1 = c.insert(&d1);
+        c.create_index(IndexSpec::new("by_type", "type")).unwrap();
+        let id2 = c.insert(&d2);
+        let persons = c.with_index("by_type", |i| i.lookup(&Value::from("Person"))).unwrap();
+        assert_eq!(persons, vec![id1]);
+        let cities = c.with_index("by_type", |i| i.lookup(&Value::from("City"))).unwrap();
+        assert_eq!(cities, vec![id2]);
+        c.delete(id1);
+        let persons = c.with_index("by_type", |i| i.lookup(&Value::from("Person"))).unwrap();
+        assert!(persons.is_empty());
+        assert!(c.create_index(IndexSpec::new("by_type", "type")).is_err());
+    }
+
+    #[test]
+    fn parallel_scan_sees_all_live_docs() {
+        let c = small();
+        let ids: Vec<DocId> = (0..50i64).map(|i| c.insert(&doc! {"i" => i})).collect();
+        c.delete(ids[10]);
+        let seen = c.parallel_scan(|_, d| d.get("i").and_then(|v| v.as_int()));
+        assert_eq!(seen.len(), 49);
+        assert!(!seen.contains(&10));
+    }
+
+    #[test]
+    fn count_by_with_and_without_index() {
+        let c = small();
+        for ty in ["Person", "Person", "Movie"] {
+            c.insert(&doc! {"type" => ty});
+        }
+        let scan_counts = c.count_by("type");
+        c.create_index(IndexSpec::new("by_type", "type")).unwrap();
+        let index_counts = c.count_by("type");
+        assert_eq!(scan_counts, index_counts);
+        assert_eq!(
+            scan_counts,
+            vec![(Value::from("Movie"), 1), (Value::from("Person"), 2)]
+        );
+    }
+
+    #[test]
+    fn stats_reflect_index_sizes() {
+        let c = small();
+        for i in 0..20i64 {
+            c.insert(&doc! {"n" => i});
+        }
+        let before = c.stats("dt").total_index_size;
+        assert_eq!(before, 0);
+        c.create_index(IndexSpec::new("by_n", "n")).unwrap();
+        let after = c.stats("dt");
+        assert!(after.total_index_size > 0);
+        assert_eq!(after.nindexes, 1);
+        assert_eq!(after.ns, "dt.test");
+        assert!(after.avg_obj_size > 0.0);
+    }
+
+    #[test]
+    fn concurrent_inserts_are_consistent() {
+        let c = std::sync::Arc::new(
+            Collection::new("conc", CollectionConfig { extent_size: 4096, shards: 8 }).unwrap(),
+        );
+        let mut handles = Vec::new();
+        for t in 0..8 {
+            let c = c.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..100i64 {
+                    c.insert(&doc! {"t" => t as i64, "i" => i});
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(c.len(), 800);
+        assert_eq!(c.parallel_scan(|_, _| Some(())).len(), 800);
+    }
+
+    #[test]
+    fn bad_configs_rejected() {
+        assert!(Collection::new("x", CollectionConfig { extent_size: 0, shards: 1 }).is_err());
+        assert!(Collection::new("x", CollectionConfig { extent_size: 10, shards: 0 }).is_err());
+        assert!(Collection::new("x", CollectionConfig { extent_size: 10, shards: 257 }).is_err());
+    }
+}

@@ -1,0 +1,36 @@
+//! Sharded semi-structured storage engine.
+//!
+//! The paper's text-side substrate is a "Web-scale distributed semi-structured
+//! storage engine" — it reports MongoDB-style collection statistics
+//! (`count`, `numExtents`, `nindexes`, `lastExtentSize`, `totalIndexSize`,
+//! Tables I–II). This crate is that substrate, built from scratch:
+//!
+//! * [`encode`] — compact binary document encoding (BSON-like) on [`bytes`].
+//! * [`extent`] — fixed-size append-only extents; a collection grows by
+//!   allocating new extents exactly as the paper's 2 GB extents do (the
+//!   extent size is configurable so experiments can run at reduced scale
+//!   while preserving the count : extent ratios).
+//! * [`collection`] — sharded collections: inserts route to shards, each
+//!   shard owns a chain of extents behind its own lock.
+//! * [`index`] — ordered secondary indexes (optionally multikey) over dotted
+//!   paths, with byte-accurate size accounting.
+//! * [`query`] — filters, projections, sorts, index selection, and parallel
+//!   shard scans.
+//! * [`stats`] — the `db.<coll>.stats()` report of Tables I and II.
+//! * [`store`] — a namespace ("dt") holding collections.
+//! * [`persist`] — save/load a store to a directory of extent files.
+
+pub mod collection;
+pub mod encode;
+pub mod extent;
+pub mod index;
+pub mod persist;
+pub mod query;
+pub mod stats;
+pub mod store;
+
+pub use collection::{Collection, CollectionConfig, DocId};
+pub use index::IndexSpec;
+pub use query::{Filter, Query, SortOrder};
+pub use stats::CollectionStats;
+pub use store::Store;

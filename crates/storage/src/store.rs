@@ -1,0 +1,134 @@
+//! A namespace of collections (the paper's `dt` database).
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use datatamer_model::{DtError, Result};
+
+use crate::collection::{Collection, CollectionConfig};
+use crate::stats::CollectionStats;
+
+/// A store: named collections under one namespace.
+pub struct Store {
+    namespace: String,
+    collections: RwLock<BTreeMap<String, Arc<Collection>>>,
+}
+
+impl Store {
+    /// Create a store with the given namespace (the paper uses `dt`).
+    pub fn new(namespace: impl Into<String>) -> Self {
+        Store { namespace: namespace.into(), collections: RwLock::new(BTreeMap::new()) }
+    }
+
+    /// The namespace prefix used in stats output.
+    pub fn namespace(&self) -> &str {
+        &self.namespace
+    }
+
+    /// Create a collection; errors when the name is taken.
+    pub fn create_collection(
+        &self,
+        name: impl Into<String>,
+        config: CollectionConfig,
+    ) -> Result<Arc<Collection>> {
+        let name = name.into();
+        let mut cols = self.collections.write();
+        if cols.contains_key(&name) {
+            return Err(DtError::AlreadyExists(format!("collection {name}")));
+        }
+        let col = Arc::new(Collection::new(name.clone(), config)?);
+        cols.insert(name, col.clone());
+        Ok(col)
+    }
+
+    /// Fetch a collection handle.
+    pub fn collection(&self, name: &str) -> Option<Arc<Collection>> {
+        self.collections.read().get(name).cloned()
+    }
+
+    /// Fetch or create with default config.
+    pub fn collection_or_create(&self, name: &str, config: CollectionConfig) -> Arc<Collection> {
+        if let Some(c) = self.collection(name) {
+            return c;
+        }
+        self.create_collection(name, config)
+            .unwrap_or_else(|_| self.collection(name).expect("raced creation"))
+    }
+
+    /// Drop a collection. Returns whether it existed.
+    pub fn drop_collection(&self, name: &str) -> bool {
+        self.collections.write().remove(name).is_some()
+    }
+
+    /// Collection names in order.
+    pub fn collection_names(&self) -> Vec<String> {
+        self.collections.read().keys().cloned().collect()
+    }
+
+    /// Stats for one collection, namespaced like `dt.instance`.
+    pub fn stats(&self, name: &str) -> Option<CollectionStats> {
+        self.collection(name).map(|c| c.stats(&self.namespace))
+    }
+
+    /// Stats for every collection.
+    pub fn all_stats(&self) -> Vec<CollectionStats> {
+        let cols = self.collections.read();
+        cols.values().map(|c| c.stats(&self.namespace)).collect()
+    }
+
+    /// Internal: insert a restored collection (persistence path).
+    pub(crate) fn adopt(&self, name: String, col: Collection) {
+        self.collections.write().insert(name, Arc::new(col));
+    }
+}
+
+impl std::fmt::Debug for Store {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Store")
+            .field("namespace", &self.namespace)
+            .field("collections", &self.collection_names())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datatamer_model::doc;
+
+    #[test]
+    fn create_get_drop() {
+        let store = Store::new("dt");
+        let c = store.create_collection("instance", CollectionConfig::default()).unwrap();
+        c.insert(&doc! {"a" => 1i64});
+        assert!(store.collection("instance").is_some());
+        assert!(store.create_collection("instance", CollectionConfig::default()).is_err());
+        assert_eq!(store.collection_names(), vec!["instance"]);
+        assert!(store.drop_collection("instance"));
+        assert!(!store.drop_collection("instance"));
+        assert!(store.collection("instance").is_none());
+    }
+
+    #[test]
+    fn stats_are_namespaced() {
+        let store = Store::new("dt");
+        let c = store.create_collection("entity", CollectionConfig::default()).unwrap();
+        c.insert(&doc! {"type" => "Person"});
+        let stats = store.stats("entity").unwrap();
+        assert_eq!(stats.ns, "dt.entity");
+        assert_eq!(stats.count, 1);
+        assert!(store.stats("missing").is_none());
+        assert_eq!(store.all_stats().len(), 1);
+    }
+
+    #[test]
+    fn collection_or_create_is_idempotent() {
+        let store = Store::new("dt");
+        let a = store.collection_or_create("x", CollectionConfig::default());
+        a.insert(&doc! {"v" => 1i64});
+        let b = store.collection_or_create("x", CollectionConfig::default());
+        assert_eq!(b.len(), 1);
+    }
+}

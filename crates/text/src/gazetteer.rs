@@ -1,0 +1,178 @@
+//! Multi-word gazetteer matching.
+//!
+//! A gazetteer maps known phrases to an entity type. Matching is greedy
+//! longest-first over the token stream, case-insensitive, and returns byte
+//! spans. The corpus generator seeds gazetteers with its name pools, so the
+//! parser's dictionaries play the role of Recorded Future's curated ones.
+
+use std::collections::HashMap;
+
+use crate::mention::{EntityType, Mention};
+use crate::tokenize::{tokenize, Token};
+
+/// A phrase dictionary for one or more entity types.
+#[derive(Debug, Default, Clone)]
+pub struct Gazetteer {
+    /// first lowercase token -> candidate phrases sharing that first token,
+    /// each as (lowercase token sequence, type, confidence).
+    by_first: HashMap<String, Vec<(Vec<String>, EntityType, f64)>>,
+    len: usize,
+}
+
+impl Gazetteer {
+    /// Create an empty gazetteer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of phrases.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no phrases are registered.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Add a phrase with a type and confidence.
+    pub fn add(&mut self, phrase: &str, entity_type: EntityType, confidence: f64) {
+        let toks: Vec<String> = tokenize(phrase)
+            .iter()
+            .filter(|t| t.text.chars().any(char::is_alphanumeric))
+            .map(|t| t.text.to_lowercase())
+            .collect();
+        if toks.is_empty() {
+            return;
+        }
+        let first = toks[0].clone();
+        let bucket = self.by_first.entry(first).or_default();
+        // Avoid duplicate phrases for the same type.
+        if bucket.iter().any(|(p, t, _)| *p == toks && *t == entity_type) {
+            return;
+        }
+        bucket.push((toks, entity_type, confidence));
+        // Longest phrases first so greedy matching prefers them.
+        bucket.sort_by_key(|(p, _, _)| std::cmp::Reverse(p.len()));
+        self.len += 1;
+    }
+
+    /// Bulk-add phrases of one type.
+    pub fn add_all<S: AsRef<str>>(&mut self, phrases: &[S], entity_type: EntityType, confidence: f64) {
+        for p in phrases {
+            self.add(p.as_ref(), entity_type, confidence);
+        }
+    }
+
+    /// Find all gazetteer mentions in `text` (greedy, non-overlapping,
+    /// longest-match-first at each position).
+    pub fn find(&self, text: &str) -> Vec<Mention> {
+        let tokens: Vec<Token> = tokenize(text)
+            .into_iter()
+            .filter(|t| t.text.chars().any(char::is_alphanumeric))
+            .collect();
+        let lowered: Vec<String> = tokens.iter().map(|t| t.text.to_lowercase()).collect();
+        let mut out = Vec::new();
+        let mut i = 0usize;
+        while i < tokens.len() {
+            let mut advanced = false;
+            if let Some(bucket) = self.by_first.get(&lowered[i]) {
+                for (phrase, ty, conf) in bucket {
+                    if i + phrase.len() <= tokens.len()
+                        && lowered[i..i + phrase.len()] == phrase[..]
+                    {
+                        let start = tokens[i].start;
+                        let end = tokens[i + phrase.len() - 1].end;
+                        out.push(Mention::new(*ty, &text[start..end], start, end, *conf));
+                        i += phrase.len();
+                        advanced = true;
+                        break;
+                    }
+                }
+            }
+            if !advanced {
+                i += 1;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gaz() -> Gazetteer {
+        let mut g = Gazetteer::new();
+        g.add("Matilda", EntityType::Movie, 0.95);
+        g.add("The Walking Dead", EntityType::Movie, 0.95);
+        g.add("New York", EntityType::City, 0.9);
+        g.add("New York Times", EntityType::Company, 0.9);
+        g
+    }
+
+    #[test]
+    fn single_and_multi_word_matches() {
+        let g = gaz();
+        let ms = g.find("Everyone watches The Walking Dead and Matilda in New York");
+        let got: Vec<(&str, EntityType)> =
+            ms.iter().map(|m| (m.text.as_str(), m.entity_type)).collect();
+        assert_eq!(
+            got,
+            vec![
+                ("The Walking Dead", EntityType::Movie),
+                ("Matilda", EntityType::Movie),
+                ("New York", EntityType::City),
+            ]
+        );
+    }
+
+    #[test]
+    fn longest_match_wins() {
+        let g = gaz();
+        let ms = g.find("the New York Times reported");
+        assert_eq!(ms.len(), 1);
+        assert_eq!(ms[0].entity_type, EntityType::Company);
+        assert_eq!(ms[0].text, "New York Times");
+    }
+
+    #[test]
+    fn case_insensitive_but_preserves_surface() {
+        let g = gaz();
+        let ms = g.find("MATILDA was great");
+        assert_eq!(ms.len(), 1);
+        assert_eq!(ms[0].text, "MATILDA");
+    }
+
+    #[test]
+    fn punctuation_between_tokens_matches() {
+        let g = gaz();
+        let ms = g.find("\"The Walking Dead\" airs");
+        assert_eq!(ms.len(), 1, "{ms:?}");
+    }
+
+    #[test]
+    fn spans_index_original_text() {
+        let g = gaz();
+        let text = "I saw Matilda twice";
+        let ms = g.find(text);
+        assert_eq!(&text[ms[0].start..ms[0].end], "Matilda");
+    }
+
+    #[test]
+    fn duplicates_not_double_added() {
+        let mut g = gaz();
+        let before = g.len();
+        g.add("Matilda", EntityType::Movie, 0.95);
+        assert_eq!(g.len(), before);
+        g.add("Matilda", EntityType::Person, 0.5);
+        assert_eq!(g.len(), before + 1, "same phrase different type is distinct");
+    }
+
+    #[test]
+    fn empty_phrase_ignored() {
+        let mut g = Gazetteer::new();
+        g.add("...", EntityType::Movie, 1.0);
+        assert!(g.is_empty());
+    }
+}

@@ -1,0 +1,181 @@
+//! Typed entity mentions.
+
+use std::fmt;
+
+/// Entity types recognised by the domain parser.
+///
+/// This is exactly the type inventory of the paper's Table III (statistics
+/// by entity type in WEBENTITIES).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum EntityType {
+    Person,
+    OrgEntity,
+    GeoEntity,
+    Url,
+    IndustryTerm,
+    Position,
+    Company,
+    Product,
+    Organization,
+    Facility,
+    City,
+    MedicalCondition,
+    Technology,
+    Movie,
+    ProvinceOrState,
+}
+
+impl EntityType {
+    /// All types, in Table III's frequency order.
+    pub const ALL: [EntityType; 15] = [
+        EntityType::Person,
+        EntityType::OrgEntity,
+        EntityType::GeoEntity,
+        EntityType::Url,
+        EntityType::IndustryTerm,
+        EntityType::Position,
+        EntityType::Company,
+        EntityType::Product,
+        EntityType::Organization,
+        EntityType::Facility,
+        EntityType::City,
+        EntityType::MedicalCondition,
+        EntityType::Technology,
+        EntityType::Movie,
+        EntityType::ProvinceOrState,
+    ];
+
+    /// The type's name as Table III prints it.
+    pub fn name(self) -> &'static str {
+        match self {
+            EntityType::Person => "Person",
+            EntityType::OrgEntity => "OrgEntity",
+            EntityType::GeoEntity => "GeoEntity",
+            EntityType::Url => "URL",
+            EntityType::IndustryTerm => "IndustryTerm",
+            EntityType::Position => "Position",
+            EntityType::Company => "Company",
+            EntityType::Product => "Product",
+            EntityType::Organization => "Organization",
+            EntityType::Facility => "Facility",
+            EntityType::City => "City",
+            EntityType::MedicalCondition => "MedicalCondition",
+            EntityType::Technology => "Technology",
+            EntityType::Movie => "Movie",
+            EntityType::ProvinceOrState => "ProvinceOrState",
+        }
+    }
+
+    /// Parse from the Table III spelling.
+    pub fn from_name(s: &str) -> Option<EntityType> {
+        EntityType::ALL.into_iter().find(|t| t.name() == s)
+    }
+
+    /// The paper's Table III count for this type, used to calibrate the
+    /// synthetic generator's type mix.
+    pub fn paper_count(self) -> u64 {
+        match self {
+            EntityType::Person => 38_867_351,
+            EntityType::OrgEntity => 33_529_169,
+            EntityType::GeoEntity => 11_964_810,
+            EntityType::Url => 11_194_592,
+            EntityType::IndustryTerm => 9_101_781,
+            EntityType::Position => 8_938_934,
+            EntityType::Company => 8_846_692,
+            EntityType::Product => 8_800_019,
+            EntityType::Organization => 6_301_459,
+            EntityType::Facility => 4_081_458,
+            EntityType::City => 3_621_317,
+            EntityType::MedicalCondition => 1_313_487,
+            EntityType::Technology => 940_349,
+            EntityType::Movie => 260_230,
+            EntityType::ProvinceOrState => 223_243,
+        }
+    }
+}
+
+impl fmt::Display for EntityType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One extracted entity mention.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Mention {
+    /// Entity type.
+    pub entity_type: EntityType,
+    /// Surface text as it appeared.
+    pub text: String,
+    /// Byte offset of the mention start in the fragment.
+    pub start: usize,
+    /// Byte offset one past the end.
+    pub end: usize,
+    /// Extraction confidence in `[0, 1]`.
+    pub confidence: f64,
+}
+
+impl Mention {
+    /// Create a mention.
+    pub fn new(
+        entity_type: EntityType,
+        text: impl Into<String>,
+        start: usize,
+        end: usize,
+        confidence: f64,
+    ) -> Self {
+        Mention { entity_type, text: text.into(), start, end, confidence }
+    }
+
+    /// True when two mentions overlap in span.
+    pub fn overlaps(&self, other: &Mention) -> bool {
+        self.start < other.end && other.start < self.end
+    }
+
+    /// Span length in bytes.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// True when the span is empty (never produced by the parser).
+    pub fn is_empty(&self) -> bool {
+        self.end <= self.start
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_roundtrip() {
+        for t in EntityType::ALL {
+            assert_eq!(EntityType::from_name(t.name()), Some(t));
+        }
+        assert_eq!(EntityType::from_name("URL"), Some(EntityType::Url));
+        assert_eq!(EntityType::from_name("nope"), None);
+    }
+
+    #[test]
+    fn paper_counts_are_table_iii_ordered() {
+        // Table III is sorted descending by count.
+        let counts: Vec<u64> = EntityType::ALL.iter().map(|t| t.paper_count()).collect();
+        let mut sorted = counts.clone();
+        sorted.sort_unstable_by(|a, b| b.cmp(a));
+        assert_eq!(counts, sorted);
+        assert_eq!(EntityType::Person.paper_count(), 38_867_351);
+        assert_eq!(EntityType::ProvinceOrState.paper_count(), 223_243);
+    }
+
+    #[test]
+    fn overlap_logic() {
+        let a = Mention::new(EntityType::Movie, "Matilda", 0, 7, 1.0);
+        let b = Mention::new(EntityType::Person, "Mat", 5, 8, 0.5);
+        let c = Mention::new(EntityType::City, "NYC", 7, 10, 0.9);
+        assert!(a.overlaps(&b));
+        assert!(b.overlaps(&a));
+        assert!(!a.overlaps(&c));
+        assert_eq!(a.len(), 7);
+        assert!(!a.is_empty());
+    }
+}

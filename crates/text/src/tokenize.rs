@@ -1,0 +1,216 @@
+//! Word and sentence tokenisation with byte spans.
+
+/// A token with its byte span in the original text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token<'a> {
+    /// The token text (a slice of the input).
+    pub text: &'a str,
+    /// Byte offset of the token start.
+    pub start: usize,
+    /// Byte offset one past the token end.
+    pub end: usize,
+}
+
+impl Token<'_> {
+    /// True when the token starts with an uppercase letter.
+    pub fn is_capitalized(&self) -> bool {
+        self.text.chars().next().is_some_and(|c| c.is_uppercase())
+    }
+
+    /// True when every alphabetic char is uppercase (e.g. acronyms).
+    pub fn is_all_caps(&self) -> bool {
+        let mut any = false;
+        for c in self.text.chars() {
+            if c.is_alphabetic() {
+                if c.is_lowercase() {
+                    return false;
+                }
+                any = true;
+            }
+        }
+        any
+    }
+
+    /// True when the token is purely numeric (digits, commas, periods).
+    pub fn is_numeric(&self) -> bool {
+        !self.text.is_empty()
+            && self.text.chars().all(|c| c.is_ascii_digit() || c == ',' || c == '.')
+            && self.text.chars().any(|c| c.is_ascii_digit())
+    }
+}
+
+/// Tokenise into word-level tokens. A token is a maximal run of
+/// alphanumerics plus internal `'`, `-`, `.` , `,` when surrounded by
+/// alphanumerics (keeps `O'Brien`, `W.`, `960,998`, `U.S.` together);
+/// standalone punctuation marks (`"`, `,`, `.`, `$`, `€`, `%`) are their own
+/// tokens so scanners can anchor on them.
+pub fn tokenize(text: &str) -> Vec<Token<'_>> {
+    let bytes = text.as_bytes();
+    let mut tokens = Vec::new();
+    let mut iter = text.char_indices().peekable();
+    while let Some((start, c)) = iter.next() {
+        if c.is_whitespace() {
+            continue;
+        }
+        if c.is_alphanumeric() {
+            // Extend through the word.
+            let mut end = start + c.len_utf8();
+            while let Some(&(i, nc)) = iter.peek() {
+                if nc.is_alphanumeric() {
+                    end = i + nc.len_utf8();
+                    iter.next();
+                } else if matches!(nc, '\'' | '-' | '.' | ',') {
+                    // Internal punctuation: keep only when followed by an
+                    // alphanumeric (lookahead two).
+                    let next_next = text[i + nc.len_utf8()..].chars().next();
+                    if next_next.is_some_and(|n| n.is_alphanumeric()) {
+                        end = i + nc.len_utf8();
+                        iter.next();
+                    } else {
+                        break;
+                    }
+                } else {
+                    break;
+                }
+            }
+            tokens.push(Token { text: &text[start..end], start, end });
+        } else {
+            // Single-char punctuation token.
+            let end = start + c.len_utf8();
+            tokens.push(Token { text: &text[start..end], start, end });
+        }
+        debug_assert!(start < bytes.len());
+    }
+    tokens
+}
+
+/// Split text into sentences on `.`, `!`, `?` followed by whitespace and an
+/// uppercase letter (or end of input). Abbreviation-ish single-letter
+/// periods (`W. 44th`) do not split.
+pub fn sentences(text: &str) -> Vec<&str> {
+    let mut out = Vec::new();
+    let mut start = 0usize;
+    let chars: Vec<(usize, char)> = text.char_indices().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        let (pos, c) = chars[i];
+        if matches!(c, '.' | '!' | '?') {
+            // Do not split on "W." style initials: previous alnum run length 1.
+            let prev_word_len = {
+                let mut n = 0;
+                let mut j = i;
+                while j > 0 {
+                    let (_, pc) = chars[j - 1];
+                    if pc.is_alphanumeric() {
+                        n += 1;
+                        j -= 1;
+                    } else {
+                        break;
+                    }
+                }
+                n
+            };
+            let next_ws = chars.get(i + 1).is_none_or(|(_, nc)| nc.is_whitespace());
+            let upper_after = chars[i + 1..]
+                .iter()
+                .find(|(_, nc)| !nc.is_whitespace())
+                .is_none_or(|(_, nc)| nc.is_uppercase() || nc.is_ascii_digit() || *nc == '"');
+            if next_ws && upper_after && (c != '.' || prev_word_len != 1) {
+                let end = pos + c.len_utf8();
+                let s = text[start..end].trim();
+                if !s.is_empty() {
+                    out.push(s);
+                }
+                start = end;
+            }
+        }
+        i += 1;
+    }
+    let tail = text[start..].trim();
+    if !tail.is_empty() {
+        out.push(tail);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn texts<'a>(ts: &'a [Token<'a>]) -> Vec<&'a str> {
+        ts.iter().map(|t| t.text).collect()
+    }
+
+    #[test]
+    fn words_and_punct() {
+        let ts = tokenize("Matilda grossed $960,998.");
+        assert_eq!(texts(&ts), vec!["Matilda", "grossed", "$", "960,998", "."]);
+    }
+
+    #[test]
+    fn internal_punct_kept() {
+        let ts = tokenize("O'Brien at W. 44th St between 7th and 8th");
+        assert_eq!(
+            texts(&ts),
+            vec!["O'Brien", "at", "W", ".", "44th", "St", "between", "7th", "and", "8th"]
+        );
+        let ts = tokenize("U.S. economy");
+        assert_eq!(texts(&ts), vec!["U.S", ".", "economy"]);
+    }
+
+    #[test]
+    fn spans_are_correct() {
+        let text = "Go Matilda!";
+        for t in tokenize(text) {
+            assert_eq!(&text[t.start..t.end], t.text);
+        }
+    }
+
+    #[test]
+    fn token_predicates() {
+        let ts = tokenize("NYC Matilda 960,998 inc");
+        assert!(ts[0].is_all_caps());
+        assert!(ts[0].is_capitalized());
+        assert!(ts[1].is_capitalized());
+        assert!(!ts[1].is_all_caps());
+        assert!(ts[2].is_numeric());
+        assert!(!ts[3].is_capitalized());
+        assert!(!ts[2].is_all_caps());
+    }
+
+    #[test]
+    fn unicode_tokens() {
+        let ts = tokenize("café €27");
+        assert_eq!(texts(&ts), vec!["café", "€", "27"]);
+    }
+
+    #[test]
+    fn empty_and_whitespace() {
+        assert!(tokenize("").is_empty());
+        assert!(tokenize("   \t\n").is_empty());
+    }
+
+    #[test]
+    fn sentence_splitting() {
+        let text = "The show grossed well. Matilda is an import from London! Is it good?";
+        let ss = sentences(text);
+        assert_eq!(ss.len(), 3);
+        assert!(ss[0].ends_with("well."));
+        assert!(ss[1].starts_with("Matilda"));
+    }
+
+    #[test]
+    fn initials_do_not_split_sentences() {
+        let text = "Shubert 225 W. 44th St is the venue. Tickets from $27.";
+        let ss = sentences(text);
+        assert_eq!(ss.len(), 2, "{ss:?}");
+    }
+
+    #[test]
+    fn lowercase_continuation_does_not_split() {
+        let text = "It grossed 960,998. or 93 percent of the maximum";
+        // '.' followed by lowercase: treated as continuation.
+        let ss = sentences(text);
+        assert_eq!(ss.len(), 1);
+    }
+}

@@ -1,0 +1,62 @@
+//! # Data Tamer: text + structured data fusion at scale
+//!
+//! A from-scratch Rust reproduction of *"Text and Structured Data Fusion in
+//! Data Tamer at Scale"* (Gubanov, Stonebraker, Bruckner — ICDE 2014).
+//!
+//! This facade re-exports the workspace crates:
+//!
+//! | module | crate | role |
+//! |---|---|---|
+//! | [`model`] | `datatamer-model` | values, documents, flattening, records, schema profiles |
+//! | [`sim`] | `datatamer-sim` | string/set/numeric similarity measures |
+//! | [`storage`] | `datatamer-storage` | sharded semi-structured storage engine (Tables I–II) |
+//! | [`text`] | `datatamer-text` | the domain-specific parser (Figure 1's user-defined module) |
+//! | [`corpus`] | `datatamer-corpus` | synthetic WEBINSTANCE / WEBENTITIES / FTABLES generators |
+//! | [`ml`] | `datatamer-ml` | hand-rolled classifiers + 10-fold cross-validation (§IV) |
+//! | [`schema`] | `datatamer-schema` | bottom-up schema integration (Figs 2–3) |
+//! | [`entity`] | `datatamer-entity` | entity consolidation |
+//! | [`clean`] | `datatamer-clean` | cleaning + transformations (EUR→USD) |
+//! | [`expert`] | `datatamer-expert` | expert sourcing |
+//! | [`core`] | `datatamer-core` | the Data Tamer pipeline, fusion, and demo queries |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use datatamer::core::{DataTamer, DataTamerConfig};
+//! use datatamer::corpus::{ftables, webtext};
+//! use datatamer::text::DomainParser;
+//!
+//! // Generate the paper's datasets (synthetic; DESIGN.md §2).
+//! let sources = ftables::generate(&ftables::FtablesConfig::default(), 0);
+//! let corpus = webtext::WebTextCorpus::generate(&webtext::WebTextConfig {
+//!     num_fragments: 50,
+//!     ..Default::default()
+//! });
+//!
+//! // Stand up Data Tamer, integrate the first structured source.
+//! let mut dt = DataTamer::new(DataTamerConfig::default());
+//! dt.register_structured(&sources[0].name, &sources[0].records);
+//!
+//! // Ingest web text through the domain parser.
+//! let parser = DomainParser::with_gazetteer(corpus.gazetteer.clone());
+//! let frags: Vec<(&str, &str)> =
+//!     corpus.fragments.iter().map(|f| (f.text.as_str(), f.kind.label())).collect();
+//! dt.ingest_webtext(parser, frags);
+//!
+//! // Fuse and look up the paper's demo show.
+//! let fused = dt.fuse();
+//! let matilda = DataTamer::lookup(&fused, "Matilda").expect("Matilda fused");
+//! assert!(matilda.record.get("TEXT_FEED").is_some());
+//! ```
+
+pub use datatamer_clean as clean;
+pub use datatamer_core as core;
+pub use datatamer_corpus as corpus;
+pub use datatamer_entity as entity;
+pub use datatamer_expert as expert;
+pub use datatamer_ml as ml;
+pub use datatamer_model as model;
+pub use datatamer_schema as schema;
+pub use datatamer_sim as sim;
+pub use datatamer_storage as storage;
+pub use datatamer_text as text;
