@@ -553,9 +553,23 @@ mod tests {
         assert_eq!(steps.len(), 20);
         assert_eq!(steps[0].human_interventions, 0, "empty schema asks nothing");
         assert!(steps[0].new_attributes >= 3);
-        let early: usize = steps[1..6].iter().map(|s| s.human_interventions).sum();
-        let late: usize = steps[15..].iter().map(|s| s.human_interventions).sum();
-        assert!(late <= early, "maturity must not increase intervention: early={early} late={late}");
+        // Bootstrap alerts ("no counterpart in the global schema") are a
+        // front-loaded phenomenon: they concentrate in the first few
+        // sources and vanish once the schema matures.
+        let early_alerts: usize = steps[..5].iter().map(|s| s.new_attributes).sum();
+        let late_alerts: usize = steps[10..].iter().map(|s| s.new_attributes).sum();
+        assert!(early_alerts >= 6, "bootstrap must raise alerts: {early_alerts}");
+        assert_eq!(late_alerts, 0, "mature schema must stop raising new-attribute alerts");
+        // Intervention stays rare after maturity: no late source escalates
+        // more than a handful of its ~12 attributes to a human.
+        for s in &steps[10..] {
+            assert!(
+                s.human_interventions <= 3,
+                "mature-schema source {} needed {} human answers",
+                s.source,
+                s.human_interventions
+            );
+        }
         // The schema converges instead of proliferating.
         let final_attrs = steps.last().unwrap().global_attrs_after;
         assert!(final_attrs <= 24, "global schema exploded: {final_attrs}");

@@ -23,6 +23,6 @@ pub mod textclean;
 pub mod transforms;
 
 pub use outliers::{detect_outliers, OutlierReport};
-pub use rules::{CleaningEngine, CleaningReport, Rule};
+pub use rules::{clean_sources_parallel, CleaningEngine, CleaningReport, Rule};
 pub use textclean::TextCleaner;
 pub use transforms::Transform;

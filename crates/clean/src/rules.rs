@@ -1,6 +1,7 @@
 //! The per-attribute cleaning rule engine.
 
 use datatamer_model::Record;
+use rayon::prelude::*;
 
 use crate::nulls;
 use crate::transforms::Transform;
@@ -30,6 +31,15 @@ pub struct CleaningReport {
     pub nulls_canonicalized: usize,
     /// Rule applications that changed a value.
     pub values_transformed: usize,
+}
+
+impl CleaningReport {
+    /// Fold another report's counts into this one (parallel-chunk merge).
+    pub fn merge(&mut self, other: &CleaningReport) {
+        self.records += other.records;
+        self.nulls_canonicalized += other.nulls_canonicalized;
+        self.values_transformed += other.values_transformed;
+    }
 }
 
 /// The engine: null canonicalisation (always on) plus ordered rules.
@@ -103,6 +113,48 @@ impl CleaningEngine {
         }
         report
     }
+
+    /// Clean a batch with the records fanned out across the rayon thread
+    /// team. Record mutations are per-record (no cross-record state), so
+    /// the cleaned values are identical to [`Self::clean_all`] at any
+    /// thread count; per-chunk reports merge into one.
+    pub fn clean_all_parallel(&self, records: &mut [Record]) -> CleaningReport {
+        let chunk_reports: Vec<CleaningReport> = records
+            .par_iter_mut()
+            .map(|r| {
+                let mut report = CleaningReport::default();
+                self.clean_record(r, &mut report);
+                report
+            })
+            .collect();
+        let mut total = CleaningReport::default();
+        for r in chunk_reports {
+            total.merge(&r);
+        }
+        total
+    }
+}
+
+/// Clean many sources concurrently: each `(name, records)` job runs the
+/// engine built by `engine_for` over its records, in parallel across
+/// sources (the paper's per-source curation step). Reports come back in
+/// job order.
+///
+/// Each job's records clean through [`CleaningEngine::clean_all_parallel`],
+/// so a single oversized source still spreads across the thread team (the
+/// rayon shim runs a lone job inline, leaving the full width to the
+/// per-record fan-out).
+pub fn clean_sources_parallel(
+    jobs: &mut [(String, Vec<Record>)],
+    engine_for: impl Fn(&str) -> CleaningEngine + Sync,
+) -> Vec<(String, CleaningReport)> {
+    jobs.par_iter_mut()
+        .map(|(name, records)| {
+            let engine = engine_for(name);
+            let report = engine.clean_all_parallel(records);
+            (name.clone(), report)
+        })
+        .collect()
 }
 
 #[cfg(test)]

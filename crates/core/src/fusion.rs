@@ -12,6 +12,7 @@ use datatamer_ml::DedupClassifier;
 use datatamer_model::Record;
 use datatamer_sim as sim;
 use datatamer_text::normalize::canonical_name;
+use rayon::prelude::*;
 
 /// Canonical fused attribute names (Table VI spellings).
 pub const SHOW_NAME: &str = "SHOW_NAME";
@@ -75,16 +76,19 @@ pub struct FusedEntity {
     pub member_count: usize,
 }
 
-/// Fuse records (text-derived + structured, already renamed to canonical
-/// attribute spellings) into one composite per distinct show.
+/// One fusion candidate group: the canonical key and member indexes into
+/// the record slice, in first-seen order.
+pub type FusionGroup = (String, Vec<usize>);
+
+/// Entity-consolidation half of fusion: group record indexes by the
+/// canonical form of `SHOW_NAME`, attaching near-miss names (typos, case
+/// damage) to an existing group via `policy`.
 ///
-/// Records group by the canonical form of `SHOW_NAME`; near-miss names
-/// (typos, case damage) attach to an existing group via `policy`. Record
-/// order matters: earlier records win `First`-policy attributes, so callers
-/// pass the cleanest source first.
-pub fn fuse_records(records: &[Record], policy: &FusionPolicy) -> Vec<FusedEntity> {
-    // Group indexes by canonical key, preserving first-seen group order.
-    let mut groups: Vec<(String, Vec<usize>)> = Vec::new();
+/// The scan is inherently sequential (each record may attach to a group an
+/// earlier record created), but it is cheap: the quadratic part — merging
+/// — happens per group in [`merge_groups`].
+pub fn group_records(records: &[Record], policy: &FusionPolicy) -> Vec<FusionGroup> {
+    let mut groups: Vec<FusionGroup> = Vec::new();
     let mut by_key: HashMap<String, usize> = HashMap::new();
     for (i, r) in records.iter().enumerate() {
         let Some(name) = r.get_text(SHOW_NAME) else { continue };
@@ -112,16 +116,34 @@ pub fn fuse_records(records: &[Record], policy: &FusionPolicy) -> Vec<FusedEntit
         };
         groups[group_idx].1.push(i);
     }
+    groups
+}
 
+/// Merge half of fusion: collapse each candidate group into one composite
+/// entity under the standard conflict policies. Groups merge independently,
+/// so this fans out across the rayon team; output order is group order at
+/// any thread count.
+pub fn merge_groups(records: &[Record], groups: &[FusionGroup]) -> Vec<FusedEntity> {
     let merge_policy = fusion_merge_policy();
     groups
-        .into_iter()
+        .par_iter()
         .map(|(key, members)| {
             let refs: Vec<&Record> = members.iter().map(|&i| &records[i]).collect();
             let record = merge_cluster(&refs, &merge_policy);
-            FusedEntity { key, record, member_count: members.len() }
+            FusedEntity { key: key.clone(), record, member_count: members.len() }
         })
         .collect()
+}
+
+/// Fuse records (text-derived + structured, already renamed to canonical
+/// attribute spellings) into one composite per distinct show.
+///
+/// Record order matters: earlier records win `First`-policy attributes, so
+/// callers pass the cleanest source first. This is [`group_records`]
+/// followed by [`merge_groups`]; the staged pipeline runs the halves as
+/// separate stages.
+pub fn fuse_records(records: &[Record], policy: &FusionPolicy) -> Vec<FusedEntity> {
+    merge_groups(records, &group_records(records, policy))
 }
 
 #[cfg(test)]

@@ -16,7 +16,11 @@
 //!   global schema (the Matilda enrichment of Tables V–VI).
 //! * [`query`] — demo queries: show lookup and top-k most-discussed
 //!   award-winning titles (Table IV).
-//! * [`pipeline`] — [`pipeline::DataTamer`], the public facade.
+//! * [`stage`] — the staged pipeline: [`stage::PipelineStage`] (ingest →
+//!   schema integration → cleaning → entity consolidation → fusion) over a
+//!   [`stage::PipelineContext`] owning store, catalog, and stage reports.
+//! * [`pipeline`] — [`pipeline::DataTamer`], the public facade assembling
+//!   and running stage lists.
 
 pub mod catalog;
 pub mod config;
@@ -25,10 +29,12 @@ pub mod fusion;
 pub mod ingest;
 pub mod pipeline;
 pub mod query;
+pub mod stage;
 
 pub use catalog::{Catalog, SourceInfo, SourceKind};
 pub use config::DataTamerConfig;
 pub use expert_bridge::ExpertPanelResolver;
 pub use fusion::{fuse_records, FusionPolicy};
 pub use ingest::{IngestStats, TextIngestor};
-pub use pipeline::DataTamer;
+pub use pipeline::{DataTamer, PipelinePlan};
+pub use stage::{PipelineContext, PipelineStage, StageReport};

@@ -1,63 +1,84 @@
-//! The DATA TAMER facade: Figure 1 as an API.
+//! The DATA TAMER facade over the staged pipeline.
 //!
 //! ```text
 //! structured sources ──┐
 //!                      ├─ ingest → schema integration → cleaning ─┐
-//! web text ─ parser ───┘                                          ├─ fusion → queries
-//!            (instance/entity collections, show records) ─────────┘
+//! web text ─ parser ───┘                                          ├─ entity
+//!            (instance/entity collections, show records) ─────────┤ consolidation
+//!                                                                 ▼
+//!                                                              fusion → queries
 //! ```
+//!
+//! Every phase above is a [`crate::stage::PipelineStage`] executed over a
+//! [`crate::stage::PipelineContext`] (which owns the `Store`, `Catalog`,
+//! global schema, and per-stage reports). [`DataTamer`] assembles stage
+//! lists: [`DataTamer::run`] executes the whole canonical sequence in one
+//! call, while the incremental entry points ([`DataTamer::register_structured`],
+//! [`DataTamer::ingest_webtext`]) run the prefix stages so sources can
+//! arrive over time. Hot paths — record mapping, per-source cleaning,
+//! batched shard inserts, group merging — are rayon-parallel with
+//! deterministic output at any thread count.
 
 use std::sync::Arc;
 
-use datatamer_clean::{CleaningEngine, CleaningReport};
-use datatamer_model::{doc, Record, SourceSchema, Value};
+use datatamer_clean::CleaningReport;
+use datatamer_model::{doc, Record, Value};
 use datatamer_schema::integrate::EscalationResolver;
-use datatamer_schema::{IntegrationReport, SchemaIntegrator};
+use datatamer_schema::IntegrationReport;
 use datatamer_storage::{Collection, CollectionStats, Store};
 use datatamer_text::normalize::canonical_name;
 use datatamer_text::DomainParser;
 
-use crate::catalog::{Catalog, SourceKind};
+use crate::catalog::Catalog;
 use crate::config::DataTamerConfig;
-use crate::fusion::{
-    fuse_records, FusedEntity, FusionPolicy, CHEAPEST_PRICE, FIRST, PERFORMANCE, SHOW_NAME,
-    THEATER,
-};
-use crate::ingest::{IngestStats, TextIngestor};
+use crate::fusion::{fuse_records, FusedEntity, FusionPolicy};
+use crate::ingest::IngestStats;
 use crate::query::{entity_type_histogram, top_discussed_award_winning, DiscussedShow};
+use crate::stage::{
+    run_stages, CleaningStage, EntityConsolidationStage, FusionStage, IngestStage,
+    PipelineContext, PipelineStage, SchemaIntegrationStage, TextIngestJob,
+};
 
 /// Name of the collection holding integrated (mapped + cleaned) records.
 pub const GLOBAL_RECORDS_COLLECTION: &str = "global_records";
 
-/// The Data Tamer system.
+/// Inputs for one full pipeline run (see [`DataTamer::run`]).
+#[derive(Default)]
+pub struct PipelinePlan<'a> {
+    /// Structured sources: `(name, records)`.
+    pub structured: Vec<(String, Vec<Record>)>,
+    /// Web text to ingest through the domain parser.
+    pub text: Option<TextIngestJob<'a>>,
+}
+
+impl<'a> PipelinePlan<'a> {
+    /// Empty plan.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a structured source.
+    pub fn structured(mut self, name: impl Into<String>, records: &[Record]) -> Self {
+        self.structured.push((name.into(), records.to_vec()));
+        self
+    }
+
+    /// Set the web-text job.
+    pub fn webtext(mut self, parser: DomainParser, fragments: Vec<(&'a str, &'a str)>) -> Self {
+        self.text = Some(TextIngestJob { parser, fragments });
+        self
+    }
+}
+
+/// The Data Tamer system: a [`PipelineContext`] plus stage assembly.
 pub struct DataTamer {
-    config: DataTamerConfig,
-    store: Store,
-    catalog: Catalog,
-    integrator: SchemaIntegrator,
-    structured_records: Vec<Record>,
-    text_show_records: Vec<Record>,
-    cleaning_reports: Vec<(String, CleaningReport)>,
-    text_stats: IngestStats,
+    ctx: PipelineContext,
 }
 
 impl DataTamer {
     /// Build a system from a configuration.
     pub fn new(config: DataTamerConfig) -> Self {
-        let integrator = SchemaIntegrator::new(
-            datatamer_schema::CompositeMatcher::broadway(),
-            config.integration.clone(),
-        );
-        DataTamer {
-            store: Store::new(config.namespace.clone()),
-            catalog: Catalog::new(),
-            integrator,
-            structured_records: Vec::new(),
-            text_show_records: Vec::new(),
-            cleaning_reports: Vec::new(),
-            text_stats: IngestStats::default(),
-            config,
-        }
+        DataTamer { ctx: PipelineContext::new(config) }
     }
 
     /// Default-configured system.
@@ -65,39 +86,69 @@ impl DataTamer {
         Self::new(DataTamerConfig::default())
     }
 
+    /// The staged-pipeline context (stage reports, run log, record state).
+    pub fn context(&self) -> &PipelineContext {
+        &self.ctx
+    }
+
     /// The underlying store (stats, ad-hoc queries).
     pub fn store(&self) -> &Store {
-        &self.store
+        &self.ctx.store
     }
 
     /// The source catalog.
     pub fn catalog(&self) -> &Catalog {
-        &self.catalog
+        &self.ctx.catalog
     }
 
     /// The growing global schema.
     pub fn global_schema(&self) -> &datatamer_schema::GlobalSchema {
-        self.integrator.global()
+        self.ctx.integrator.global()
     }
 
     /// Cleaning reports per registered source.
     pub fn cleaning_reports(&self) -> &[(String, CleaningReport)] {
-        &self.cleaning_reports
+        &self.ctx.cleaning_reports
     }
 
     /// Text ingestion statistics.
     pub fn text_stats(&self) -> &IngestStats {
-        &self.text_stats
+        &self.ctx.text_stats
     }
 
     /// Integrated structured records (canonical attribute spellings).
     pub fn structured_records(&self) -> &[Record] {
-        &self.structured_records
+        &self.ctx.structured_records
     }
 
     /// Text-derived show records.
     pub fn text_show_records(&self) -> &[Record] {
-        &self.text_show_records
+        &self.ctx.text_show_records
+    }
+
+    /// The fusion policy derived from this system's configuration.
+    fn fusion_policy(&self) -> FusionPolicy {
+        FusionPolicy::Fuzzy { threshold: self.ctx.config().fusion_threshold }
+    }
+
+    /// Run the full canonical pipeline — ingest → schema integration →
+    /// cleaning → entity consolidation → fusion — over a plan, returning
+    /// the fused entities. Each stage's report lands in the context
+    /// ([`PipelineContext::report_of`]).
+    ///
+    /// Incremental state is honoured: sources registered earlier stay in
+    /// the global schema and participate in consolidation/fusion.
+    pub fn run(&mut self, plan: PipelinePlan<'_>) -> datatamer_model::Result<&[FusedEntity]> {
+        let policy = self.fusion_policy();
+        let mut stages: Vec<Box<dyn PipelineStage + '_>> = vec![
+            Box::new(IngestStage::new(plan.structured, plan.text)),
+            Box::new(SchemaIntegrationStage::auto()),
+            Box::new(CleaningStage),
+            Box::new(EntityConsolidationStage::new(policy)),
+            Box::new(FusionStage),
+        ];
+        run_stages(&mut self.ctx, &mut stages)?;
+        Ok(&self.ctx.fused)
     }
 
     /// Register and integrate a structured source; thresholds only.
@@ -111,114 +162,58 @@ impl DataTamer {
     }
 
     /// Register and integrate a structured source, routing escalations
-    /// through `resolver` (e.g. an expert panel).
+    /// through `resolver` (e.g. an expert panel). Runs the ingest →
+    /// schema integration → cleaning stage prefix for this source.
     pub fn register_structured_with(
         &mut self,
         name: &str,
         records: &[Record],
         resolver: &mut dyn EscalationResolver,
     ) -> IntegrationReport {
-        let source_id = self.catalog.register(name, SourceKind::Structured);
-        self.catalog.set_record_count(source_id, records.len() as u64);
-
-        // 1. Profile and integrate the schema.
-        let schema = SourceSchema::profile_records(source_id, name, records);
-        let report = self.integrator.integrate_with(&schema, resolver);
-
-        // 2. Build the source-attr → canonical-name mapping from decisions.
-        let mut mapping: Vec<(String, Option<String>)> = Vec::new();
-        for s in &report.suggestions {
-            let target = match s.decision.mapped_attr() {
-                Some(id) => self
-                    .integrator
-                    .global()
-                    .get(id)
-                    .map(|g| g.name.to_uppercase()),
-                None => match s.decision {
-                    datatamer_schema::Decision::Ignore => None,
-                    _ => Some(s.source_attr.to_uppercase()),
-                },
-            };
-            mapping.push((s.source_attr.clone(), target));
-        }
-
-        // 3. Map records onto the global schema (rename/drop attributes).
-        let mut mapped: Vec<Record> = records
-            .iter()
-            .map(|r| {
-                let mut out = Record::new(r.source, r.id);
-                for (attr, value) in r.iter() {
-                    match mapping.iter().find(|(a, _)| a == attr) {
-                        Some((_, Some(target))) => out.set(target.clone(), value.clone()),
-                        Some((_, None)) => {}
-                        None => out.set(attr.to_uppercase(), value.clone()),
-                    }
-                }
-                out
-            })
-            .collect();
-
-        // 4. Clean and transform (EUR→USD on prices, date normalisation...).
-        let engine = CleaningEngine::broadway(
-            CHEAPEST_PRICE,
-            FIRST,
-            &[SHOW_NAME, THEATER, PERFORMANCE],
-        );
-        let clean_report = engine.clean_all(&mut mapped);
-        self.cleaning_reports.push((name.to_owned(), clean_report));
-
-        // 5. Persist into the global-records collection.
-        let col = self
-            .store
-            .collection_or_create(GLOBAL_RECORDS_COLLECTION, self.config.collection_config());
-        for r in &mapped {
-            col.insert(&record_to_doc(r));
-        }
-        self.structured_records.extend(mapped);
-        report
+        let mut stages: Vec<Box<dyn PipelineStage + '_>> = vec![
+            Box::new(IngestStage::new(vec![(name.to_owned(), records.to_vec())], None)),
+            Box::new(SchemaIntegrationStage::with_resolver(resolver)),
+            Box::new(CleaningStage),
+        ];
+        run_stages(&mut self.ctx, &mut stages)
+            .expect("structured registration stages are infallible");
+        let (_, report) = self
+            .ctx
+            .integration_reports
+            .last()
+            .expect("schema integration stage records a report");
+        report.clone()
     }
 
     /// Ingest web-text fragments through the domain parser into the
-    /// `instance` / `entity` collections and collect fusion show records.
+    /// `instance` / `entity` collections and collect fusion show records
+    /// (the ingest stage alone).
     pub fn ingest_webtext<'a, I>(&mut self, parser: DomainParser, fragments: I) -> IngestStats
     where
         I: IntoIterator<Item = (&'a str, &'a str)>,
     {
-        let source_id = self.catalog.register("webtext", SourceKind::Text);
-        let ingestor = if self.config.clean_text {
-            TextIngestor::new(parser)
-        } else {
-            TextIngestor::without_cleaner(parser)
-        };
-        let (stats, shows) = ingestor.ingest(
-            &self.store,
-            self.config.collection_config(),
-            source_id,
-            fragments,
-        );
-        self.catalog.set_record_count(source_id, stats.instances);
-        self.text_show_records.extend(shows);
-        self.text_stats = stats.clone();
-        stats
+        let job = TextIngestJob { parser, fragments: fragments.into_iter().collect() };
+        let mut stages: Vec<Box<dyn PipelineStage + '_>> =
+            vec![Box::new(IngestStage::new(Vec::new(), Some(job)))];
+        run_stages(&mut self.ctx, &mut stages).expect("text ingest stage is infallible");
+        self.ctx.text_stats.clone()
     }
 
     /// Fuse structured + text show records into composite entities.
     /// Structured records come first so source-priority conflict resolution
     /// favours the curated sources.
     pub fn fuse(&self) -> Vec<FusedEntity> {
+        let ctx = &self.ctx;
         let mut all: Vec<Record> =
-            Vec::with_capacity(self.structured_records.len() + self.text_show_records.len());
-        all.extend(self.structured_records.iter().cloned());
-        all.extend(self.text_show_records.iter().cloned());
-        fuse_records(&all, &FusionPolicy::Fuzzy { threshold: self.config.fusion_threshold })
+            Vec::with_capacity(ctx.structured_records.len() + ctx.text_show_records.len());
+        all.extend(ctx.structured_records.iter().cloned());
+        all.extend(ctx.text_show_records.iter().cloned());
+        fuse_records(&all, &self.fusion_policy())
     }
 
     /// Fuse only text-derived records (the Table V "before" state).
     pub fn fuse_text_only(&self) -> Vec<FusedEntity> {
-        fuse_records(
-            &self.text_show_records,
-            &FusionPolicy::Fuzzy { threshold: self.config.fusion_threshold },
-        )
+        fuse_records(&self.ctx.text_show_records, &self.fusion_policy())
     }
 
     /// Look up one show in a fused entity set by (canonicalised) name.
@@ -232,7 +227,7 @@ impl DataTamer {
 
     /// Table IV: top-k most discussed award-winning shows from web text.
     pub fn top_discussed(&self, k: usize) -> Vec<DiscussedShow> {
-        match self.store.collection(crate::ingest::INSTANCE_COLLECTION) {
+        match self.ctx.store.collection(crate::ingest::INSTANCE_COLLECTION) {
             Some(c) => top_discussed_award_winning(&c, k),
             None => Vec::new(),
         }
@@ -240,7 +235,7 @@ impl DataTamer {
 
     /// Table III: entity counts by type.
     pub fn entity_histogram(&self) -> Vec<(String, u64)> {
-        match self.store.collection(crate::ingest::ENTITY_COLLECTION) {
+        match self.ctx.store.collection(crate::ingest::ENTITY_COLLECTION) {
             Some(c) => entity_type_histogram(&c),
             None => Vec::new(),
         }
@@ -248,12 +243,12 @@ impl DataTamer {
 
     /// Tables I/II: stats of a named collection.
     pub fn collection_stats(&self, name: &str) -> Option<CollectionStats> {
-        self.store.stats(name)
+        self.ctx.store.stats(name)
     }
 
     /// Handle to a collection.
     pub fn collection(&self, name: &str) -> Option<Arc<Collection>> {
-        self.store.collection(name)
+        self.ctx.store.collection(name)
     }
 }
 
@@ -272,7 +267,8 @@ pub fn record_to_doc(r: &Record) -> datatamer_model::Document {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::fusion::TEXT_FEED;
+    use crate::fusion::{CHEAPEST_PRICE, SHOW_NAME, TEXT_FEED};
+    use crate::stage::{stage_names, StageReport};
     use datatamer_model::{RecordId, SourceId};
     use datatamer_text::{EntityType, Gazetteer};
 
@@ -356,6 +352,125 @@ mod tests {
         assert_eq!(matilda.record.get_text(CHEAPEST_PRICE).as_deref(), Some("$27"));
         assert!(matilda.record.get_text(TEXT_FEED).unwrap().contains("960,998"));
         assert_eq!(matilda.member_count, 2);
+    }
+
+    #[test]
+    fn run_executes_the_canonical_stage_list_once_in_order() {
+        let mut dt = DataTamer::new(small_config());
+        let plan = PipelinePlan::new()
+            .structured("s1", &structured_rows(0, "show_name", "cheapest_price"))
+            .webtext(
+                parser(),
+                vec![("Matilda grossed 960,998 in London previews", "news")],
+            );
+        let fused_len = dt.run(plan).expect("pipeline runs").len();
+        assert!(fused_len >= 3, "three shows plus text mentions: {fused_len}");
+
+        let names: Vec<&str> = dt.context().runs().iter().map(|r| r.stage).collect();
+        assert_eq!(names, stage_names::CANONICAL_ORDER.to_vec(), "order and multiplicity");
+        for stage in stage_names::CANONICAL_ORDER {
+            assert_eq!(dt.context().run_count(stage), 1, "{stage} must run exactly once");
+            assert!(dt.context().report_of(stage).is_some(), "{stage} report queryable");
+        }
+    }
+
+    #[test]
+    fn run_reports_carry_stage_outcomes() {
+        let mut dt = DataTamer::new(small_config());
+        let plan = PipelinePlan::new()
+            .structured("a", &structured_rows(0, "show_name", "cheapest_price"))
+            .structured("b", &structured_rows(1, "title", "cost"))
+            .webtext(parser(), vec![("Wicked sells out nightly", "blog")]);
+        dt.run(plan).unwrap();
+        let ctx = dt.context();
+
+        match ctx.report_of(stage_names::INGEST).unwrap() {
+            StageReport::Ingest { structured_sources, structured_records, text } => {
+                assert_eq!(*structured_sources, 2);
+                assert_eq!(*structured_records, 6);
+                assert_eq!(text.as_ref().unwrap().instances, 1);
+            }
+            other => panic!("wrong report variant: {other:?}"),
+        }
+        match ctx.report_of(stage_names::SCHEMA_INTEGRATION).unwrap() {
+            StageReport::SchemaIntegration { sources, .. } => assert_eq!(*sources, 2),
+            other => panic!("wrong report variant: {other:?}"),
+        }
+        match ctx.report_of(stage_names::CLEANING).unwrap() {
+            StageReport::Cleaning { sources, records, values_transformed, .. } => {
+                assert_eq!(*sources, 2);
+                assert_eq!(*records, 6);
+                assert!(*values_transformed >= 2, "two EUR prices converted");
+            }
+            other => panic!("wrong report variant: {other:?}"),
+        }
+        match ctx.report_of(stage_names::ENTITY_CONSOLIDATION).unwrap() {
+            StageReport::EntityConsolidation { records, groups, multi_member_groups, .. } => {
+                assert_eq!(*records, 7, "6 structured + 1 text show record");
+                assert!(*groups >= 3);
+                assert!(*multi_member_groups >= 1, "Wicked spans sources");
+            }
+            other => panic!("wrong report variant: {other:?}"),
+        }
+        match ctx.report_of(stage_names::FUSION).unwrap() {
+            StageReport::Fusion { entities, members } => {
+                assert_eq!(*entities, ctx.fusion_groups.len());
+                assert_eq!(*members, 7);
+            }
+            other => panic!("wrong report variant: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn run_agrees_with_incremental_api() {
+        let rows = structured_rows(0, "show_name", "cheapest_price");
+        let fragments = vec![("Matilda grossed 960,998 in London", "news")];
+
+        let mut staged = DataTamer::new(small_config());
+        staged
+            .run(PipelinePlan::new().structured("s1", &rows).webtext(parser(), fragments.clone()))
+            .unwrap();
+        let via_run: Vec<String> = staged
+            .context()
+            .fused
+            .iter()
+            .map(|f| format!("{}/{}/{:?}", f.key, f.member_count, f.record))
+            .collect();
+
+        let mut imperative = DataTamer::new(small_config());
+        imperative.register_structured("s1", &rows);
+        imperative.ingest_webtext(parser(), fragments);
+        let via_fuse: Vec<String> = imperative
+            .fuse()
+            .iter()
+            .map(|f| format!("{}/{}/{:?}", f.key, f.member_count, f.record))
+            .collect();
+
+        assert_eq!(via_run, via_fuse, "staged run and imperative flow fuse identically");
+    }
+
+    #[test]
+    fn incremental_calls_append_stage_runs() {
+        let mut dt = DataTamer::new(small_config());
+        dt.register_structured("s1", &structured_rows(0, "show_name", "cheapest_price"));
+        dt.ingest_webtext(parser(), [("Annie tickets on sale", "news")]);
+        let ctx = dt.context();
+        assert_eq!(ctx.run_count(stage_names::INGEST), 2, "one per entry point");
+        assert_eq!(ctx.run_count(stage_names::SCHEMA_INTEGRATION), 1);
+        assert_eq!(ctx.run_count(stage_names::CLEANING), 1);
+        assert_eq!(ctx.run_count(stage_names::FUSION), 0, "no fusion requested yet");
+    }
+
+    #[test]
+    fn text_only_run_creates_no_global_records_collection() {
+        let mut dt = DataTamer::new(small_config());
+        dt.run(PipelinePlan::new().webtext(parser(), vec![("Matilda tonight", "news")]))
+            .unwrap();
+        assert!(
+            dt.collection(GLOBAL_RECORDS_COLLECTION).is_none(),
+            "no structured sources cleaned, so the collection must not exist"
+        );
+        assert!(dt.collection_stats(GLOBAL_RECORDS_COLLECTION).is_none());
     }
 
     #[test]

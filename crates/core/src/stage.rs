@@ -1,0 +1,539 @@
+//! The staged pipeline: Figure 1 as an explicit stage list.
+//!
+//! Every phase of the system — ingest, schema integration, cleaning,
+//! entity consolidation, fusion — is a [`PipelineStage`] driven over a
+//! [`PipelineContext`] that owns the store, the catalog, the growing
+//! global schema, and every stage's report. The facade
+//! ([`crate::DataTamer`]) assembles stage lists and runs them through
+//! [`run_stages`]; future scaling work (shard coordinators, async ingest,
+//! persistence-backed stages) plugs in at these boundaries instead of
+//! inside a monolith.
+//!
+//! ```text
+//! ingest → schema integration → cleaning → entity consolidation → fusion
+//!    │            │                 │               │                │
+//!    └────────────┴────────┬────────┴───────────────┴────────────────┘
+//!                          ▼
+//!                  PipelineContext
+//!         (Store · Catalog · SchemaIntegrator · stage reports)
+//! ```
+
+use datatamer_clean::{clean_sources_parallel, CleaningEngine, CleaningReport};
+use datatamer_model::{Record, Result, SourceId, SourceSchema};
+use datatamer_schema::integrate::{AcceptBest, EscalationResolver};
+use datatamer_schema::{IntegrationReport, SchemaIntegrator};
+use datatamer_storage::Store;
+use datatamer_text::DomainParser;
+use rayon::prelude::*;
+
+use crate::catalog::{Catalog, SourceKind};
+use crate::config::DataTamerConfig;
+use crate::fusion::{
+    group_records, merge_groups, FusedEntity, FusionGroup, FusionPolicy, CHEAPEST_PRICE, FIRST,
+    PERFORMANCE, SHOW_NAME, THEATER,
+};
+use crate::ingest::{IngestStats, TextIngestor};
+use crate::pipeline::{record_to_doc, GLOBAL_RECORDS_COLLECTION};
+
+/// Canonical stage names, in canonical order.
+pub mod stage_names {
+    /// Structured + text ingest.
+    pub const INGEST: &str = "ingest";
+    /// Bottom-up schema integration and record mapping.
+    pub const SCHEMA_INTEGRATION: &str = "schema_integration";
+    /// Cleaning, transformation, and persistence of curated records.
+    pub const CLEANING: &str = "cleaning";
+    /// Entity consolidation: candidate grouping for fusion.
+    pub const ENTITY_CONSOLIDATION: &str = "entity_consolidation";
+    /// Composite-entity fusion.
+    pub const FUSION: &str = "fusion";
+
+    /// The canonical full-pipeline order.
+    pub const CANONICAL_ORDER: [&str; 5] =
+        [INGEST, SCHEMA_INTEGRATION, CLEANING, ENTITY_CONSOLIDATION, FUSION];
+}
+
+/// A structured source registered but not yet integrated.
+#[derive(Debug)]
+pub struct PendingSource {
+    /// Catalog id assigned at ingest.
+    pub id: SourceId,
+    /// Source name.
+    pub name: String,
+    /// Raw records exactly as supplied.
+    pub records: Vec<Record>,
+}
+
+/// What one stage reports back: enough to render progress tables and to
+/// assert pipeline health in tests, without retaining per-record detail.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StageReport {
+    /// [`stage_names::INGEST`].
+    Ingest {
+        /// Structured sources registered this run.
+        structured_sources: usize,
+        /// Raw structured records taken in.
+        structured_records: usize,
+        /// Text ingestion outcome, when web text was ingested.
+        text: Option<IngestStats>,
+    },
+    /// [`stage_names::SCHEMA_INTEGRATION`].
+    SchemaIntegration {
+        /// Sources integrated this run.
+        sources: usize,
+        /// Attribute mappings accepted without a human.
+        auto_accepted: usize,
+        /// Attribute mappings escalated to a resolver.
+        human_interventions: usize,
+        /// Attributes newly added to the global schema.
+        new_attributes: usize,
+    },
+    /// [`stage_names::CLEANING`].
+    Cleaning {
+        /// Sources cleaned this run.
+        sources: usize,
+        /// Records visited.
+        records: usize,
+        /// Null spellings canonicalised.
+        nulls_canonicalized: usize,
+        /// Values rewritten by transform rules.
+        values_transformed: usize,
+    },
+    /// [`stage_names::ENTITY_CONSOLIDATION`].
+    EntityConsolidation {
+        /// Records considered.
+        records: usize,
+        /// Candidate entity groups formed.
+        groups: usize,
+        /// Groups with more than one member (cross-source entities).
+        multi_member_groups: usize,
+        /// Largest group size.
+        largest_group: usize,
+    },
+    /// [`stage_names::FUSION`].
+    Fusion {
+        /// Composite entities produced.
+        entities: usize,
+        /// Input records merged into them.
+        members: usize,
+    },
+}
+
+/// One recorded stage execution.
+#[derive(Debug, Clone)]
+pub struct StageRun {
+    /// The stage's name.
+    pub stage: &'static str,
+    /// What it reported.
+    pub report: StageReport,
+}
+
+/// Everything the stages share: storage, catalog, schema state, the record
+/// sets flowing between stages, and the ordered log of stage runs.
+pub struct PipelineContext {
+    config: DataTamerConfig,
+    /// The collection store (text collections + curated global records).
+    pub store: Store,
+    /// Source registry.
+    pub catalog: Catalog,
+    /// The growing global schema.
+    pub integrator: SchemaIntegrator,
+    /// Ingested structured sources awaiting schema integration.
+    pub pending_sources: Vec<PendingSource>,
+    /// Schema-mapped sources awaiting cleaning.
+    pub mapped_sources: Vec<(String, Vec<Record>)>,
+    /// Integrated + cleaned records (canonical attribute spellings).
+    pub structured_records: Vec<Record>,
+    /// Text-derived show records.
+    pub text_show_records: Vec<Record>,
+    /// Stats of the most recent text ingest.
+    pub text_stats: IngestStats,
+    /// Per-source cleaning reports, in cleaning order.
+    pub cleaning_reports: Vec<(String, CleaningReport)>,
+    /// Per-source integration reports, in integration order.
+    pub integration_reports: Vec<(String, IntegrationReport)>,
+    /// The combined record snapshot consolidation grouped (fusion input;
+    /// drained by the fusion stage to keep the context lean).
+    pub fusion_input: Vec<Record>,
+    /// Candidate groups produced by entity consolidation.
+    pub fusion_groups: Vec<FusionGroup>,
+    /// Fused composites from the most recent fusion stage.
+    pub fused: Vec<FusedEntity>,
+    runs: Vec<StageRun>,
+}
+
+impl PipelineContext {
+    /// Fresh context for a configuration.
+    pub fn new(config: DataTamerConfig) -> Self {
+        let integrator = SchemaIntegrator::new(
+            datatamer_schema::CompositeMatcher::broadway(),
+            config.integration.clone(),
+        );
+        PipelineContext {
+            store: Store::new(config.namespace.clone()),
+            config,
+            catalog: Catalog::new(),
+            integrator,
+            pending_sources: Vec::new(),
+            mapped_sources: Vec::new(),
+            structured_records: Vec::new(),
+            text_show_records: Vec::new(),
+            text_stats: IngestStats::default(),
+            cleaning_reports: Vec::new(),
+            integration_reports: Vec::new(),
+            fusion_input: Vec::new(),
+            fusion_groups: Vec::new(),
+            fused: Vec::new(),
+            runs: Vec::new(),
+        }
+    }
+
+    /// The configuration driving the pipeline.
+    pub fn config(&self) -> &DataTamerConfig {
+        &self.config
+    }
+
+    /// Every stage execution so far, in order.
+    pub fn runs(&self) -> &[StageRun] {
+        &self.runs
+    }
+
+    /// The most recent report of a stage, if it has run.
+    pub fn report_of(&self, stage: &str) -> Option<&StageReport> {
+        self.runs.iter().rev().find(|r| r.stage == stage).map(|r| &r.report)
+    }
+
+    /// How many times a stage has run.
+    pub fn run_count(&self, stage: &str) -> usize {
+        self.runs.iter().filter(|r| r.stage == stage).count()
+    }
+}
+
+/// One phase of the pipeline, executed over the shared context.
+pub trait PipelineStage {
+    /// Stable stage name (one of [`stage_names`]).
+    fn name(&self) -> &'static str;
+
+    /// Execute against the context, returning the stage's report.
+    fn run(&mut self, ctx: &mut PipelineContext) -> Result<StageReport>;
+}
+
+/// Drive stages in order, recording each report in the context. Stops at
+/// the first failing stage (its report is not recorded).
+pub fn run_stages(
+    ctx: &mut PipelineContext,
+    stages: &mut [Box<dyn PipelineStage + '_>],
+) -> Result<()> {
+    for stage in stages {
+        let report = stage.run(ctx)?;
+        ctx.runs.push(StageRun { stage: stage.name(), report });
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Ingest
+// ---------------------------------------------------------------------------
+
+/// A web-text ingest job: the domain parser plus `(fragment, label)` pairs.
+pub struct TextIngestJob<'a> {
+    /// The domain-specific parser (Figure 1's user-defined module).
+    pub parser: DomainParser,
+    /// Raw fragments with their source labels.
+    pub fragments: Vec<(&'a str, &'a str)>,
+}
+
+/// Stage 1: take structured sources and/or web text into the system.
+///
+/// Structured records are registered in the catalog and parked for schema
+/// integration; text fragments run clean → parse → store into the
+/// `instance` / `entity` collections, yielding show records for fusion.
+pub struct IngestStage<'a> {
+    structured: Vec<(String, Vec<Record>)>,
+    text: Option<TextIngestJob<'a>>,
+}
+
+impl<'a> IngestStage<'a> {
+    /// Build from the inputs of one run.
+    pub fn new(structured: Vec<(String, Vec<Record>)>, text: Option<TextIngestJob<'a>>) -> Self {
+        IngestStage { structured, text }
+    }
+}
+
+impl PipelineStage for IngestStage<'_> {
+    fn name(&self) -> &'static str {
+        stage_names::INGEST
+    }
+
+    fn run(&mut self, ctx: &mut PipelineContext) -> Result<StageReport> {
+        let mut structured_records = 0;
+        let structured_sources = self.structured.len();
+        for (name, records) in self.structured.drain(..) {
+            let id = ctx.catalog.register(&name, SourceKind::Structured);
+            ctx.catalog.set_record_count(id, records.len() as u64);
+            structured_records += records.len();
+            ctx.pending_sources.push(PendingSource { id, name, records });
+        }
+
+        let mut text_stats = None;
+        if let Some(job) = self.text.take() {
+            let source_id = ctx.catalog.register("webtext", SourceKind::Text);
+            let ingestor = if ctx.config.clean_text {
+                TextIngestor::new(job.parser)
+            } else {
+                TextIngestor::without_cleaner(job.parser)
+            };
+            let (stats, shows) = ingestor.ingest(
+                &ctx.store,
+                ctx.config.collection_config(),
+                source_id,
+                job.fragments,
+            );
+            ctx.catalog.set_record_count(source_id, stats.instances);
+            ctx.text_show_records.extend(shows);
+            ctx.text_stats = stats.clone();
+            text_stats = Some(stats);
+        }
+
+        Ok(StageReport::Ingest {
+            structured_sources,
+            structured_records,
+            text: text_stats,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Schema integration
+// ---------------------------------------------------------------------------
+
+/// Stage 2: integrate every pending source into the global schema and map
+/// its records onto canonical attribute spellings.
+///
+/// Integration itself is sequential (the global schema grows source by
+/// source — that ordering *is* the paper's bottom-up bootstrap); the
+/// per-record rename mapping fans out across the rayon team.
+pub struct SchemaIntegrationStage<'r> {
+    resolver: Option<&'r mut dyn EscalationResolver>,
+}
+
+impl<'r> SchemaIntegrationStage<'r> {
+    /// Escalations resolved by thresholds only ([`AcceptBest`]).
+    pub fn auto() -> Self {
+        SchemaIntegrationStage { resolver: None }
+    }
+
+    /// Escalations routed to `resolver` (e.g. an expert panel).
+    pub fn with_resolver(resolver: &'r mut dyn EscalationResolver) -> Self {
+        SchemaIntegrationStage { resolver: Some(resolver) }
+    }
+}
+
+/// Map one record onto the global schema given `(source_attr, target)`
+/// decisions: renamed when mapped, dropped when ignored, upper-cased when
+/// unknown.
+fn map_record(r: &Record, mapping: &[(String, Option<String>)]) -> Record {
+    let mut out = Record::new(r.source, r.id);
+    for (attr, value) in r.iter() {
+        match mapping.iter().find(|(a, _)| a == attr) {
+            Some((_, Some(target))) => out.set(target.clone(), value.clone()),
+            Some((_, None)) => {}
+            None => out.set(attr.to_uppercase(), value.clone()),
+        }
+    }
+    out
+}
+
+impl PipelineStage for SchemaIntegrationStage<'_> {
+    fn name(&self) -> &'static str {
+        stage_names::SCHEMA_INTEGRATION
+    }
+
+    fn run(&mut self, ctx: &mut PipelineContext) -> Result<StageReport> {
+        let mut fallback = AcceptBest;
+        let (mut sources, mut auto_accepted, mut human, mut new_attrs) = (0, 0, 0, 0);
+        for source in std::mem::take(&mut ctx.pending_sources) {
+            // 1. Profile and integrate the schema.
+            let schema =
+                SourceSchema::profile_records(source.id, &source.name, &source.records);
+            let resolver: &mut dyn EscalationResolver = match self.resolver.as_deref_mut() {
+                Some(r) => r,
+                None => &mut fallback,
+            };
+            let report = ctx.integrator.integrate_with(&schema, resolver);
+
+            // 2. Build the source-attr → canonical-name mapping from the
+            //    decisions.
+            let mut mapping: Vec<(String, Option<String>)> = Vec::new();
+            for s in &report.suggestions {
+                let target = match s.decision.mapped_attr() {
+                    Some(id) => ctx
+                        .integrator
+                        .global()
+                        .get(id)
+                        .map(|g| g.name.to_uppercase()),
+                    None => match s.decision {
+                        datatamer_schema::Decision::Ignore => None,
+                        _ => Some(s.source_attr.to_uppercase()),
+                    },
+                };
+                mapping.push((s.source_attr.clone(), target));
+            }
+
+            // 3. Map records onto the global schema, in parallel.
+            let mapped: Vec<Record> =
+                source.records.par_iter().map(|r| map_record(r, &mapping)).collect();
+
+            sources += 1;
+            auto_accepted += report.auto_accepted();
+            human += report.human_interventions();
+            new_attrs += report.new_attributes();
+            ctx.integration_reports.push((source.name.clone(), report));
+            ctx.mapped_sources.push((source.name, mapped));
+        }
+        Ok(StageReport::SchemaIntegration {
+            sources,
+            auto_accepted,
+            human_interventions: human,
+            new_attributes: new_attrs,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Cleaning
+// ---------------------------------------------------------------------------
+
+/// Stage 3: clean and transform every mapped source (EUR→USD, date
+/// normalisation, null canonicalisation), then persist the curated records
+/// into the global-records collection.
+///
+/// Sources clean concurrently across the rayon team (per-source engines,
+/// no shared mutable state) and each source's batch lands in storage
+/// through the shard-batched `insert_many` path.
+#[derive(Debug, Default)]
+pub struct CleaningStage;
+
+impl PipelineStage for CleaningStage {
+    fn name(&self) -> &'static str {
+        stage_names::CLEANING
+    }
+
+    fn run(&mut self, ctx: &mut PipelineContext) -> Result<StageReport> {
+        let mut jobs = std::mem::take(&mut ctx.mapped_sources);
+        let reports = clean_sources_parallel(&mut jobs, |_| {
+            CleaningEngine::broadway(
+                CHEAPEST_PRICE,
+                FIRST,
+                &[SHOW_NAME, THEATER, PERFORMANCE],
+            )
+        });
+
+        let (mut records, mut nulls, mut transformed) = (0, 0, 0);
+        for (_, r) in &reports {
+            records += r.records;
+            nulls += r.nulls_canonicalized;
+            transformed += r.values_transformed;
+        }
+        let sources = reports.len();
+        ctx.cleaning_reports.extend(reports);
+
+        // Persist into the global-records collection, batched per source.
+        // Text-only runs clean nothing — leave the collection uncreated so
+        // store listings/stats only ever show collections with a reason to
+        // exist (matching the pre-staged behavior).
+        if !jobs.is_empty() {
+            let col = ctx
+                .store
+                .collection_or_create(GLOBAL_RECORDS_COLLECTION, ctx.config.collection_config());
+            for (_, cleaned) in jobs {
+                let docs: Vec<datatamer_model::Document> =
+                    cleaned.par_iter().map(record_to_doc).collect();
+                col.insert_many(docs.iter());
+                ctx.structured_records.extend(cleaned);
+            }
+        }
+
+        Ok(StageReport::Cleaning {
+            sources,
+            records,
+            nulls_canonicalized: nulls,
+            values_transformed: transformed,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Entity consolidation
+// ---------------------------------------------------------------------------
+
+/// Stage 4: group the curated structured records and the text-derived show
+/// records into candidate entities (the consolidation half of fusion).
+///
+/// Structured records come first so source-priority conflict resolution
+/// favours the curated sources downstream.
+pub struct EntityConsolidationStage {
+    policy: FusionPolicy,
+}
+
+impl EntityConsolidationStage {
+    /// Group with the given fusion policy.
+    pub fn new(policy: FusionPolicy) -> Self {
+        EntityConsolidationStage { policy }
+    }
+}
+
+impl PipelineStage for EntityConsolidationStage {
+    fn name(&self) -> &'static str {
+        stage_names::ENTITY_CONSOLIDATION
+    }
+
+    fn run(&mut self, ctx: &mut PipelineContext) -> Result<StageReport> {
+        let mut input = Vec::with_capacity(
+            ctx.structured_records.len() + ctx.text_show_records.len(),
+        );
+        input.extend(ctx.structured_records.iter().cloned());
+        input.extend(ctx.text_show_records.iter().cloned());
+        let groups = group_records(&input, &self.policy);
+
+        let multi = groups.iter().filter(|(_, m)| m.len() > 1).count();
+        let largest = groups.iter().map(|(_, m)| m.len()).max().unwrap_or(0);
+        let report = StageReport::EntityConsolidation {
+            records: input.len(),
+            groups: groups.len(),
+            multi_member_groups: multi,
+            largest_group: largest,
+        };
+        ctx.fusion_input = input;
+        ctx.fusion_groups = groups;
+        Ok(report)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fusion
+// ---------------------------------------------------------------------------
+
+/// Stage 5: merge each candidate group into one composite entity (groups
+/// merge in parallel; order is deterministic).
+#[derive(Debug, Default)]
+pub struct FusionStage;
+
+impl PipelineStage for FusionStage {
+    fn name(&self) -> &'static str {
+        stage_names::FUSION
+    }
+
+    fn run(&mut self, ctx: &mut PipelineContext) -> Result<StageReport> {
+        // Consume the consolidation snapshot: it exists only to hand the
+        // grouped records from the previous stage to this one, and keeping
+        // a full record clone alive in the context would double resident
+        // memory at scale.
+        let input = std::mem::take(&mut ctx.fusion_input);
+        let fused = merge_groups(&input, &ctx.fusion_groups);
+        let members = fused.iter().map(|f| f.member_count).sum();
+        let report = StageReport::Fusion { entities: fused.len(), members };
+        ctx.fused = fused;
+        Ok(report)
+    }
+}

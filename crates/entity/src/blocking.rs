@@ -9,6 +9,7 @@ use std::collections::HashMap;
 
 use datatamer_model::Record;
 use datatamer_sim::{soundex, tokenize, MinHashLsh, MinHasher};
+use rayon::prelude::*;
 
 /// Available blocking strategies.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -88,13 +89,18 @@ impl Blocker {
             .filter_map(|(i, r)| self.key_of(r).map(|k| (k.to_lowercase(), i)))
             .collect();
         keyed.sort();
-        let mut out = Vec::new();
-        for i in 0..keyed.len() {
-            for j in (i + 1)..(i + window).min(keyed.len()) {
-                let (a, b) = (keyed[i].1, keyed[j].1);
-                out.push((a.min(b), a.max(b)));
-            }
-        }
+        // Window expansion is independent per anchor index — rayon it.
+        let mut out: Vec<(usize, usize)> = (0..keyed.len())
+            .into_par_iter()
+            .flat_map(|i| {
+                let mut local = Vec::with_capacity(window - 1);
+                for j in (i + 1)..(i + window).min(keyed.len()) {
+                    let (a, b) = (keyed[i].1, keyed[j].1);
+                    local.push((a.min(b), a.max(b)));
+                }
+                local
+            })
+            .collect();
         out.sort_unstable();
         out.dedup();
         out
@@ -119,18 +125,26 @@ impl Blocker {
 }
 
 fn pairs_from_buckets<I: IntoIterator<Item = Vec<usize>>>(buckets: I) -> Vec<(usize, usize)> {
-    let mut out = Vec::new();
-    for members in buckets {
-        // Quadratic inside a bucket — buckets are assumed small; gigantic
-        // buckets (stopword-like tokens) are capped to bound the blowup.
-        const BUCKET_CAP: usize = 256;
-        let m = &members[..members.len().min(BUCKET_CAP)];
-        for i in 0..m.len() {
-            for j in (i + 1)..m.len() {
-                out.push((m[i].min(m[j]), m[i].max(m[j])));
+    // Pair expansion is quadratic inside a bucket and independent across
+    // buckets — the expansion fans out over the thread team while the
+    // final order stays deterministic (bucket-major, then sorted).
+    let buckets: Vec<Vec<usize>> = buckets.into_iter().collect();
+    let mut out: Vec<(usize, usize)> = buckets
+        .par_iter()
+        .flat_map(|members| {
+            // Gigantic buckets (stopword-like tokens) are capped to bound
+            // the blowup.
+            const BUCKET_CAP: usize = 256;
+            let m = &members[..members.len().min(BUCKET_CAP)];
+            let mut local = Vec::with_capacity(m.len().saturating_sub(1) * m.len() / 2);
+            for i in 0..m.len() {
+                for j in (i + 1)..m.len() {
+                    local.push((m[i].min(m[j]), m[i].max(m[j])));
+                }
             }
-        }
-    }
+            local
+        })
+        .collect();
     out.sort_unstable();
     out.dedup();
     out

@@ -24,5 +24,5 @@ pub mod pipeline;
 pub use blocking::{Blocker, BlockingStrategy};
 pub use cluster::UnionFind;
 pub use consolidate::{merge_cluster, ConflictPolicy};
-pub use pairsim::{PairScorer, RecordSimilarity};
+pub use pairsim::{accepted_pairs, score_pairs, PairScorer, RecordSimilarity};
 pub use pipeline::{ConsolidationPipeline, ConsolidationResult, PipelineConfig};

@@ -3,6 +3,7 @@
 use datatamer_model::{Record, Value};
 use datatamer_sim as sim;
 use datatamer_ml::DedupClassifier;
+use rayon::prelude::*;
 
 /// How a pair of records is scored.
 pub enum PairScorer {
@@ -84,6 +85,38 @@ impl RecordSimilarity {
             acc / total_weight
         }
     }
+}
+
+/// Score candidate pairs in parallel, preserving pair order.
+///
+/// This is the consolidation hot path — at paper scale the candidate set
+/// runs to millions of pairs, each scoring independently, so the work is
+/// embarrassingly parallel. Output index `k` is the score of `pairs[k]`
+/// regardless of thread count.
+pub fn score_pairs(
+    scorer: &PairScorer,
+    records: &[Record],
+    pairs: &[(usize, usize)],
+) -> Vec<f64> {
+    pairs
+        .par_iter()
+        .map(|&(i, j)| scorer.score(&records[i], &records[j]))
+        .collect()
+}
+
+/// Score candidate pairs in parallel and keep those at or above
+/// `threshold` (order preserved).
+pub fn accepted_pairs(
+    scorer: &PairScorer,
+    records: &[Record],
+    pairs: &[(usize, usize)],
+    threshold: f64,
+) -> Vec<(usize, usize)> {
+    score_pairs(scorer, records, pairs)
+        .into_iter()
+        .zip(pairs)
+        .filter_map(|(score, &pair)| (score >= threshold).then_some(pair))
+        .collect()
 }
 
 /// Type-aware scalar similarity.

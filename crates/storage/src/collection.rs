@@ -9,6 +9,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use parking_lot::RwLock;
+use rayon::prelude::*;
 
 use datatamer_model::{Document, DtError, Result, Value};
 
@@ -63,6 +64,21 @@ impl Default for CollectionConfig {
 #[derive(Debug, Default)]
 struct Shard {
     extents: Vec<Extent>,
+}
+
+impl Shard {
+    /// Append encoded bytes to the last extent, chaining a new extent when
+    /// full. Returns `(extent_index, slot)`.
+    fn append(&mut self, encoded: &[u8], extent_size: usize) -> (usize, u32) {
+        loop {
+            if let Some(last) = self.extents.last_mut() {
+                if let Some(slot) = last.append(encoded) {
+                    return (self.extents.len() - 1, slot);
+                }
+            }
+            self.extents.push(Extent::new(extent_size));
+        }
+    }
 }
 
 /// A sharded document collection with secondary indexes.
@@ -125,14 +141,7 @@ impl Collection {
             (self.next_shard.fetch_add(1, Ordering::Relaxed) % self.shards.len() as u64) as usize;
         let id = {
             let mut shard = self.shards[shard_no].write();
-            let (extent_idx, slot) = loop {
-                if let Some(last) = shard.extents.last_mut() {
-                    if let Some(slot) = last.append(&encoded) {
-                        break (shard.extents.len() - 1, slot);
-                    }
-                }
-                shard.extents.push(Extent::new(self.config.extent_size));
-            };
+            let (extent_idx, slot) = shard.append(&encoded, self.config.extent_size);
             DocId::pack(shard_no as u8, extent_idx as u32, slot)
         };
         {
@@ -145,9 +154,62 @@ impl Collection {
         id
     }
 
-    /// Insert many documents, returning their ids.
+    /// Insert a batch, returning ids in input order.
+    ///
+    /// The batch path is what makes ingest scale: documents encode in
+    /// parallel across the rayon team, the batch reserves its round-robin
+    /// window with one atomic bump, and each shard's documents append
+    /// under a single write-lock acquisition (shards proceed in parallel)
+    /// instead of one lock round-trip per document. Shard routing is
+    /// identical to repeated [`Self::insert`] calls.
     pub fn insert_many<'a, I: IntoIterator<Item = &'a Document>>(&self, docs: I) -> Vec<DocId> {
-        docs.into_iter().map(|d| self.insert(d)).collect()
+        let docs: Vec<&Document> = docs.into_iter().collect();
+        if docs.is_empty() {
+            return Vec::new();
+        }
+        let encoded: Vec<Vec<u8>> =
+            docs.par_iter().map(|d| encode_document(d)).collect();
+
+        let nshards = self.shards.len() as u64;
+        let base = self.next_shard.fetch_add(docs.len() as u64, Ordering::Relaxed);
+        let mut per_shard: Vec<Vec<usize>> = vec![Vec::new(); self.shards.len()];
+        for i in 0..docs.len() {
+            per_shard[((base + i as u64) % nshards) as usize].push(i);
+        }
+
+        let placed: Vec<Vec<(usize, DocId)>> = (0..self.shards.len())
+            .into_par_iter()
+            .map(|shard_no| {
+                let doc_indexes = &per_shard[shard_no];
+                if doc_indexes.is_empty() {
+                    return Vec::new();
+                }
+                let mut shard = self.shards[shard_no].write();
+                doc_indexes
+                    .iter()
+                    .map(|&i| {
+                        let (extent_idx, slot) =
+                            shard.append(&encoded[i], self.config.extent_size);
+                        (i, DocId::pack(shard_no as u8, extent_idx as u32, slot))
+                    })
+                    .collect()
+            })
+            .collect();
+
+        let mut ids = vec![DocId(0); docs.len()];
+        for (i, id) in placed.into_iter().flatten() {
+            ids[i] = id;
+        }
+        {
+            let mut indexes = self.indexes.write();
+            for idx in indexes.iter_mut() {
+                for (doc, id) in docs.iter().zip(&ids) {
+                    idx.insert(*id, doc);
+                }
+            }
+        }
+        self.count.fetch_add(docs.len() as u64, Ordering::Relaxed);
+        ids
     }
 
     /// Fetch a document by id.
@@ -229,45 +291,32 @@ impl Collection {
         }
     }
 
-    /// Scan all shards in parallel, collecting `f`'s non-`None` outputs.
-    /// Output order is deterministic: shard-major, then extent, then slot.
+    /// Scan all shards in parallel via rayon, collecting `f`'s non-`None`
+    /// outputs. Output order is deterministic regardless of thread count:
+    /// shard-major, then extent, then slot.
     pub fn parallel_scan<T, F>(&self, f: F) -> Vec<T>
     where
         T: Send,
         F: Fn(DocId, &Document) -> Option<T> + Sync,
     {
-        let mut per_shard: Vec<Vec<T>> = Vec::with_capacity(self.shards.len());
-        crossbeam::thread::scope(|scope| {
-            let handles: Vec<_> = self
-                .shards
-                .iter()
-                .enumerate()
-                .map(|(shard_no, lock)| {
-                    let f = &f;
-                    scope.spawn(move |_| {
-                        let shard = lock.read();
-                        let mut out = Vec::new();
-                        for (extent_idx, extent) in shard.extents.iter().enumerate() {
-                            for (slot, bytes) in extent.iter_live() {
-                                if let Ok(doc) = crate::encode::decode_document(bytes) {
-                                    let id =
-                                        DocId::pack(shard_no as u8, extent_idx as u32, slot);
-                                    if let Some(t) = f(id, &doc) {
-                                        out.push(t);
-                                    }
-                                }
+        (0..self.shards.len())
+            .into_par_iter()
+            .flat_map(|shard_no| {
+                let shard = self.shards[shard_no].read();
+                let mut out = Vec::new();
+                for (extent_idx, extent) in shard.extents.iter().enumerate() {
+                    for (slot, bytes) in extent.iter_live() {
+                        if let Ok(doc) = crate::encode::decode_document(bytes) {
+                            let id = DocId::pack(shard_no as u8, extent_idx as u32, slot);
+                            if let Some(t) = f(id, &doc) {
+                                out.push(t);
                             }
                         }
-                        out
-                    })
-                })
-                .collect();
-            for h in handles {
-                per_shard.push(h.join().expect("scan worker panicked"));
-            }
-        })
-        .expect("crossbeam scope failed");
-        per_shard.into_iter().flatten().collect()
+                    }
+                }
+                out
+            })
+            .collect()
     }
 
     /// Group-by over a path: `(value, count)` in value order. Uses an index
@@ -489,23 +538,40 @@ mod tests {
 
     #[test]
     fn concurrent_inserts_are_consistent() {
-        let c = std::sync::Arc::new(
-            Collection::new("conc", CollectionConfig { extent_size: 4096, shards: 8 }).unwrap(),
-        );
-        let mut handles = Vec::new();
-        for t in 0..8 {
-            let c = c.clone();
-            handles.push(std::thread::spawn(move || {
-                for i in 0..100i64 {
-                    c.insert(&doc! {"t" => t as i64, "i" => i});
-                }
-            }));
-        }
-        for h in handles {
-            h.join().unwrap();
-        }
+        let c =
+            Collection::new("conc", CollectionConfig { extent_size: 4096, shards: 8 }).unwrap();
+        (0..8usize).into_par_iter().for_each(|t| {
+            for i in 0..100i64 {
+                c.insert(&doc! {"t" => t as i64, "i" => i});
+            }
+        });
         assert_eq!(c.len(), 800);
         assert_eq!(c.parallel_scan(|_, _| Some(())).len(), 800);
+    }
+
+    #[test]
+    fn insert_many_matches_repeated_insert() {
+        let a = small();
+        let b = small();
+        let docs: Vec<_> = (0..37i64).map(|i| doc! {"i" => i, "pad" => "y".repeat(9)}).collect();
+        let one_by_one: Vec<DocId> = docs.iter().map(|d| a.insert(d)).collect();
+        let batched = b.insert_many(&docs);
+        assert_eq!(one_by_one, batched, "batch routing must match repeated inserts");
+        assert_eq!(b.len(), 37);
+        for (id, d) in batched.iter().zip(&docs) {
+            assert_eq!(b.get(*id).as_ref(), Some(d));
+        }
+    }
+
+    #[test]
+    fn insert_many_maintains_indexes() {
+        let c = small();
+        c.create_index(IndexSpec::new("by_type", "type")).unwrap();
+        let docs = vec![doc! {"type" => "Person"}, doc! {"type" => "City"}, doc! {"type" => "Person"}];
+        let ids = c.insert_many(&docs);
+        let persons = c.with_index("by_type", |i| i.lookup(&Value::from("Person"))).unwrap();
+        assert_eq!(persons, vec![ids[0], ids[2]]);
+        assert!(c.insert_many(std::iter::empty()).is_empty());
     }
 
     #[test]

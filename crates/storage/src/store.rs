@@ -48,13 +48,26 @@ impl Store {
         self.collections.read().get(name).cloned()
     }
 
-    /// Fetch or create with default config.
+    /// Fetch the collection, creating it under this call's write lock when
+    /// absent. A fast read-locked probe serves the common hit path; the
+    /// miss path takes the write lock once and uses the entry API, so two
+    /// racing creators cannot observe "absent then also absent" — one
+    /// inserts, the other gets the inserted handle.
+    ///
+    /// Panics if `config` is invalid (zero extent size / bad shard count)
+    /// and the collection does not already exist.
     pub fn collection_or_create(&self, name: &str, config: CollectionConfig) -> Arc<Collection> {
         if let Some(c) = self.collection(name) {
             return c;
         }
-        self.create_collection(name, config)
-            .unwrap_or_else(|_| self.collection(name).expect("raced creation"))
+        let mut cols = self.collections.write();
+        cols.entry(name.to_owned())
+            .or_insert_with(|| {
+                Arc::new(
+                    Collection::new(name, config).expect("invalid collection config"),
+                )
+            })
+            .clone()
     }
 
     /// Drop a collection. Returns whether it existed.

@@ -1,0 +1,151 @@
+//! Offline stand-in for the `bytes` crate.
+//!
+//! Implements exactly the `Buf` / `BufMut` surface the storage encoder
+//! uses: byte-at-a-time reads/writes, big-endian `f64`, slice copies, and
+//! remaining-length queries. `Buf` is implemented for `&[u8]` (the reader
+//! advances the slice itself) and `BufMut` for `Vec<u8>`, matching how the
+//! real crate is used throughout `datatamer-storage`.
+
+/// Read-side cursor over a byte source.
+///
+/// Mirrors `bytes::Buf`: reads consume from the front and panic when the
+/// source is exhausted (callers guard with [`Buf::has_remaining`]).
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+
+    /// Consume and return one byte.
+    fn get_u8(&mut self) -> u8;
+
+    /// Consume `dst.len()` bytes into `dst`.
+    fn copy_to_slice(&mut self, dst: &mut [u8]);
+
+    /// Skip `n` bytes.
+    fn advance(&mut self, n: usize);
+
+    /// Whether any bytes remain.
+    fn has_remaining(&self) -> bool {
+        self.remaining() > 0
+    }
+
+    /// Consume and return a big-endian `f64`.
+    fn get_f64(&mut self) -> f64 {
+        let mut raw = [0u8; 8];
+        self.copy_to_slice(&mut raw);
+        f64::from_be_bytes(raw)
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn get_u8(&mut self) -> u8 {
+        let (first, rest) = self.split_first().expect("buffer exhausted");
+        let b = *first;
+        *self = rest;
+        b
+    }
+
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        assert!(self.len() >= dst.len(), "buffer exhausted");
+        let (head, rest) = self.split_at(dst.len());
+        dst.copy_from_slice(head);
+        *self = rest;
+    }
+
+    fn advance(&mut self, n: usize) {
+        assert!(self.len() >= n, "buffer exhausted");
+        *self = &self[n..];
+    }
+}
+
+impl<B: Buf + ?Sized> Buf for &mut B {
+    fn remaining(&self) -> usize {
+        (**self).remaining()
+    }
+
+    fn get_u8(&mut self) -> u8 {
+        (**self).get_u8()
+    }
+
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        (**self).copy_to_slice(dst)
+    }
+
+    fn advance(&mut self, n: usize) {
+        (**self).advance(n)
+    }
+}
+
+/// Write-side sink for encoded bytes.
+///
+/// Mirrors `bytes::BufMut` for the growable-vector case — writes append.
+pub trait BufMut {
+    /// Append one byte.
+    fn put_u8(&mut self, b: u8);
+
+    /// Append a slice.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Append a big-endian `f64`.
+    fn put_f64(&mut self, v: f64) {
+        self.put_slice(&v.to_be_bytes());
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_u8(&mut self, b: u8) {
+        self.push(b);
+    }
+
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+impl<B: BufMut + ?Sized> BufMut for &mut B {
+    fn put_u8(&mut self, b: u8) {
+        (**self).put_u8(b)
+    }
+
+    fn put_slice(&mut self, src: &[u8]) {
+        (**self).put_slice(src)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_u8_f64_slice() {
+        let mut out: Vec<u8> = Vec::new();
+        out.put_u8(7);
+        out.put_f64(3.5);
+        out.put_slice(b"abc");
+        let mut r: &[u8] = &out;
+        assert_eq!(r.remaining(), 12);
+        assert_eq!(r.get_u8(), 7);
+        assert_eq!(r.get_f64(), 3.5);
+        let mut dst = [0u8; 3];
+        r.copy_to_slice(&mut dst);
+        assert_eq!(&dst, b"abc");
+        assert!(!r.has_remaining());
+    }
+
+    #[test]
+    fn advance_skips() {
+        let mut r: &[u8] = &[1, 2, 3, 4];
+        r.advance(2);
+        assert_eq!(r.get_u8(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "exhausted")]
+    fn reading_past_end_panics() {
+        let mut r: &[u8] = &[];
+        let _ = r.get_u8();
+    }
+}

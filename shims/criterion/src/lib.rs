@@ -1,0 +1,335 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Keeps the bench files' API (`criterion_group!` / `criterion_main!`,
+//! benchmark groups, `BenchmarkId`, `Throughput`, `Bencher::iter`) while
+//! measuring with plain wall-clock sampling: a warm-up call, then up to
+//! `sample_size` timed samples (time-capped per benchmark), reporting the
+//! median. No statistics beyond min/median/max — this is a trajectory
+//! tracker, not a rigorous harness.
+//!
+//! Set `CRITERION_OUTPUT_JSON=/path/file.json` to append one JSON object
+//! per benchmark: `{"id", "median_ns", "min_ns", "max_ns", "samples",
+//! "iters_per_sample", "throughput": {...}|null}`.
+
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+/// Per-benchmark wall-clock budget (samples stop early past this).
+const SAMPLE_BUDGET: Duration = Duration::from_secs(3);
+
+/// Work-unit annotation for throughput lines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier: function name plus optional parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// Function name + parameter (renders as `name/param`).
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { name: format!("{}/{}", name.into(), parameter) }
+    }
+
+    /// Parameter-only id (renders as the parameter).
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { name: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { name: s.to_owned() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { name: s }
+    }
+}
+
+/// The timing loop handed to bench closures.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+    iters_per_sample: u64,
+}
+
+impl Bencher {
+    /// Time `routine`, collecting up to `sample_size` samples.
+    pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        // Warm-up and calibration: aim for >= ~10ms per sample so cheap
+        // routines are not drowned by timer noise.
+        let warm = Instant::now();
+        std::hint::black_box(routine());
+        let one = warm.elapsed().max(Duration::from_nanos(20));
+        let iters = (Duration::from_millis(10).as_nanos() / one.as_nanos()).clamp(1, 1_000_000)
+            as u64;
+        self.iters_per_sample = iters;
+
+        let budget_start = Instant::now();
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(routine());
+            }
+            self.samples.push(t.elapsed() / iters as u32);
+            if budget_start.elapsed() > SAMPLE_BUDGET {
+                break;
+            }
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct Report {
+    median_ns: u128,
+    min_ns: u128,
+    max_ns: u128,
+    samples: usize,
+    iters_per_sample: u64,
+}
+
+fn run_one(
+    id: &str,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    f: impl FnOnce(&mut Bencher),
+) {
+    let mut b = Bencher { samples: Vec::new(), sample_size, iters_per_sample: 1 };
+    f(&mut b);
+    if b.samples.is_empty() {
+        eprintln!("bench {id:<50} (no samples)");
+        return;
+    }
+    let mut ns: Vec<u128> = b.samples.iter().map(Duration::as_nanos).collect();
+    ns.sort_unstable();
+    let report = Report {
+        median_ns: ns[ns.len() / 2],
+        min_ns: ns[0],
+        max_ns: *ns.last().unwrap(),
+        samples: ns.len(),
+        iters_per_sample: b.iters_per_sample,
+    };
+    let per = |n: u64| -> String {
+        if n == 0 || report.median_ns == 0 {
+            return String::new();
+        }
+        let rate = n as f64 / (report.median_ns as f64 / 1e9);
+        format!(" ({rate:.0}/s)")
+    };
+    let extra = match throughput {
+        Some(Throughput::Elements(n)) => per(n),
+        Some(Throughput::Bytes(n)) => per(n),
+        None => String::new(),
+    };
+    eprintln!(
+        "bench {id:<50} median {:>12}{extra}  [{} samples x {} iters]",
+        human_ns(report.median_ns),
+        report.samples,
+        report.iters_per_sample,
+    );
+    if let Ok(path) = std::env::var("CRITERION_OUTPUT_JSON") {
+        let tp = match throughput {
+            Some(Throughput::Elements(n)) => format!("{{\"elements\":{n}}}"),
+            Some(Throughput::Bytes(n)) => format!("{{\"bytes\":{n}}}"),
+            None => "null".to_owned(),
+        };
+        let line = format!(
+            "{{\"id\":{:?},\"median_ns\":{},\"min_ns\":{},\"max_ns\":{},\"samples\":{},\"iters_per_sample\":{},\"throughput\":{}}}\n",
+            id, report.median_ns, report.min_ns, report.max_ns, report.samples,
+            report.iters_per_sample, tp,
+        );
+        if let Ok(mut file) =
+            std::fs::OpenOptions::new().create(true).append(true).open(&path)
+        {
+            let _ = file.write_all(line.as_bytes());
+        }
+    }
+}
+
+fn human_ns(ns: u128) -> String {
+    match ns {
+        0..=999 => format!("{ns} ns"),
+        1_000..=999_999 => format!("{:.2} us", ns as f64 / 1e3),
+        1_000_000..=999_999_999 => format!("{:.2} ms", ns as f64 / 1e6),
+        _ => format!("{:.3} s", ns as f64 / 1e9),
+    }
+}
+
+/// A group of related benchmarks sharing sample size and throughput.
+pub struct BenchmarkGroup {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup {
+    /// Samples per benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Work-units for subsequent benchmarks in this group.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Accepted for compatibility; the shim's budget is fixed.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Run one benchmark in the group.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into();
+        let full = format!("{}/{}", self.name, id.name);
+        let mut f = f;
+        run_one(&full, self.sample_size, self.throughput, |b| f(b));
+        self
+    }
+
+    /// Run one parameterised benchmark in the group.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.name);
+        run_one(&full, self.sample_size, self.throughput, |b| f(b, input));
+        self
+    }
+
+    /// Finish the group (prints nothing extra; exists for API parity).
+    pub fn finish(&mut self) {}
+}
+
+/// The bench context mirroring `criterion::Criterion`.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Default samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Accepted for compatibility; the shim reads no CLI flags.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Open a named group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            throughput: None,
+        }
+    }
+
+    /// Run one stand-alone benchmark.
+    pub fn bench_function(
+        &mut self,
+        id: &str,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        run_one(id, self.sample_size, None, |b| f(b));
+        self
+    }
+}
+
+/// Re-export so `use criterion::black_box` keeps working.
+pub use std::hint::black_box;
+
+/// Define a bench group function, in either criterion macro form.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Define `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick(c: &mut Criterion) {
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3);
+        group.throughput(Throughput::Elements(10));
+        group.bench_function("cheap", |b| b.iter(|| 1 + 1));
+        group.bench_with_input(BenchmarkId::new("param", 5), &5u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.finish();
+        c.bench_function("standalone", |b| b.iter(|| "x".repeat(4)));
+    }
+
+    criterion_group!(benches, quick);
+
+    #[test]
+    fn group_macro_runs() {
+        benches();
+    }
+
+    criterion_group!(
+        name = named;
+        config = Criterion::default().sample_size(2);
+        targets = quick
+    );
+
+    #[test]
+    fn named_form_macro_runs() {
+        named();
+    }
+
+    #[test]
+    fn benchmark_ids_render() {
+        assert_eq!(BenchmarkId::new("f", 3).name, "f/3");
+        assert_eq!(BenchmarkId::from_parameter("x").name, "x");
+    }
+}

@@ -3,26 +3,39 @@
 //! A from-scratch Rust reproduction of *"Text and Structured Data Fusion in
 //! Data Tamer at Scale"* (Gubanov, Stonebraker, Bruckner — ICDE 2014).
 //!
+//! The system executes as a **staged pipeline**: every phase of Figure 1 —
+//! ingest → schema integration → cleaning → entity consolidation → fusion
+//! — is a `PipelineStage` (in [`core::stage`]) driven over a
+//! `PipelineContext` that owns the sharded store, the source catalog, the
+//! growing global schema, and each stage's report. Hot paths (record
+//! mapping, per-source cleaning, batched shard inserts, pair-similarity
+//! scoring, group merging, shard scans) are rayon-parallel with output
+//! guaranteed identical at any thread count.
+//!
 //! This facade re-exports the workspace crates:
 //!
 //! | module | crate | role |
 //! |---|---|---|
 //! | [`model`] | `datatamer-model` | values, documents, flattening, records, schema profiles |
 //! | [`sim`] | `datatamer-sim` | string/set/numeric similarity measures |
-//! | [`storage`] | `datatamer-storage` | sharded semi-structured storage engine (Tables I–II) |
+//! | [`storage`] | `datatamer-storage` | sharded storage engine: extents, indexes, batched inserts, parallel scans (Tables I–II) |
 //! | [`text`] | `datatamer-text` | the domain-specific parser (Figure 1's user-defined module) |
 //! | [`corpus`] | `datatamer-corpus` | synthetic WEBINSTANCE / WEBENTITIES / FTABLES generators |
 //! | [`ml`] | `datatamer-ml` | hand-rolled classifiers + 10-fold cross-validation (§IV) |
 //! | [`schema`] | `datatamer-schema` | bottom-up schema integration (Figs 2–3) |
-//! | [`entity`] | `datatamer-entity` | entity consolidation |
-//! | [`clean`] | `datatamer-clean` | cleaning + transformations (EUR→USD) |
+//! | [`entity`] | `datatamer-entity` | entity consolidation: blocking + rayon-parallel pair scoring |
+//! | [`clean`] | `datatamer-clean` | cleaning + transformations (EUR→USD), parallel per source |
 //! | [`expert`] | `datatamer-expert` | expert sourcing |
-//! | [`core`] | `datatamer-core` | the Data Tamer pipeline, fusion, and demo queries |
+//! | [`core`] | `datatamer-core` | the staged pipeline, fusion, and demo queries |
 //!
-//! ## Quickstart
+//! ## Quickstart — one staged run
+//!
+//! `DataTamer::run` executes the whole canonical stage list over a plan
+//! and leaves every stage's report queryable on the context:
 //!
 //! ```
-//! use datatamer::core::{DataTamer, DataTamerConfig};
+//! use datatamer::core::{DataTamer, DataTamerConfig, PipelinePlan};
+//! use datatamer::core::stage::stage_names;
 //! use datatamer::corpus::{ftables, webtext};
 //! use datatamer::text::DomainParser;
 //!
@@ -33,21 +46,27 @@
 //!     ..Default::default()
 //! });
 //!
-//! // Stand up Data Tamer, integrate the first structured source.
-//! let mut dt = DataTamer::new(DataTamerConfig::default());
-//! dt.register_structured(&sources[0].name, &sources[0].records);
-//!
-//! // Ingest web text through the domain parser.
-//! let parser = DomainParser::with_gazetteer(corpus.gazetteer.clone());
+//! // Plan: all structured sources + the web text, in one staged run.
+//! let mut plan = PipelinePlan::new();
+//! for s in &sources {
+//!     plan = plan.structured(&s.name, &s.records);
+//! }
 //! let frags: Vec<(&str, &str)> =
 //!     corpus.fragments.iter().map(|f| (f.text.as_str(), f.kind.label())).collect();
-//! dt.ingest_webtext(parser, frags);
+//! plan = plan.webtext(DomainParser::with_gazetteer(corpus.gazetteer.clone()), frags);
 //!
-//! // Fuse and look up the paper's demo show.
-//! let fused = dt.fuse();
-//! let matilda = DataTamer::lookup(&fused, "Matilda").expect("Matilda fused");
+//! let mut dt = DataTamer::new(DataTamerConfig::default());
+//! let fused = dt.run(plan).expect("pipeline runs");
+//!
+//! // The paper's demo lookup, plus the stage log.
+//! let matilda = DataTamer::lookup(fused, "Matilda").expect("Matilda fused");
 //! assert!(matilda.record.get("TEXT_FEED").is_some());
+//! assert_eq!(dt.context().run_count(stage_names::FUSION), 1);
 //! ```
+//!
+//! Sources arriving over time use the incremental entry points
+//! (`register_structured`, `ingest_webtext`), which run the same stage
+//! machinery as a prefix and extend the same context.
 
 pub use datatamer_clean as clean;
 pub use datatamer_core as core;

@@ -1,0 +1,97 @@
+//! Determinism guard for every parallelism PR: the staged pipeline run
+//! with a 1-thread rayon pool and with a wide pool must produce
+//! byte-identical fused entities and identical collection statistics.
+//!
+//! The rayon shim honours `ThreadPool::install` thread-locally, so each
+//! closure below runs the entire pipeline at its pool's width.
+
+use datatamer::core::{DataTamer, DataTamerConfig, PipelinePlan};
+use datatamer::corpus::ftables::{self, FtablesConfig};
+use datatamer::corpus::webtext::{WebTextConfig, WebTextCorpus};
+use datatamer::text::DomainParser;
+use rayon::ThreadPoolBuilder;
+
+/// Build the full system through `DataTamer::run` and flatten every
+/// observable output into one comparable byte blob.
+fn run_pipeline_fingerprint() -> (String, Vec<String>) {
+    let corpus = WebTextCorpus::generate(&WebTextConfig {
+        num_fragments: 400,
+        background_mentions: 4,
+        padding_sentences: 2,
+        ..Default::default()
+    });
+    let sources = ftables::generate(&FtablesConfig::default(), 1000);
+    let mut dt = DataTamer::new(DataTamerConfig {
+        extent_size: 64 * 1024,
+        shards: 4,
+        ..Default::default()
+    });
+    let mut plan = PipelinePlan::new();
+    for s in &sources {
+        plan = plan.structured(&s.name, &s.records);
+    }
+    let frags: Vec<(&str, &str)> =
+        corpus.fragments.iter().map(|f| (f.text.as_str(), f.kind.label())).collect();
+    plan = plan.webtext(DomainParser::with_gazetteer(corpus.gazetteer.clone()), frags);
+
+    let fused = dt.run(plan).expect("pipeline runs");
+    // Byte-exact fingerprint of the fused output: key, member count, and
+    // the full composite record (field order included via Debug).
+    let fused_blob: String = fused
+        .iter()
+        .map(|f| format!("{}|{}|{:?}\n", f.key, f.member_count, f.record))
+        .collect();
+
+    // Collection statistics (counts, extents, index sizes) per collection.
+    let stats: Vec<String> = dt
+        .store()
+        .collection_names()
+        .into_iter()
+        .map(|name| format!("{:?}", dt.collection_stats(&name).expect("stats")))
+        .collect();
+    (fused_blob, stats)
+}
+
+#[test]
+fn serial_and_parallel_runs_are_byte_identical() {
+    let serial_pool = ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+    let (serial_fused, serial_stats) = serial_pool.install(run_pipeline_fingerprint);
+
+    let wide_pool = ThreadPoolBuilder::new().num_threads(8).build().unwrap();
+    let (wide_fused, wide_stats) = wide_pool.install(run_pipeline_fingerprint);
+
+    assert_eq!(
+        serial_fused, wide_fused,
+        "fused entities must be byte-identical at any thread count"
+    );
+    assert_eq!(serial_stats, wide_stats, "collection stats must match");
+    assert!(!serial_fused.is_empty(), "the fingerprint must cover real output");
+}
+
+#[test]
+fn parallel_scan_and_consolidation_are_thread_count_invariant() {
+    use datatamer::entity::{accepted_pairs, Blocker, BlockingStrategy, PairScorer, RecordSimilarity};
+    use datatamer::model::{Record, RecordId, SourceId, Value};
+
+    let records: Vec<Record> = (0..300u64)
+        .map(|i| {
+            Record::from_pairs(
+                SourceId(0),
+                RecordId(i),
+                vec![("name", Value::from(format!("Show Number{} Group{}", i, i % 11)))],
+            )
+        })
+        .collect();
+    let blocker = Blocker::new("name", BlockingStrategy::Token);
+    let scorer = PairScorer::Rules(RecordSimilarity::default());
+
+    let job = || {
+        let candidates = blocker.candidates(&records);
+        let accepted = accepted_pairs(&scorer, &records, &candidates, 0.75);
+        (candidates, accepted)
+    };
+    let serial = ThreadPoolBuilder::new().num_threads(1).build().unwrap().install(job);
+    let wide = ThreadPoolBuilder::new().num_threads(8).build().unwrap().install(job);
+    assert_eq!(serial, wide, "blocking + scoring must not depend on thread count");
+    assert!(!serial.0.is_empty());
+}
