@@ -1,14 +1,20 @@
-//! Fusion and demo-query benches — Tables III–VI.
+//! Fusion and demo-query benches — Tables III–VI — plus the
+//! truth-discovery resolver sweep.
 //!
 //! Times the text/structured fusion step (T6), the text-only fuse (T5), the
-//! top-k most-discussed query (T4), and the entity-type histogram (T3) on a
-//! prebuilt scaled system.
+//! top-k most-discussed query (T4), the entity-type histogram (T3) on a
+//! prebuilt scaled system, and `merge_groups_with` under each built-in
+//! `ValueResolver` over a conflict-heavy synthetic group set.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use std::hint::black_box;
 
 use datatamer_bench::{HarnessConfig, ScaledSystem};
+use datatamer_core::fusion::{
+    group_records, merge_groups_with, FusionPolicy, RegistryConfig, ResolverSpec,
+};
 use datatamer_core::DataTamer;
+use datatamer_model::{Record, RecordId, SourceId, Value};
 
 fn system() -> ScaledSystem {
     ScaledSystem::build(HarnessConfig {
@@ -28,6 +34,65 @@ fn bench_fuse(c: &mut Criterion) {
     group.bench_function("text_only_fuse", |b| {
         b.iter(|| black_box(sys.dt.fuse_text_only()).len())
     });
+    group.finish();
+}
+
+/// A conflict-heavy corpus for the resolver benches: `entities` shows, each
+/// claimed by `sources` sources that disagree on price, status, and rating
+/// in a fixed arithmetic pattern (deterministic, no RNG).
+fn conflict_records(entities: usize, sources: usize) -> Vec<Record> {
+    let mut records = Vec::with_capacity(entities * sources);
+    for e in 0..entities {
+        for s in 0..sources {
+            records.push(Record::from_pairs(
+                SourceId(s as u32),
+                RecordId((e * sources + s) as u64),
+                vec![
+                    ("SHOW_NAME", Value::from(format!("Show Number{e}"))),
+                    // Prices split by source parity: with 5 sources that is
+                    // a 3-vs-2 disagreement per entity.
+                    ("CHEAPEST_PRICE", Value::from(format!("${}", 20 + (s % 2) * 10 + e % 7))),
+                    ("STATUS", Value::from(if (e + s) % 3 == 0 { "open" } else { "previews" })),
+                    ("RATING", Value::from(if s % 2 == 0 { "PG" } else { "PG-13" })),
+                ],
+            ));
+        }
+    }
+    records
+}
+
+/// Truth-discovery resolver throughput: the same conflict-heavy group set
+/// merged under each built-in resolver as the uniform default.
+fn bench_resolvers(c: &mut Criterion) {
+    let records = conflict_records(400, 5);
+    // Group on exact canonical names only (a >1 threshold disables fuzzy
+    // attachment): the sequential "Show Number{e}" names sit well above
+    // any fuzzy threshold pairwise, and one degenerate 2000-record group
+    // would serialise the rayon fan-out and bench the wrong workload.
+    let groups = group_records(&records, &FusionPolicy::Fuzzy { threshold: 1.01 });
+    assert_eq!(groups.len(), 400, "one group per entity, five conflicting members each");
+    assert!(groups.iter().all(|(_, m)| m.len() == 5));
+    let registries = [
+        ("broadway_policies", RegistryConfig::broadway()),
+        ("majority_vote", RegistryConfig::uniform(ResolverSpec::MajorityVote)),
+        (
+            "source_reliability",
+            RegistryConfig::uniform(ResolverSpec::SourceReliability { iterations: 5 }),
+        ),
+        ("latest_wins", RegistryConfig::uniform(ResolverSpec::LatestWins)),
+        (
+            "multi_truth",
+            RegistryConfig::uniform(ResolverSpec::MultiTruth { min_support: 0.25 }),
+        ),
+    ];
+    let mut group = c.benchmark_group("fusion_resolvers");
+    group.throughput(Throughput::Elements(records.len() as u64));
+    for (name, config) in registries {
+        let registry = config.build();
+        group.bench_function(name, |b| {
+            b.iter(|| black_box(merge_groups_with(&records, &groups, &registry)).len())
+        });
+    }
     group.finish();
 }
 
@@ -56,6 +121,6 @@ fn bench_histogram(c: &mut Criterion) {
 criterion_group!(
     name = benches;
     config = Criterion::default().sample_size(15);
-    targets = bench_fuse, bench_lookup, bench_topk, bench_histogram
+    targets = bench_fuse, bench_resolvers, bench_lookup, bench_topk, bench_histogram
 );
 criterion_main!(benches);

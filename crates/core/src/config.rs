@@ -3,6 +3,8 @@
 use datatamer_schema::IntegrationConfig;
 use datatamer_storage::CollectionConfig;
 
+use crate::fusion::RegistryConfig;
+
 /// Configuration of a [`crate::DataTamer`] instance.
 #[derive(Debug, Clone)]
 pub struct DataTamerConfig {
@@ -18,6 +20,12 @@ pub struct DataTamerConfig {
     pub integration: IntegrationConfig,
     /// Threshold for fusing two show records as the same entity.
     pub fusion_threshold: f64,
+    /// Per-attribute truth-discovery routing for the fusion stage. The
+    /// default mirrors the paper demo ([`RegistryConfig::broadway`]). A
+    /// successful run whose `PipelinePlan` carries an override *replaces*
+    /// the routing in effect from that run onward, so ad-hoc fusion and
+    /// later runs stay consistent with the fused output in the context.
+    pub fusion_resolvers: RegistryConfig,
     /// Whether the ML text cleaner filters fragments before parsing.
     pub clean_text: bool,
 }
@@ -30,6 +38,7 @@ impl Default for DataTamerConfig {
             shards: 8,
             integration: IntegrationConfig::default(),
             fusion_threshold: 0.82,
+            fusion_resolvers: RegistryConfig::broadway(),
             clean_text: true,
         }
     }
@@ -60,6 +69,7 @@ mod tests {
         let c = DataTamerConfig::default();
         assert_eq!(c.extent_size, 2 * 1024 * 1024);
         assert_eq!(c.namespace, "dt");
+        assert_eq!(c.fusion_resolvers, RegistryConfig::broadway());
         let cc = c.collection_config();
         assert_eq!(cc.extent_size, c.extent_size);
         assert_eq!(cc.shards, 8);

@@ -4,12 +4,40 @@
 //! has only `SHOW_NAME` and `TEXT_FEED`; after fusing the FTABLES sources,
 //! the same lookup also carries `THEATER`, `PERFORMANCE`, `CHEAPEST_PRICE`,
 //! and `FIRST`.
+//!
+//! Fusion is a **two-level architecture**:
+//!
+//! * **Grouping** — [`FusionPolicy`] decides which records describe the
+//!   same entity ([`group_records`]).
+//! * **Truth discovery** — a [`ResolverRegistry`] maps each attribute to a
+//!   [`ValueResolver`] that picks the surviving value(s) from a group's
+//!   conflicting, provenance-tagged candidates ([`merge_groups_with`]).
+//!
+//! Built-in resolvers: [`MajorityVote`], [`SourceReliability`] (iterative
+//! accu-style source weighting), [`LatestWins`] (record-provenance
+//! freshness), [`MultiTruth`] (keeps all values above a support threshold),
+//! and [`PolicyResolver`] wrapping the classic order-sensitive
+//! [`ConflictPolicy`] table. Registries are configured declaratively via
+//! [`RegistryConfig`] on `DataTamerConfig` or per run on a `PipelinePlan`.
+//! Group merging stays rayon-parallel and byte-deterministic at any thread
+//! count.
+
+mod registry;
+mod reliability;
+mod resolve;
+
+pub use registry::{RegistryConfig, ResolverRegistry, ResolverSpec};
+pub use reliability::SourceReliability;
+pub use resolve::{
+    LatestWins, MajorityVote, MultiTruth, PolicyResolver, ProvenancedValue, Resolved,
+    ValueResolver,
+};
 
 use std::collections::HashMap;
 
-use datatamer_entity::consolidate::{merge_cluster, ConflictPolicy, MergePolicy};
+use datatamer_entity::consolidate::{ConflictPolicy, MergePolicy};
 use datatamer_ml::DedupClassifier;
-use datatamer_model::Record;
+use datatamer_model::{Record, Value};
 use datatamer_sim as sim;
 use datatamer_text::normalize::canonical_name;
 use rayon::prelude::*;
@@ -28,6 +56,9 @@ pub const FIRST: &str = "FIRST";
 /// * `TEXT_FEED`, `THEATER`, `PERFORMANCE`, `FIRST` take the first source's
 ///   value (source-priority resolution: the seed source is the cleanest).
 /// * Everything else majority-votes.
+///
+/// This is the legacy closed-table form of the routing; the open registry
+/// equivalent is [`RegistryConfig::broadway`], which the pipeline now uses.
 pub fn fusion_merge_policy() -> MergePolicy {
     MergePolicy {
         per_attribute: vec![
@@ -51,16 +82,17 @@ pub enum FusionPolicy {
 }
 
 impl FusionPolicy {
-    fn matches(&self, canon_key: &str, name: &str) -> bool {
-        let canon_b = canonical_name(name);
+    /// Both arguments are already canonicalised — the grouping scan
+    /// canonicalises each name once, not once per existing group.
+    fn matches(&self, canon_key: &str, canon_b: &str) -> bool {
         if canon_key == canon_b {
             return true;
         }
         match self {
             FusionPolicy::Fuzzy { threshold } => {
-                sim::jaro_winkler(canon_key, &canon_b) >= *threshold
+                sim::jaro_winkler(canon_key, canon_b) >= *threshold
             }
-            FusionPolicy::Classifier(model) => model.is_duplicate(canon_key, &canon_b),
+            FusionPolicy::Classifier(model) => model.is_duplicate(canon_key, canon_b),
         }
     }
 }
@@ -100,7 +132,7 @@ pub fn group_records(records: &[Record], policy: &FusionPolicy) -> Vec<FusionGro
             Some(g) => *g,
             None => {
                 // Fuzzy attachment against existing group keys.
-                let attach = groups.iter().position(|(key, _)| policy.matches(key, &name));
+                let attach = groups.iter().position(|(key, _)| policy.matches(key, &canon));
                 match attach {
                     Some(g) => {
                         by_key.insert(canon.clone(), g);
@@ -119,31 +151,88 @@ pub fn group_records(records: &[Record], policy: &FusionPolicy) -> Vec<FusionGro
     groups
 }
 
+/// Resolve one candidate group into a composite record through a resolver
+/// registry.
+///
+/// Shares the composite contract with the classic merge
+/// ([`datatamer_entity::consolidate::merge_composite`]): identity from the
+/// first member, first-seen attribute order, null values never reaching a
+/// resolver, all-null attributes staying [`Value::Null`]. Each attribute's
+/// non-null values are tagged with provenance (source id, record id,
+/// cluster rank) and handed to the registry's dispatched resolver. A
+/// [`Resolved::Multi`] survivor set lands as a [`Value::Array`] (a single
+/// survivor as the scalar, an empty set as null, same as
+/// [`Resolved::None`]).
+pub fn resolve_group(members: &[&Record], registry: &ResolverRegistry) -> Record {
+    datatamer_entity::consolidate::merge_composite(members, |attr, values| {
+        let provenanced: Vec<ProvenancedValue<'_>> = values
+            .iter()
+            .map(|&(rank, value)| ProvenancedValue {
+                value,
+                source: members[rank].source,
+                record: members[rank].id,
+                rank,
+            })
+            .collect();
+        match registry.resolve(attr, &provenanced) {
+            Resolved::Single(v) => v,
+            Resolved::Multi(mut vs) => match vs.len() {
+                0 => Value::Null,
+                1 => vs.remove(0),
+                _ => Value::Array(vs),
+            },
+            Resolved::None => Value::Null,
+        }
+    })
+}
+
 /// Merge half of fusion: collapse each candidate group into one composite
-/// entity under the standard conflict policies. Groups merge independently,
-/// so this fans out across the rayon team; output order is group order at
-/// any thread count.
-pub fn merge_groups(records: &[Record], groups: &[FusionGroup]) -> Vec<FusedEntity> {
-    let merge_policy = fusion_merge_policy();
+/// entity through a resolver registry. Groups merge independently, so this
+/// fans out across the rayon team; output order is group order at any
+/// thread count, and every built-in resolver is deterministic, so the
+/// output is byte-identical at any pool width.
+pub fn merge_groups_with(
+    records: &[Record],
+    groups: &[FusionGroup],
+    registry: &ResolverRegistry,
+) -> Vec<FusedEntity> {
     groups
         .par_iter()
         .map(|(key, members)| {
             let refs: Vec<&Record> = members.iter().map(|&i| &records[i]).collect();
-            let record = merge_cluster(&refs, &merge_policy);
+            let record = resolve_group(&refs, registry);
             FusedEntity { key: key.clone(), record, member_count: members.len() }
         })
         .collect()
 }
 
+/// [`merge_groups_with`] under the standard Broadway registry
+/// ([`ResolverRegistry::broadway`]) — byte-compatible with the historic
+/// `MergePolicy`-based merge.
+pub fn merge_groups(records: &[Record], groups: &[FusionGroup]) -> Vec<FusedEntity> {
+    merge_groups_with(records, groups, &ResolverRegistry::broadway())
+}
+
 /// Fuse records (text-derived + structured, already renamed to canonical
-/// attribute spellings) into one composite per distinct show.
+/// attribute spellings) into one composite per distinct show, resolving
+/// conflicts through `registry`.
 ///
-/// Record order matters: earlier records win `First`-policy attributes, so
-/// callers pass the cleanest source first. This is [`group_records`]
-/// followed by [`merge_groups`]; the staged pipeline runs the halves as
-/// separate stages.
+/// Record order matters twice: earlier records win order-sensitive
+/// resolvers (e.g. `Policy(First)`), and grouping attaches fuzzily to the
+/// earliest matching group — so callers pass the cleanest source first.
+/// This is [`group_records`] followed by [`merge_groups_with`]; the staged
+/// pipeline runs the halves as separate stages.
+pub fn fuse_records_with(
+    records: &[Record],
+    policy: &FusionPolicy,
+    registry: &ResolverRegistry,
+) -> Vec<FusedEntity> {
+    merge_groups_with(records, &group_records(records, policy), registry)
+}
+
+/// [`fuse_records_with`] under the standard Broadway registry.
 pub fn fuse_records(records: &[Record], policy: &FusionPolicy) -> Vec<FusedEntity> {
-    merge_groups(records, &group_records(records, policy))
+    fuse_records_with(records, policy, &ResolverRegistry::broadway())
 }
 
 #[cfg(test)]
@@ -268,5 +357,95 @@ mod tests {
     #[test]
     fn empty_input() {
         assert!(fuse_records(&[], &fuzzy()).is_empty());
+    }
+
+    #[test]
+    fn registry_merge_matches_legacy_policy_merge() {
+        // The broadway registry must reproduce the MergePolicy-based merge
+        // byte for byte, including null handling and attribute order.
+        let records = vec![
+            rec(0, 0, vec![(SHOW_NAME, "Annie"), (CHEAPEST_PRICE, "$45"), (THEATER, "Palace")]),
+            rec(1, 1, vec![(SHOW_NAME, "annie"), (CHEAPEST_PRICE, "$39"), (TEXT_FEED, "feed")]),
+            rec(2, 2, vec![(SHOW_NAME, "Annie"), (THEATER, "Gershwin")]),
+        ];
+        let groups = group_records(&records, &fuzzy());
+        let legacy = fusion_merge_policy();
+        for (key, members) in &groups {
+            let refs: Vec<&Record> = members.iter().map(|&i| &records[i]).collect();
+            let via_policy = datatamer_entity::consolidate::merge_cluster(&refs, &legacy);
+            let via_registry = resolve_group(&refs, &ResolverRegistry::broadway());
+            assert_eq!(via_policy, via_registry, "group {key}");
+        }
+    }
+
+    #[test]
+    fn fuse_records_with_routes_attributes_to_their_resolvers() {
+        let registry = ResolverRegistry::new(Box::new(MajorityVote))
+            .with("RATING", Box::new(MultiTruth { min_support: 0.3 }))
+            .with("STATUS", Box::new(LatestWins));
+        let records = vec![
+            rec(0, 0, vec![(SHOW_NAME, "Pippin"), ("RATING", "PG"), ("STATUS", "previews")]),
+            rec(1, 1, vec![(SHOW_NAME, "Pippin"), ("RATING", "PG-13"), ("STATUS", "open")]),
+            rec(2, 2, vec![(SHOW_NAME, "Pippin"), ("RATING", "PG"), ("STATUS", "open")]),
+        ];
+        let fused = fuse_records_with(&records, &fuzzy(), &registry);
+        assert_eq!(fused.len(), 1);
+        let r = &fused[0].record;
+        // MultiTruth keeps both ratings (support-major order) as an array.
+        assert_eq!(
+            r.get("RATING"),
+            Some(&Value::Array(vec![Value::from("PG"), Value::from("PG-13")]))
+        );
+        // LatestWins takes the provenance-latest record's status.
+        assert_eq!(r.get_text("STATUS").as_deref(), Some("open"));
+        // Default majority vote handles the name.
+        assert_eq!(r.get_text(SHOW_NAME).as_deref(), Some("Pippin"));
+    }
+
+    #[test]
+    fn empty_multi_and_none_both_resolve_to_null() {
+        // A custom resolver that filters every candidate out must behave
+        // the same whether it reports Multi(vec![]) or None.
+        struct DropAll(bool);
+        impl ValueResolver for DropAll {
+            fn name(&self) -> &'static str {
+                "drop_all"
+            }
+            fn resolve(&self, _attr: &str, _values: &[ProvenancedValue<'_>]) -> Resolved {
+                if self.0 {
+                    Resolved::Multi(Vec::new())
+                } else {
+                    Resolved::None
+                }
+            }
+        }
+        for empty_multi in [true, false] {
+            let registry = ResolverRegistry::new(Box::new(MajorityVote))
+                .with("DOOMED", Box::new(DropAll(empty_multi)));
+            let records = vec![
+                rec(0, 0, vec![(SHOW_NAME, "Cats"), ("DOOMED", "x")]),
+                rec(1, 1, vec![(SHOW_NAME, "Cats"), ("DOOMED", "y")]),
+            ];
+            let fused = fuse_records_with(&records, &fuzzy(), &registry);
+            assert_eq!(
+                fused[0].record.get("DOOMED"),
+                Some(&Value::Null),
+                "empty_multi={empty_multi}"
+            );
+        }
+    }
+
+    #[test]
+    fn all_null_attribute_stays_null_through_registry() {
+        let mut a = rec(0, 0, vec![(SHOW_NAME, "Cats")]);
+        a.set("GONE", Value::Null);
+        let b = rec(1, 1, vec![(SHOW_NAME, "Cats")]);
+        let fused = fuse_records_with(
+            &[a, b],
+            &fuzzy(),
+            &ResolverRegistry::new(Box::new(MajorityVote)),
+        );
+        assert_eq!(fused.len(), 1);
+        assert_eq!(fused[0].record.get("GONE"), Some(&Value::Null));
     }
 }

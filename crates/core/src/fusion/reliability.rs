@@ -1,0 +1,234 @@
+//! Source-reliability truth discovery (accu-style iterative weighting).
+//!
+//! Majority vote treats every source as equally trustworthy; the data-fusion
+//! literature (Dong et al., "From Data Fusion to Knowledge Fusion") weights
+//! sources by how often they agree with the emerging consensus and lets the
+//! weights and the consensus reinforce each other. This module implements
+//! the single-attribute core of that fixpoint: within one conflicting value
+//! group, a source's vote counts for more when the values it supplies are
+//! corroborated by other sources.
+//!
+//! The computation is deliberately order-free: candidates are processed in
+//! sorted text order and votes in sorted provenance order, so the resolved
+//! value is a pure function of the input multiset — permutation-invariant
+//! and byte-deterministic at any thread count.
+
+use std::collections::BTreeMap;
+
+use datatamer_model::{RecordId, SourceId, Value};
+
+use super::resolve::{ProvenancedValue, Resolved, ValueResolver};
+
+/// Iterative source-reliability resolver.
+///
+/// Every *source* casts one claim per attribute (its internal majority, so
+/// duplicate records within a source never corroborate themselves). Each
+/// round recomputes candidate scores as the sum of their claiming sources'
+/// weights, then reassigns every source the (normalised) score of the
+/// candidate it claimed. A few rounds amplify agreeing sources and damp
+/// lone dissenters; `smoothing` keeps every source's weight strictly
+/// positive so a unanimous minority can still win an attribute where the
+/// "majority" is split.
+#[derive(Debug, Clone, Copy)]
+pub struct SourceReliability {
+    /// Fixpoint rounds (a handful suffices; scores stabilise geometrically).
+    pub iterations: usize,
+    /// Additive weight floor applied when reweighting sources. Clamped
+    /// into `[0, 1)` at resolution time (NaN behaves as `0`): values at or
+    /// above 1 would freeze or invert the reinforcement loop, so a
+    /// misconfigured floor degrades to near-pure majority weighting
+    /// instead of producing nonsense.
+    pub smoothing: f64,
+}
+
+impl Default for SourceReliability {
+    fn default() -> Self {
+        SourceReliability { iterations: 5, smoothing: 0.1 }
+    }
+}
+
+impl ValueResolver for SourceReliability {
+    fn name(&self) -> &'static str {
+        "source_reliability"
+    }
+
+    fn resolve(&self, _attr: &str, values: &[ProvenancedValue<'_>]) -> Resolved {
+        // One claim per SOURCE, not per record: a source contributing many
+        // records must not corroborate itself, so each source's claim is
+        // its internal majority (ties to the smaller text), represented by
+        // the provenance-smallest value carrying that text. BTreeMaps keep
+        // every iteration order (and therefore every float summation
+        // order) input-order-free.
+        let mut by_source: BTreeMap<SourceId, BTreeMap<String, (usize, RecordId, &Value)>> =
+            BTreeMap::new();
+        for pv in values {
+            let tally = by_source.entry(pv.source).or_default();
+            let e = tally.entry(pv.text()).or_insert((0, pv.record, pv.value));
+            e.0 += 1;
+            if pv.record < e.1 {
+                e.1 = pv.record;
+                e.2 = pv.value;
+            }
+        }
+        let mut votes: BTreeMap<SourceId, (String, &Value)> = BTreeMap::new();
+        for (source, tally) in &by_source {
+            // Text-ascending iteration + strictly-greater keeps the
+            // smallest text among count ties.
+            let mut claim: Option<(&String, usize, &Value)> = None;
+            for (text, (count, _, value)) in tally {
+                match claim {
+                    Some((_, best, _)) if *count <= best => {}
+                    _ => claim = Some((text, *count, value)),
+                }
+            }
+            let (text, _, value) = claim.expect("source has at least one value");
+            votes.insert(*source, (text.clone(), value));
+        }
+
+        let smoothing = if self.smoothing.is_nan() {
+            0.0
+        } else {
+            self.smoothing.clamp(0.0, 1.0 - f64::EPSILON)
+        };
+        let mut weights: BTreeMap<SourceId, f64> = votes.keys().map(|k| (*k, 1.0)).collect();
+        let mut scores: BTreeMap<&str, f64> = BTreeMap::new();
+        for _ in 0..self.iterations.max(1) {
+            // Candidate score = sum of claiming sources' weights (sorted
+            // orders).
+            scores.clear();
+            for (source, (text, _)) in &votes {
+                *scores.entry(text.as_str()).or_insert(0.0) += weights[source];
+            }
+            let total: f64 = scores.values().sum();
+            if total <= 0.0 {
+                break;
+            }
+            // Source weight = normalised score of its claim, floored.
+            for (source, (text, _)) in &votes {
+                let w = weights.get_mut(source).expect("source registered");
+                *w = smoothing + (1.0 - smoothing) * scores[text.as_str()] / total;
+            }
+        }
+
+        // Winner: maximal score; ties break to the smaller text. Scores of
+        // tied-support candidates are bit-identical (same sorted summation),
+        // so strict comparison is safe.
+        let mut best: Option<(&str, f64)> = None;
+        for (text, score) in &scores {
+            match best {
+                Some((_, bs)) if *score <= bs => {}
+                _ => best = Some((text, *score)),
+            }
+        }
+        let winner = best.expect("resolver input is never empty").0;
+        let value = votes
+            .values()
+            .find(|(t, _)| t == winner)
+            .expect("winner came from the vote table")
+            .1;
+        Resolved::Single(value.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pv(value: &Value, source: u32, record: u64, rank: usize) -> ProvenancedValue<'_> {
+        ProvenancedValue {
+            value,
+            source: SourceId(source),
+            record: RecordId(record),
+            rank,
+        }
+    }
+
+    #[test]
+    fn agreement_beats_lone_dissent() {
+        let vals: Vec<Value> = ["$27", "$27", "$99"].iter().map(|s| Value::from(*s)).collect();
+        let provs: Vec<ProvenancedValue<'_>> =
+            vals.iter().enumerate().map(|(i, v)| pv(v, i as u32, i as u64, i)).collect();
+        let r = SourceReliability::default().resolve("price", &provs);
+        assert_eq!(r, Resolved::Single(Value::from("$27")));
+    }
+
+    #[test]
+    fn two_vs_one_split_amplifies_with_iterations() {
+        let vals: Vec<Value> = ["a", "b", "b"].iter().map(|s| Value::from(*s)).collect();
+        let provs: Vec<ProvenancedValue<'_>> =
+            vals.iter().enumerate().map(|(i, v)| pv(v, i as u32, i as u64, i)).collect();
+        for iters in [1, 3, 8] {
+            let r = SourceReliability { iterations: iters, smoothing: 0.1 }
+                .resolve("x", &provs);
+            assert_eq!(r, Resolved::Single(Value::from("b")), "at {iters} iterations");
+        }
+    }
+
+    #[test]
+    fn even_split_tie_breaks_to_smaller_text() {
+        let vals: Vec<Value> = ["zeta", "alpha"].iter().map(|s| Value::from(*s)).collect();
+        let provs: Vec<ProvenancedValue<'_>> =
+            vals.iter().enumerate().map(|(i, v)| pv(v, i as u32, i as u64, i)).collect();
+        let r = SourceReliability::default().resolve("x", &provs);
+        assert_eq!(r, Resolved::Single(Value::from("alpha")));
+    }
+
+    #[test]
+    fn permutation_of_inputs_is_irrelevant() {
+        // Sources 0..3 each contribute two records; per-source internal
+        // ties break to the smaller text, so the claims are x, y, y — the
+        // cross-source majority is "y" however the slice is ordered.
+        let vals: Vec<Value> =
+            ["x", "y", "y", "z", "z", "z"].iter().map(|s| Value::from(*s)).collect();
+        let provs: Vec<ProvenancedValue<'_>> =
+            vals.iter().enumerate().map(|(i, v)| pv(v, (i % 3) as u32, i as u64, i)).collect();
+        let forward = SourceReliability::default().resolve("x", &provs);
+        let mut rev = provs.clone();
+        rev.reverse();
+        let backward = SourceReliability::default().resolve("x", &rev);
+        assert_eq!(forward, backward);
+        assert_eq!(forward, Resolved::Single(Value::from("y")));
+    }
+
+    #[test]
+    fn spammy_source_cannot_corroborate_itself() {
+        // One source repeats "$99" across three records; two independent
+        // sources each say "$27". Per-source claims make it 2 sources vs
+        // 1, so the independent agreement wins — record-level voting would
+        // have let the spam win 3-vs-2.
+        let vals: Vec<Value> =
+            ["$99", "$99", "$99", "$27", "$27"].iter().map(|s| Value::from(*s)).collect();
+        let provs = vec![
+            pv(&vals[0], 0, 0, 0),
+            pv(&vals[1], 0, 1, 1),
+            pv(&vals[2], 0, 2, 2),
+            pv(&vals[3], 1, 0, 3),
+            pv(&vals[4], 2, 0, 4),
+        ];
+        let r = SourceReliability::default().resolve("price", &provs);
+        assert_eq!(r, Resolved::Single(Value::from("$27")));
+    }
+
+    #[test]
+    fn out_of_range_smoothing_is_clamped() {
+        let vals: Vec<Value> = ["$27", "$27", "$99"].iter().map(|s| Value::from(*s)).collect();
+        let provs: Vec<ProvenancedValue<'_>> =
+            vals.iter().enumerate().map(|(i, v)| pv(v, i as u32, i as u64, i)).collect();
+        for smoothing in [1.0, 5.0, -2.0, f64::NAN] {
+            let r = SourceReliability { iterations: 5, smoothing }.resolve("x", &provs);
+            assert_eq!(r, Resolved::Single(Value::from("$27")), "smoothing {smoothing}");
+        }
+    }
+
+    #[test]
+    fn duplicate_provenance_keeps_smaller_text_regardless_of_order() {
+        let a = Value::from("a");
+        let b = Value::from("b");
+        let one = [pv(&a, 0, 0, 0), pv(&b, 0, 0, 1)];
+        let two = [pv(&b, 0, 0, 0), pv(&a, 0, 0, 1)];
+        let r1 = SourceReliability::default().resolve("x", &one);
+        let r2 = SourceReliability::default().resolve("x", &two);
+        assert_eq!(r1, r2);
+        assert_eq!(r1, Resolved::Single(Value::from("a")));
+    }
+}

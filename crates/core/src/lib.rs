@@ -13,7 +13,11 @@
 //!   show records for fusion.
 //! * [`expert_bridge`] — expert panels answering escalated schema matches.
 //! * [`fusion`] — fusing text-derived and structured records over the
-//!   global schema (the Matilda enrichment of Tables V–VI).
+//!   global schema (the Matilda enrichment of Tables V–VI). Two levels:
+//!   [`fusion::FusionPolicy`] groups records into entities, and a
+//!   [`fusion::ResolverRegistry`] dispatches each attribute's conflicting
+//!   values to a [`fusion::ValueResolver`] (majority vote, source
+//!   reliability, latest-wins, multi-truth, or classic merge policies).
 //! * [`query`] — demo queries: show lookup and top-k most-discussed
 //!   award-winning titles (Table IV).
 //! * [`stage`] — the staged pipeline: [`stage::PipelineStage`] (ingest →
@@ -34,7 +38,11 @@ pub mod stage;
 pub use catalog::{Catalog, SourceInfo, SourceKind};
 pub use config::DataTamerConfig;
 pub use expert_bridge::ExpertPanelResolver;
-pub use fusion::{fuse_records, FusionPolicy};
+pub use fusion::{
+    fuse_records, fuse_records_with, FusionPolicy, LatestWins, MajorityVote, MultiTruth,
+    PolicyResolver, ProvenancedValue, RegistryConfig, Resolved, ResolverRegistry, ResolverSpec,
+    SourceReliability, ValueResolver,
+};
 pub use ingest::{IngestStats, TextIngestor};
 pub use pipeline::{DataTamer, PipelinePlan};
 pub use stage::{PipelineContext, PipelineStage, StageReport};

@@ -31,7 +31,7 @@ use datatamer_text::DomainParser;
 
 use crate::catalog::Catalog;
 use crate::config::DataTamerConfig;
-use crate::fusion::{fuse_records, FusedEntity, FusionPolicy};
+use crate::fusion::{fuse_records_with, FusedEntity, FusionPolicy, RegistryConfig, ResolverRegistry};
 use crate::ingest::IngestStats;
 use crate::query::{entity_type_histogram, top_discussed_award_winning, DiscussedShow};
 use crate::stage::{
@@ -49,6 +49,12 @@ pub struct PipelinePlan<'a> {
     pub structured: Vec<(String, Vec<Record>)>,
     /// Web text to ingest through the domain parser.
     pub text: Option<TextIngestJob<'a>>,
+    /// Truth-discovery routing override. `None` keeps the routing in
+    /// effect (initially [`DataTamerConfig::fusion_resolvers`]); `Some`
+    /// replaces it for this run *and* for later ad-hoc fusion, so
+    /// [`DataTamer::fuse`] never disagrees with the run that filled
+    /// the context.
+    pub resolvers: Option<RegistryConfig>,
 }
 
 impl<'a> PipelinePlan<'a> {
@@ -66,6 +72,12 @@ impl<'a> PipelinePlan<'a> {
     /// Set the web-text job.
     pub fn webtext(mut self, parser: DomainParser, fragments: Vec<(&'a str, &'a str)>) -> Self {
         self.text = Some(TextIngestJob { parser, fragments });
+        self
+    }
+
+    /// Override the fusion stage's resolver routing for this run.
+    pub fn resolvers(mut self, config: RegistryConfig) -> Self {
+        self.resolvers = Some(config);
         self
     }
 }
@@ -131,6 +143,12 @@ impl DataTamer {
         FusionPolicy::Fuzzy { threshold: self.ctx.config().fusion_threshold }
     }
 
+    /// The registry for the routing currently in effect (the system
+    /// configuration's, or the most recent run's plan override).
+    fn resolver_registry(&self) -> ResolverRegistry {
+        self.ctx.fusion_resolvers.build()
+    }
+
     /// Run the full canonical pipeline — ingest → schema integration →
     /// cleaning → entity consolidation → fusion — over a plan, returning
     /// the fused entities. Each stage's report lands in the context
@@ -140,14 +158,26 @@ impl DataTamer {
     /// the global schema and participate in consolidation/fusion.
     pub fn run(&mut self, plan: PipelinePlan<'_>) -> datatamer_model::Result<&[FusedEntity]> {
         let policy = self.fusion_policy();
+        let override_config = plan.resolvers;
+        let registry = match &override_config {
+            Some(config) => config.build(),
+            None => self.resolver_registry(),
+        };
         let mut stages: Vec<Box<dyn PipelineStage + '_>> = vec![
             Box::new(IngestStage::new(plan.structured, plan.text)),
             Box::new(SchemaIntegrationStage::auto()),
             Box::new(CleaningStage),
             Box::new(EntityConsolidationStage::new(policy)),
-            Box::new(FusionStage),
+            Box::new(FusionStage::new(registry)),
         ];
         run_stages(&mut self.ctx, &mut stages)?;
+        // Only a *successful* run installs its override as the routing in
+        // effect: ctx.fused was produced under it, so later ad-hoc fusion
+        // (`fuse`, `fuse_text_only`) agrees with the context. A failed run
+        // leaves both the fused output and the routing untouched.
+        if let Some(config) = override_config {
+            self.ctx.fusion_resolvers = config;
+        }
         Ok(&self.ctx.fused)
     }
 
@@ -199,21 +229,26 @@ impl DataTamer {
         self.ctx.text_stats.clone()
     }
 
-    /// Fuse structured + text show records into composite entities.
-    /// Structured records come first so source-priority conflict resolution
-    /// favours the curated sources.
+    /// Fuse structured + text show records into composite entities through
+    /// the configured resolver registry. Structured records come first so
+    /// source-priority (order-sensitive) resolvers favour the curated
+    /// sources.
     pub fn fuse(&self) -> Vec<FusedEntity> {
         let ctx = &self.ctx;
         let mut all: Vec<Record> =
             Vec::with_capacity(ctx.structured_records.len() + ctx.text_show_records.len());
         all.extend(ctx.structured_records.iter().cloned());
         all.extend(ctx.text_show_records.iter().cloned());
-        fuse_records(&all, &self.fusion_policy())
+        fuse_records_with(&all, &self.fusion_policy(), &self.resolver_registry())
     }
 
     /// Fuse only text-derived records (the Table V "before" state).
     pub fn fuse_text_only(&self) -> Vec<FusedEntity> {
-        fuse_records(&self.ctx.text_show_records, &self.fusion_policy())
+        fuse_records_with(
+            &self.ctx.text_show_records,
+            &self.fusion_policy(),
+            &self.resolver_registry(),
+        )
     }
 
     /// Look up one show in a fused entity set by (canonicalised) name.
@@ -459,6 +494,82 @@ mod tests {
         assert_eq!(ctx.run_count(stage_names::SCHEMA_INTEGRATION), 1);
         assert_eq!(ctx.run_count(stage_names::CLEANING), 1);
         assert_eq!(ctx.run_count(stage_names::FUSION), 0, "no fusion requested yet");
+    }
+
+    #[test]
+    fn plan_level_resolver_override_reaches_the_fusion_stage() {
+        use crate::fusion::{RegistryConfig, ResolverSpec};
+        // The provenance-later record (id 1) carries the HIGHER price, so
+        // LatestWins and the broadway NumericMin must disagree.
+        let rows = vec![
+            Record::from_pairs(
+                SourceId(0),
+                RecordId(0),
+                vec![("show_name", Value::from("Wicked")), ("cheapest_price", Value::from("$45"))],
+            ),
+            Record::from_pairs(
+                SourceId(0),
+                RecordId(1),
+                vec![("show_name", Value::from("Wicked")), ("cheapest_price", Value::from("$99"))],
+            ),
+        ];
+
+        // Config default (broadway): numeric minimum.
+        let mut dt = DataTamer::new(small_config());
+        dt.run(PipelinePlan::new().structured("s1", &rows)).unwrap();
+        assert_eq!(
+            dt.context().fused[0].record.get_text(CHEAPEST_PRICE).as_deref(),
+            Some("$45")
+        );
+
+        // Plan override: the freshest record's price survives instead.
+        let mut dt = DataTamer::new(small_config());
+        let plan = PipelinePlan::new().structured("s1", &rows).resolvers(
+            RegistryConfig::broadway().with(CHEAPEST_PRICE, ResolverSpec::LatestWins),
+        );
+        dt.run(plan).unwrap();
+        assert_eq!(
+            dt.context().fused[0].record.get_text(CHEAPEST_PRICE).as_deref(),
+            Some("$99")
+        );
+        // Ad-hoc re-fusion uses the routing that produced ctx.fused, not
+        // the stale system default.
+        assert_eq!(dt.fuse()[0].record.get_text(CHEAPEST_PRICE).as_deref(), Some("$99"));
+    }
+
+    #[test]
+    fn default_fusion_stage_reads_the_contexts_routing() {
+        use crate::fusion::{group_records, FusionPolicy, RegistryConfig, ResolverSpec};
+        use crate::stage::FusionStage;
+        // A manually assembled stage list with FusionStage::default() must
+        // fuse under the context's routing-in-effect, keeping ctx.fused and
+        // ctx.fusion_resolvers in agreement by construction.
+        let mut config = small_config();
+        config.fusion_resolvers =
+            RegistryConfig::broadway().with(CHEAPEST_PRICE, ResolverSpec::LatestWins);
+        let mut ctx = crate::stage::PipelineContext::new(config);
+        let records = vec![
+            Record::from_pairs(
+                SourceId(0),
+                RecordId(0),
+                vec![(SHOW_NAME, Value::from("Wicked")), (CHEAPEST_PRICE, Value::from("$45"))],
+            ),
+            Record::from_pairs(
+                SourceId(0),
+                RecordId(1),
+                vec![(SHOW_NAME, Value::from("Wicked")), (CHEAPEST_PRICE, Value::from("$99"))],
+            ),
+        ];
+        ctx.fusion_groups = group_records(&records, &FusionPolicy::Fuzzy { threshold: 0.88 });
+        ctx.fusion_input = records;
+        let mut stages: Vec<Box<dyn crate::stage::PipelineStage + '_>> =
+            vec![Box::<FusionStage>::default()];
+        crate::stage::run_stages(&mut ctx, &mut stages).unwrap();
+        assert_eq!(
+            ctx.fused[0].record.get_text(CHEAPEST_PRICE).as_deref(),
+            Some("$99"),
+            "context routing (LatestWins), not the broadway default"
+        );
     }
 
     #[test]

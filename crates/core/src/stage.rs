@@ -29,8 +29,8 @@ use rayon::prelude::*;
 use crate::catalog::{Catalog, SourceKind};
 use crate::config::DataTamerConfig;
 use crate::fusion::{
-    group_records, merge_groups, FusedEntity, FusionGroup, FusionPolicy, CHEAPEST_PRICE, FIRST,
-    PERFORMANCE, SHOW_NAME, THEATER,
+    group_records, merge_groups_with, FusedEntity, FusionGroup, FusionPolicy, ResolverRegistry,
+    CHEAPEST_PRICE, FIRST, PERFORMANCE, SHOW_NAME, THEATER,
 };
 use crate::ingest::{IngestStats, TextIngestor};
 use crate::pipeline::{record_to_doc, GLOBAL_RECORDS_COLLECTION};
@@ -159,6 +159,11 @@ pub struct PipelineContext {
     pub fusion_groups: Vec<FusionGroup>,
     /// Fused composites from the most recent fusion stage.
     pub fused: Vec<FusedEntity>,
+    /// The truth-discovery routing currently in effect: the system
+    /// configuration's, until a run's `PipelinePlan` overrides it. Ad-hoc
+    /// re-fusion (`DataTamer::fuse`) uses this, so it always agrees with
+    /// the routing that produced [`PipelineContext::fused`].
+    pub fusion_resolvers: crate::fusion::RegistryConfig,
     runs: Vec<StageRun>,
 }
 
@@ -171,6 +176,7 @@ impl PipelineContext {
         );
         PipelineContext {
             store: Store::new(config.namespace.clone()),
+            fusion_resolvers: config.fusion_resolvers.clone(),
             config,
             catalog: Catalog::new(),
             integrator,
@@ -514,10 +520,27 @@ impl PipelineStage for EntityConsolidationStage {
 // Fusion
 // ---------------------------------------------------------------------------
 
-/// Stage 5: merge each candidate group into one composite entity (groups
-/// merge in parallel; order is deterministic).
+/// Stage 5: merge each candidate group into one composite entity through a
+/// resolver registry (groups merge in parallel; the registry's resolvers
+/// are deterministic, so output is byte-identical at any thread count).
+///
+/// Built with an explicit registry ([`FusionStage::new`]) or, by default,
+/// resolving through the context's routing-in-effect
+/// ([`PipelineContext::fusion_resolvers`]) at run time — so a manually
+/// assembled stage list keeps the context's fused output and routing in
+/// agreement by construction.
 #[derive(Debug, Default)]
-pub struct FusionStage;
+pub struct FusionStage {
+    registry: Option<ResolverRegistry>,
+}
+
+impl FusionStage {
+    /// Resolve conflicts through `registry` instead of the context's
+    /// routing.
+    pub fn new(registry: ResolverRegistry) -> Self {
+        FusionStage { registry: Some(registry) }
+    }
+}
 
 impl PipelineStage for FusionStage {
     fn name(&self) -> &'static str {
@@ -525,12 +548,20 @@ impl PipelineStage for FusionStage {
     }
 
     fn run(&mut self, ctx: &mut PipelineContext) -> Result<StageReport> {
+        let from_ctx;
+        let registry = match &self.registry {
+            Some(registry) => registry,
+            None => {
+                from_ctx = ctx.fusion_resolvers.build();
+                &from_ctx
+            }
+        };
         // Consume the consolidation snapshot: it exists only to hand the
         // grouped records from the previous stage to this one, and keeping
         // a full record clone alive in the context would double resident
         // memory at scale.
         let input = std::mem::take(&mut ctx.fusion_input);
-        let fused = merge_groups(&input, &ctx.fusion_groups);
+        let fused = merge_groups_with(&input, &ctx.fusion_groups, registry);
         let members = fused.iter().map(|f| f.member_count).sum();
         let report = StageReport::Fusion { entities: fused.len(), members };
         ctx.fused = fused;

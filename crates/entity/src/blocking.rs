@@ -24,6 +24,21 @@ pub enum BlockingStrategy {
     MinHashLsh { bands: usize, rows: usize },
 }
 
+/// Bucket-based strategies cap gigantic buckets (stopword-like tokens) at
+/// this many members to bound the quadratic blowup. Truncation is never
+/// silent: it is reported as [`BlockingOutcome::truncated_buckets`].
+pub const BUCKET_CAP: usize = 256;
+
+/// Candidate generation plus blocking-health counters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlockingOutcome {
+    /// Candidate index pairs `(i, j)` with `i < j`, deduplicated.
+    pub pairs: Vec<(usize, usize)>,
+    /// Buckets whose membership exceeded [`BUCKET_CAP`] and were cut down
+    /// to it — a recall hazard the caller must surface, not swallow.
+    pub truncated_buckets: usize,
+}
+
 /// Generates candidate pairs from records using one strategy.
 #[derive(Debug, Clone)]
 pub struct Blocker {
@@ -42,13 +57,24 @@ impl Blocker {
     /// Candidate index pairs `(i, j)` with `i < j`, deduplicated.
     /// Records lacking the key attribute never appear in any pair.
     pub fn candidates(&self, records: &[Record]) -> Vec<(usize, usize)> {
+        self.candidates_with_report(records).pairs
+    }
+
+    /// [`Blocker::candidates`] plus the truncation counter. Only the
+    /// bucket-based strategies (`Token`, `Soundex`) can truncate; the
+    /// windowed and LSH strategies always report zero.
+    pub fn candidates_with_report(&self, records: &[Record]) -> BlockingOutcome {
         match self.strategy {
             BlockingStrategy::Token => self.token_blocks(records),
             BlockingStrategy::Soundex => self.soundex_blocks(records),
-            BlockingStrategy::SortedNeighborhood { window } => {
-                self.sorted_neighborhood(records, window)
-            }
-            BlockingStrategy::MinHashLsh { bands, rows } => self.lsh_blocks(records, bands, rows),
+            BlockingStrategy::SortedNeighborhood { window } => BlockingOutcome {
+                pairs: self.sorted_neighborhood(records, window),
+                truncated_buckets: 0,
+            },
+            BlockingStrategy::MinHashLsh { bands, rows } => BlockingOutcome {
+                pairs: self.lsh_blocks(records, bands, rows),
+                truncated_buckets: 0,
+            },
         }
     }
 
@@ -56,11 +82,18 @@ impl Blocker {
         r.get_text(&self.key_attr)
     }
 
-    fn token_blocks(&self, records: &[Record]) -> Vec<(usize, usize)> {
+    fn token_blocks(&self, records: &[Record]) -> BlockingOutcome {
         let mut buckets: HashMap<String, Vec<usize>> = HashMap::new();
         for (i, r) in records.iter().enumerate() {
             if let Some(key) = self.key_of(r) {
-                for tok in tokenize(&key) {
+                // Distinct tokens only: a repeated token ("La La Land")
+                // must not enter the record into its bucket twice, which
+                // would emit a self-pair `(i, i)` and inflate bucket sizes
+                // toward the cap.
+                let mut toks = tokenize(&key);
+                toks.sort_unstable();
+                toks.dedup();
+                for tok in toks {
                     buckets.entry(tok).or_default().push(i);
                 }
             }
@@ -68,7 +101,7 @@ impl Blocker {
         pairs_from_buckets(buckets.into_values())
     }
 
-    fn soundex_blocks(&self, records: &[Record]) -> Vec<(usize, usize)> {
+    fn soundex_blocks(&self, records: &[Record]) -> BlockingOutcome {
         let mut buckets: HashMap<String, Vec<usize>> = HashMap::new();
         for (i, r) in records.iter().enumerate() {
             if let Some(key) = self.key_of(r) {
@@ -124,17 +157,15 @@ impl Blocker {
     }
 }
 
-fn pairs_from_buckets<I: IntoIterator<Item = Vec<usize>>>(buckets: I) -> Vec<(usize, usize)> {
+fn pairs_from_buckets<I: IntoIterator<Item = Vec<usize>>>(buckets: I) -> BlockingOutcome {
     // Pair expansion is quadratic inside a bucket and independent across
     // buckets — the expansion fans out over the thread team while the
     // final order stays deterministic (bucket-major, then sorted).
     let buckets: Vec<Vec<usize>> = buckets.into_iter().collect();
-    let mut out: Vec<(usize, usize)> = buckets
+    let truncated_buckets = buckets.iter().filter(|m| m.len() > BUCKET_CAP).count();
+    let mut pairs: Vec<(usize, usize)> = buckets
         .par_iter()
         .flat_map(|members| {
-            // Gigantic buckets (stopword-like tokens) are capped to bound
-            // the blowup.
-            const BUCKET_CAP: usize = 256;
             let m = &members[..members.len().min(BUCKET_CAP)];
             let mut local = Vec::with_capacity(m.len().saturating_sub(1) * m.len() / 2);
             for i in 0..m.len() {
@@ -145,9 +176,9 @@ fn pairs_from_buckets<I: IntoIterator<Item = Vec<usize>>>(buckets: I) -> Vec<(us
             local
         })
         .collect();
-    out.sort_unstable();
-    out.dedup();
-    out
+    pairs.sort_unstable();
+    pairs.dedup();
+    BlockingOutcome { pairs, truncated_buckets }
 }
 
 /// Recall of a candidate set against known duplicate pairs.
@@ -249,6 +280,19 @@ mod tests {
     }
 
     #[test]
+    fn repeated_tokens_never_emit_self_pairs() {
+        let rs = records(&["La La Land", "La Strada", "Unrelated Title"]);
+        let outcome =
+            Blocker::new("name", BlockingStrategy::Token).candidates_with_report(&rs);
+        assert!(
+            outcome.pairs.iter().all(|(a, b)| a < b),
+            "pairs must have distinct ordered endpoints: {:?}",
+            outcome.pairs
+        );
+        assert!(outcome.pairs.contains(&(0, 1)), "share 'la'");
+    }
+
+    #[test]
     fn recall_measurement() {
         let cands = vec![(0, 1), (2, 3)];
         let truth = vec![(1, 0), (2, 3), (4, 5)];
@@ -257,12 +301,65 @@ mod tests {
     }
 
     #[test]
-    fn giant_buckets_are_capped() {
+    fn giant_buckets_are_capped_and_reported() {
         // 600 records all sharing a token: uncapped would be ~180k pairs.
         let names: Vec<String> = (0..600).map(|i| format!("show number{i}")).collect();
         let refs: Vec<&str> = names.iter().map(String::as_str).collect();
         let rs = records(&refs);
-        let pairs = Blocker::new("name", BlockingStrategy::Token).candidates(&rs);
-        assert!(pairs.len() < 256 * 256, "bucket cap must bound the blowup: {}", pairs.len());
+        let outcome =
+            Blocker::new("name", BlockingStrategy::Token).candidates_with_report(&rs);
+        assert!(
+            outcome.pairs.len() < 256 * 256,
+            "bucket cap must bound the blowup: {}",
+            outcome.pairs.len()
+        );
+        assert_eq!(
+            outcome.truncated_buckets, 1,
+            "the 'show' bucket exceeded the cap and must be reported"
+        );
+    }
+
+    #[test]
+    fn small_buckets_report_no_truncation() {
+        let rs = records(&["Matilda Musical", "Matilda Show", "Wicked Show", "Annie"]);
+        for strategy in [
+            BlockingStrategy::Token,
+            BlockingStrategy::Soundex,
+            BlockingStrategy::SortedNeighborhood { window: 3 },
+            BlockingStrategy::MinHashLsh { bands: 4, rows: 4 },
+        ] {
+            let outcome = Blocker::new("name", strategy).candidates_with_report(&rs);
+            assert_eq!(outcome.truncated_buckets, 0, "{strategy:?}");
+        }
+    }
+
+    #[test]
+    fn oversized_bucket_blocking_recall_regression() {
+        // One bucket of 600 (shared token) with known duplicates that sit
+        // beyond the cap boundary: the cap necessarily loses them, and the
+        // truncation counter is what makes that loss visible. This pins the
+        // contract until progressive blocking (ROADMAP) replaces the cap.
+        let names: Vec<String> = (0..600).map(|i| format!("show number{i}")).collect();
+        let refs: Vec<&str> = names.iter().map(String::as_str).collect();
+        let rs = records(&refs);
+        let outcome =
+            Blocker::new("name", BlockingStrategy::Token).candidates_with_report(&rs);
+
+        // Truth: pairs inside the cap, straddling it, and fully beyond it.
+        let truth = vec![(0, 1), (10, 300), (400, 599)];
+        let recall = blocking_recall(&outcome.pairs, &truth);
+        assert!(
+            (recall - 1.0 / 3.0).abs() < 1e-12,
+            "only the in-cap pair survives: {recall}"
+        );
+        assert_eq!(outcome.truncated_buckets, 1, "the recall loss must be announced");
+
+        // A small bucket keeps perfect recall over the same truth shape.
+        let small: Vec<String> = (0..100).map(|i| format!("show number{i}")).collect();
+        let small_refs: Vec<&str> = small.iter().map(String::as_str).collect();
+        let small_outcome = Blocker::new("name", BlockingStrategy::Token)
+            .candidates_with_report(&records(&small_refs));
+        assert_eq!(blocking_recall(&small_outcome.pairs, &[(0, 1), (10, 90)]), 1.0);
+        assert_eq!(small_outcome.truncated_buckets, 0);
     }
 }

@@ -51,12 +51,33 @@ impl MergePolicy {
     }
 }
 
-/// Merge a cluster of records into one composite record.
+impl ConflictPolicy {
+    /// Resolve one attribute's non-null values (cluster order) to a single
+    /// surviving value under this policy. Panics on an empty slice.
+    ///
+    /// This is the merge primitive of [`merge_cluster`], exposed so
+    /// higher-level truth-discovery resolvers (the fusion registry in
+    /// `datatamer-core`) can delegate to the classic policies.
+    pub fn resolve_values(&self, values: &[&Value]) -> Value {
+        resolve(values, *self)
+    }
+}
+
+/// Composite-record scaffolding shared by every merge flavour: the
+/// composite's identity is the first member's `(source, id)`; every
+/// attribute present in any member appears in the composite in first-seen
+/// order; null values are filtered before resolution; an attribute whose
+/// values are all null stays [`Value::Null`].
 ///
-/// The composite's identity is the first record's `(source, id)`; every
-/// attribute present in any member appears in the composite (first-seen
-/// attribute order), resolved per policy over the members' non-null values.
-pub fn merge_cluster(records: &[&Record], policy: &MergePolicy) -> Record {
+/// `resolve` receives the attribute name and its non-null values as
+/// `(member index, value)` pairs in cluster order, and returns the
+/// surviving value. [`merge_cluster`] instantiates it with the classic
+/// [`MergePolicy`] table; the fusion resolver registry in `datatamer-core`
+/// instantiates it with provenance-aware truth discovery.
+pub fn merge_composite<F>(records: &[&Record], mut resolve: F) -> Record
+where
+    F: FnMut(&str, &[(usize, &Value)]) -> Value,
+{
     assert!(!records.is_empty(), "cannot merge an empty cluster");
     let mut composite = Record::new(records[0].source, records[0].id);
     // First-seen attribute order across the cluster.
@@ -69,19 +90,29 @@ pub fn merge_cluster(records: &[&Record], policy: &MergePolicy) -> Record {
         }
     }
     for attr in attr_order {
-        let values: Vec<&Value> = records
+        let values: Vec<(usize, &Value)> = records
             .iter()
-            .filter_map(|r| r.get(attr))
-            .filter(|v| !v.is_null())
+            .enumerate()
+            .filter_map(|(i, r)| r.get(attr).filter(|v| !v.is_null()).map(|v| (i, v)))
             .collect();
         if values.is_empty() {
             composite.set(attr, Value::Null);
             continue;
         }
-        let resolved = resolve(&values, policy.policy_of(attr));
+        let resolved = resolve(attr, &values);
         composite.set(attr, resolved);
     }
     composite
+}
+
+/// Merge a cluster of records into one composite record under per-attribute
+/// [`ConflictPolicy`] resolution (see [`merge_composite`] for the shared
+/// composite contract).
+pub fn merge_cluster(records: &[&Record], policy: &MergePolicy) -> Record {
+    merge_composite(records, |attr, values| {
+        let plain: Vec<&Value> = values.iter().map(|(_, v)| *v).collect();
+        policy.policy_of(attr).resolve_values(&plain)
+    })
 }
 
 fn resolve(values: &[&Value], policy: ConflictPolicy) -> Value {

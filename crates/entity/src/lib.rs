@@ -21,8 +21,8 @@ pub mod consolidate;
 pub mod pairsim;
 pub mod pipeline;
 
-pub use blocking::{Blocker, BlockingStrategy};
+pub use blocking::{blocking_recall, Blocker, BlockingOutcome, BlockingStrategy, BUCKET_CAP};
 pub use cluster::UnionFind;
-pub use consolidate::{merge_cluster, ConflictPolicy};
+pub use consolidate::{merge_cluster, merge_composite, ConflictPolicy, MergePolicy};
 pub use pairsim::{accepted_pairs, score_pairs, PairScorer, RecordSimilarity};
 pub use pipeline::{ConsolidationPipeline, ConsolidationResult, PipelineConfig};

@@ -1,11 +1,13 @@
 //! One staged pipeline run, end to end: build a plan from generated
-//! sources + web text, execute the canonical stage list, print each
-//! stage's report and the Matilda enrichment.
+//! sources + web text, route two attributes to non-default truth-discovery
+//! resolvers, execute the canonical stage list, and print each stage's
+//! report, the resolver routing, and the Matilda enrichment.
 //!
 //! ```text
 //! cargo run --release --example staged_run
 //! ```
 
+use datatamer::core::fusion::{RegistryConfig, ResolverSpec};
 use datatamer::core::stage::stage_names;
 use datatamer::core::{DataTamer, DataTamerConfig, PipelinePlan};
 use datatamer::corpus::ftables::{self, FtablesConfig};
@@ -26,6 +28,20 @@ fn main() {
     let frags: Vec<(&str, &str)> =
         corpus.fragments.iter().map(|f| (f.text.as_str(), f.kind.label())).collect();
     plan = plan.webtext(DomainParser::with_gazetteer(corpus.gazetteer.clone()), frags);
+
+    // Truth discovery: keep the broadway routing but weight THEATER by
+    // source reliability and take the freshest FIRST date.
+    let resolvers = RegistryConfig::broadway()
+        .with("THEATER", ResolverSpec::SourceReliability { iterations: 5 })
+        .with("FIRST", ResolverSpec::LatestWins);
+    println!("fusion resolver routing:");
+    let registry = resolvers.build();
+    let (routes, default) = registry.dispatch_table();
+    for (attr, resolver) in routes {
+        println!("  {attr:<16} -> {resolver}");
+    }
+    println!("  (default)        -> {default}\n");
+    plan = plan.resolvers(resolvers);
 
     let mut dt = DataTamer::new(DataTamerConfig::default());
     let fused = dt.run(plan).expect("pipeline runs");

@@ -26,7 +26,7 @@
 //! | [`entity`] | `datatamer-entity` | entity consolidation: blocking + rayon-parallel pair scoring |
 //! | [`clean`] | `datatamer-clean` | cleaning + transformations (EUR→USD), parallel per source |
 //! | [`expert`] | `datatamer-expert` | expert sourcing |
-//! | [`core`] | `datatamer-core` | the staged pipeline, fusion, and demo queries |
+//! | [`core`] | `datatamer-core` | the staged pipeline, the fusion resolver registry, and demo queries |
 //!
 //! ## Quickstart — one staged run
 //!
@@ -67,6 +67,61 @@
 //! Sources arriving over time use the incremental entry points
 //! (`register_structured`, `ingest_webtext`), which run the same stage
 //! machinery as a prefix and extend the same context.
+//!
+//! ## Fusion: grouping + per-attribute truth discovery
+//!
+//! Fusion is two-level. A `FusionPolicy` decides *grouping* — which records
+//! describe the same entity — and a `ResolverRegistry` decides *truth*: it
+//! routes each attribute's conflicting, provenance-tagged values (source
+//! id, record id, cluster rank) to a `ValueResolver`. Built-ins cover
+//! majority vote, iterative accu-style source-reliability weighting,
+//! freshness (`LatestWins` over record provenance), multi-truth attributes
+//! (every value above a support threshold survives, as an array), and the
+//! classic order-sensitive merge policies. Routing is declarative
+//! ([`core::fusion::RegistryConfig`]) — set it system-wide on
+//! `DataTamerConfig::fusion_resolvers` or per run on a `PipelinePlan`:
+//!
+//! ```
+//! use datatamer::core::fusion::{
+//!     fuse_records_with, FusionPolicy, RegistryConfig, ResolverSpec,
+//! };
+//! use datatamer::model::{Record, RecordId, SourceId, Value};
+//!
+//! // Three sources disagree about one show's status and rating.
+//! let records: Vec<Record> = [
+//!     (0, "open", "PG"),
+//!     (1, "open", "PG-13"),
+//!     (2, "closed", "PG"),
+//! ]
+//! .iter()
+//! .map(|&(i, status, rating)| {
+//!     Record::from_pairs(
+//!         SourceId(i),
+//!         RecordId(u64::from(i)),
+//!         vec![
+//!             ("SHOW_NAME", Value::from("Pippin")),
+//!             ("STATUS", Value::from(status)),
+//!             ("RATING", Value::from(rating)),
+//!         ],
+//!     )
+//! })
+//! .collect();
+//!
+//! // STATUS majority-votes; RATING keeps every well-supported truth.
+//! let registry = RegistryConfig::uniform(ResolverSpec::MajorityVote)
+//!     .with("RATING", ResolverSpec::MultiTruth { min_support: 0.3 })
+//!     .build();
+//! let fused = fuse_records_with(
+//!     &records,
+//!     &FusionPolicy::Fuzzy { threshold: 0.88 },
+//!     &registry,
+//! );
+//! assert_eq!(fused[0].record.get_text("STATUS").as_deref(), Some("open"));
+//! assert_eq!(
+//!     fused[0].record.get("RATING"),
+//!     Some(&Value::Array(vec![Value::from("PG"), Value::from("PG-13")]))
+//! );
+//! ```
 
 pub use datatamer_clean as clean;
 pub use datatamer_core as core;

@@ -5,6 +5,7 @@
 //! The rayon shim honours `ThreadPool::install` thread-locally, so each
 //! closure below runs the entire pipeline at its pool's width.
 
+use datatamer::core::fusion::{RegistryConfig, ResolverSpec};
 use datatamer::core::{DataTamer, DataTamerConfig, PipelinePlan};
 use datatamer::corpus::ftables::{self, FtablesConfig};
 use datatamer::corpus::webtext::{WebTextConfig, WebTextCorpus};
@@ -12,8 +13,9 @@ use datatamer::text::DomainParser;
 use rayon::ThreadPoolBuilder;
 
 /// Build the full system through `DataTamer::run` and flatten every
-/// observable output into one comparable byte blob.
-fn run_pipeline_fingerprint() -> (String, Vec<String>) {
+/// observable output into one comparable byte blob. `resolvers` overrides
+/// the fusion stage's truth-discovery routing when given.
+fn run_pipeline_fingerprint_with(resolvers: Option<RegistryConfig>) -> (String, Vec<String>) {
     let corpus = WebTextCorpus::generate(&WebTextConfig {
         num_fragments: 400,
         background_mentions: 4,
@@ -33,6 +35,9 @@ fn run_pipeline_fingerprint() -> (String, Vec<String>) {
     let frags: Vec<(&str, &str)> =
         corpus.fragments.iter().map(|f| (f.text.as_str(), f.kind.label())).collect();
     plan = plan.webtext(DomainParser::with_gazetteer(corpus.gazetteer.clone()), frags);
+    if let Some(config) = resolvers {
+        plan = plan.resolvers(config);
+    }
 
     let fused = dt.run(plan).expect("pipeline runs");
     // Byte-exact fingerprint of the fused output: key, member count, and
@@ -55,10 +60,11 @@ fn run_pipeline_fingerprint() -> (String, Vec<String>) {
 #[test]
 fn serial_and_parallel_runs_are_byte_identical() {
     let serial_pool = ThreadPoolBuilder::new().num_threads(1).build().unwrap();
-    let (serial_fused, serial_stats) = serial_pool.install(run_pipeline_fingerprint);
+    let (serial_fused, serial_stats) =
+        serial_pool.install(|| run_pipeline_fingerprint_with(None));
 
     let wide_pool = ThreadPoolBuilder::new().num_threads(8).build().unwrap();
-    let (wide_fused, wide_stats) = wide_pool.install(run_pipeline_fingerprint);
+    let (wide_fused, wide_stats) = wide_pool.install(|| run_pipeline_fingerprint_with(None));
 
     assert_eq!(
         serial_fused, wide_fused,
@@ -66,6 +72,44 @@ fn serial_and_parallel_runs_are_byte_identical() {
     );
     assert_eq!(serial_stats, wide_stats, "collection stats must match");
     assert!(!serial_fused.is_empty(), "the fingerprint must cover real output");
+}
+
+#[test]
+fn custom_resolver_registry_runs_are_byte_identical() {
+    // A non-default registry exercising every truth-discovery resolver —
+    // including the float-iterating SourceReliability — must stay
+    // byte-deterministic across pool widths.
+    let registry = || {
+        RegistryConfig::uniform(ResolverSpec::MajorityVote)
+            .with("CHEAPEST_PRICE", ResolverSpec::SourceReliability { iterations: 5 })
+            .with("THEATER", ResolverSpec::MultiTruth { min_support: 0.25 })
+            .with("PERFORMANCE", ResolverSpec::LatestWins)
+            .with("FIRST", ResolverSpec::LatestWins)
+    };
+    let serial_pool = ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+    let (serial_fused, serial_stats) =
+        serial_pool.install(|| run_pipeline_fingerprint_with(Some(registry())));
+
+    let wide_pool = ThreadPoolBuilder::new().num_threads(8).build().unwrap();
+    let (wide_fused, wide_stats) =
+        wide_pool.install(|| run_pipeline_fingerprint_with(Some(registry())));
+
+    assert_eq!(
+        serial_fused, wide_fused,
+        "custom-registry fusion must be byte-identical at any thread count"
+    );
+    assert_eq!(serial_stats, wide_stats, "collection stats must match");
+    assert!(!serial_fused.is_empty(), "the fingerprint must cover real output");
+
+    // And the routing genuinely changed the output relative to the default.
+    let (default_fused, _) =
+        ThreadPoolBuilder::new().num_threads(1).build().unwrap().install(|| {
+            run_pipeline_fingerprint_with(None)
+        });
+    assert_ne!(
+        serial_fused, default_fused,
+        "the custom registry must actually alter fused values"
+    );
 }
 
 #[test]
