@@ -3,7 +3,7 @@
 use datatamer_schema::IntegrationConfig;
 use datatamer_storage::CollectionConfig;
 
-use crate::fusion::RegistryConfig;
+use crate::fusion::{GroupingStrategy, RegistryConfig};
 
 /// Configuration of a [`crate::DataTamer`] instance.
 #[derive(Debug, Clone)]
@@ -20,6 +20,14 @@ pub struct DataTamerConfig {
     pub integration: IntegrationConfig,
     /// Threshold for fusing two show records as the same entity.
     pub fusion_threshold: f64,
+    /// How entity consolidation forms candidate groups: the classic
+    /// canonical-name scan ([`GroupingStrategy::CanonicalName`], the
+    /// default) or similarity-based blocked ER
+    /// ([`GroupingStrategy::BlockedEr`]). Same override discipline as
+    /// [`DataTamerConfig::fusion_resolvers`]: a successful run whose
+    /// `PipelinePlan` carries an override replaces the strategy in effect
+    /// from that run onward.
+    pub grouping: GroupingStrategy,
     /// Per-attribute truth-discovery routing for the fusion stage. The
     /// default mirrors the paper demo ([`RegistryConfig::broadway`]). A
     /// successful run whose `PipelinePlan` carries an override *replaces*
@@ -38,6 +46,7 @@ impl Default for DataTamerConfig {
             shards: 8,
             integration: IntegrationConfig::default(),
             fusion_threshold: 0.82,
+            grouping: GroupingStrategy::CanonicalName,
             fusion_resolvers: RegistryConfig::broadway(),
             clean_text: true,
         }
@@ -70,6 +79,7 @@ mod tests {
         assert_eq!(c.extent_size, 2 * 1024 * 1024);
         assert_eq!(c.namespace, "dt");
         assert_eq!(c.fusion_resolvers, RegistryConfig::broadway());
+        assert_eq!(c.grouping, GroupingStrategy::CanonicalName);
         let cc = c.collection_config();
         assert_eq!(cc.extent_size, c.extent_size);
         assert_eq!(cc.shards, 8);

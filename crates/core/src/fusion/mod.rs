@@ -7,8 +7,11 @@
 //!
 //! Fusion is a **two-level architecture**:
 //!
-//! * **Grouping** — [`FusionPolicy`] decides which records describe the
-//!   same entity ([`group_records`]).
+//! * **Grouping** — a [`GroupingStrategy`] decides which records describe
+//!   the same entity: either the classic canonical-name scan
+//!   ([`FusionPolicy`] via [`group_records`]) or similarity-based blocked
+//!   ER (blocking → pair scoring → union-find, wired in from
+//!   `datatamer-entity` — see the [`grouping`] module).
 //! * **Truth discovery** — a [`ResolverRegistry`] maps each attribute to a
 //!   [`ValueResolver`] that picks the surviving value(s) from a group's
 //!   conflicting, provenance-tagged candidates ([`merge_groups_with`]).
@@ -22,10 +25,12 @@
 //! Group merging stays rayon-parallel and byte-deterministic at any thread
 //! count.
 
+pub mod grouping;
 mod registry;
 mod reliability;
 mod resolve;
 
+pub use grouping::{BlockedErConfig, GroupingReport, GroupingStrategy, ScorerSpec};
 pub use registry::{RegistryConfig, ResolverRegistry, ResolverSpec};
 pub use reliability::SourceReliability;
 pub use resolve::{

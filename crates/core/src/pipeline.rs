@@ -31,7 +31,9 @@ use datatamer_text::DomainParser;
 
 use crate::catalog::Catalog;
 use crate::config::DataTamerConfig;
-use crate::fusion::{fuse_records_with, FusedEntity, FusionPolicy, RegistryConfig, ResolverRegistry};
+use crate::fusion::{
+    merge_groups_with, FusedEntity, GroupingStrategy, RegistryConfig, ResolverRegistry,
+};
 use crate::ingest::IngestStats;
 use crate::query::{entity_type_histogram, top_discussed_award_winning, DiscussedShow};
 use crate::stage::{
@@ -55,6 +57,11 @@ pub struct PipelinePlan<'a> {
     /// [`DataTamer::fuse`] never disagrees with the run that filled
     /// the context.
     pub resolvers: Option<RegistryConfig>,
+    /// Entity-consolidation grouping override. Same discipline as
+    /// [`PipelinePlan::resolvers`]: `None` keeps the strategy in effect
+    /// (initially [`DataTamerConfig::grouping`]); `Some` replaces it for
+    /// this run and for later ad-hoc fusion.
+    pub grouping: Option<GroupingStrategy>,
 }
 
 impl<'a> PipelinePlan<'a> {
@@ -78,6 +85,12 @@ impl<'a> PipelinePlan<'a> {
     /// Override the fusion stage's resolver routing for this run.
     pub fn resolvers(mut self, config: RegistryConfig) -> Self {
         self.resolvers = Some(config);
+        self
+    }
+
+    /// Override the entity-consolidation grouping strategy for this run.
+    pub fn grouping(mut self, strategy: GroupingStrategy) -> Self {
+        self.grouping = Some(strategy);
         self
     }
 }
@@ -138,15 +151,15 @@ impl DataTamer {
         &self.ctx.text_show_records
     }
 
-    /// The fusion policy derived from this system's configuration.
-    fn fusion_policy(&self) -> FusionPolicy {
-        FusionPolicy::Fuzzy { threshold: self.ctx.config().fusion_threshold }
-    }
-
     /// The registry for the routing currently in effect (the system
     /// configuration's, or the most recent run's plan override).
     fn resolver_registry(&self) -> ResolverRegistry {
         self.ctx.fusion_resolvers.build()
+    }
+
+    /// Group records under the grouping strategy currently in effect.
+    fn group_in_effect(&self, records: &[Record]) -> Vec<crate::fusion::FusionGroup> {
+        self.ctx.grouping.groups(records, self.ctx.config().fusion_threshold)
     }
 
     /// Run the full canonical pipeline — ingest → schema integration →
@@ -157,26 +170,38 @@ impl DataTamer {
     /// Incremental state is honoured: sources registered earlier stay in
     /// the global schema and participate in consolidation/fusion.
     pub fn run(&mut self, plan: PipelinePlan<'_>) -> datatamer_model::Result<&[FusedEntity]> {
-        let policy = self.fusion_policy();
         let override_config = plan.resolvers;
         let registry = match &override_config {
             Some(config) => config.build(),
             None => self.resolver_registry(),
         };
+        let override_grouping = plan.grouping;
+        // No grouping override → the default stage, which reads the
+        // context's strategy-in-effect at run time (one source of truth).
+        let consolidation: Box<dyn PipelineStage + '_> = match &override_grouping {
+            Some(strategy) => {
+                Box::new(EntityConsolidationStage::with_strategy(strategy.clone()))
+            }
+            None => Box::<EntityConsolidationStage>::default(),
+        };
         let mut stages: Vec<Box<dyn PipelineStage + '_>> = vec![
             Box::new(IngestStage::new(plan.structured, plan.text)),
             Box::new(SchemaIntegrationStage::auto()),
             Box::new(CleaningStage),
-            Box::new(EntityConsolidationStage::new(policy)),
+            consolidation,
             Box::new(FusionStage::new(registry)),
         ];
         run_stages(&mut self.ctx, &mut stages)?;
-        // Only a *successful* run installs its override as the routing in
-        // effect: ctx.fused was produced under it, so later ad-hoc fusion
-        // (`fuse`, `fuse_text_only`) agrees with the context. A failed run
-        // leaves both the fused output and the routing untouched.
+        // Only a *successful* run installs its overrides as the routing /
+        // grouping in effect: ctx.fused was produced under them, so later
+        // ad-hoc fusion (`fuse`, `fuse_text_only`) agrees with the
+        // context. A failed run leaves the fused output, the routing, and
+        // the grouping untouched.
         if let Some(config) = override_config {
             self.ctx.fusion_resolvers = config;
+        }
+        if let Some(strategy) = override_grouping {
+            self.ctx.grouping = strategy;
         }
         Ok(&self.ctx.fused)
     }
@@ -230,25 +255,24 @@ impl DataTamer {
     }
 
     /// Fuse structured + text show records into composite entities through
-    /// the configured resolver registry. Structured records come first so
-    /// source-priority (order-sensitive) resolvers favour the curated
-    /// sources.
+    /// the grouping strategy and resolver registry currently in effect.
+    /// Structured records come first so source-priority (order-sensitive)
+    /// resolvers favour the curated sources.
     pub fn fuse(&self) -> Vec<FusedEntity> {
         let ctx = &self.ctx;
         let mut all: Vec<Record> =
             Vec::with_capacity(ctx.structured_records.len() + ctx.text_show_records.len());
         all.extend(ctx.structured_records.iter().cloned());
         all.extend(ctx.text_show_records.iter().cloned());
-        fuse_records_with(&all, &self.fusion_policy(), &self.resolver_registry())
+        let groups = self.group_in_effect(&all);
+        merge_groups_with(&all, &groups, &self.resolver_registry())
     }
 
     /// Fuse only text-derived records (the Table V "before" state).
     pub fn fuse_text_only(&self) -> Vec<FusedEntity> {
-        fuse_records_with(
-            &self.ctx.text_show_records,
-            &self.fusion_policy(),
-            &self.resolver_registry(),
-        )
+        let records = &self.ctx.text_show_records;
+        let groups = self.group_in_effect(records);
+        merge_groups_with(records, &groups, &self.resolver_registry())
     }
 
     /// Look up one show in a fused entity set by (canonicalised) name.
@@ -570,6 +594,137 @@ mod tests {
             Some("$99"),
             "context routing (LatestWins), not the broadway default"
         );
+    }
+
+    #[test]
+    fn blocked_er_grouping_override_reaches_the_stage_and_sticks() {
+        use crate::fusion::{BlockedErConfig, GroupingStrategy};
+        // Word-order damaged duplicates: Jaro-Winkler on the canonical
+        // names is far under the fusion threshold, so the canonical-name
+        // scan splits them — blocked ER's token-aware record similarity
+        // consolidates them.
+        let rows = vec![
+            Record::from_pairs(
+                SourceId(0),
+                RecordId(0),
+                vec![
+                    ("show_name", Value::from("Walking Dead")),
+                    ("cheapest_price", Value::from("$45")),
+                ],
+            ),
+            Record::from_pairs(
+                SourceId(0),
+                RecordId(1),
+                vec![
+                    ("show_name", Value::from("Dead Walking")),
+                    ("cheapest_price", Value::from("$45")),
+                ],
+            ),
+        ];
+
+        // Default canonical grouping: the pair stays split.
+        let mut dt = DataTamer::new(small_config());
+        dt.run(PipelinePlan::new().structured("s1", &rows)).unwrap();
+        assert_eq!(dt.context().fused.len(), 2);
+
+        // Blocked-ER plan override: one consolidated entity, with the
+        // blocking health surfaced in the stage report.
+        let mut dt = DataTamer::new(small_config());
+        let plan = PipelinePlan::new()
+            .structured("s1", &rows)
+            .grouping(GroupingStrategy::BlockedEr(BlockedErConfig::default()));
+        dt.run(plan).unwrap();
+        assert_eq!(dt.context().fused.len(), 1);
+        assert_eq!(dt.context().fused[0].member_count, 2);
+        match dt.context().report_of(stage_names::ENTITY_CONSOLIDATION).unwrap() {
+            StageReport::EntityConsolidation { blocking, .. } => {
+                assert!(blocking.candidate_pairs >= 1);
+                assert_eq!(blocking.accepted_pairs, 1);
+                assert_eq!(blocking.degraded_buckets, 0);
+            }
+            other => panic!("wrong report variant: {other:?}"),
+        }
+        // Ad-hoc re-fusion groups the way the run that filled the context
+        // grouped — the override stuck.
+        assert_eq!(dt.fuse().len(), 1);
+    }
+
+    #[test]
+    fn default_consolidation_stage_reads_the_contexts_grouping() {
+        use crate::fusion::{BlockedErConfig, GroupingStrategy};
+        use crate::stage::EntityConsolidationStage;
+        // A manually assembled stage list with the default stage must
+        // group under the context's strategy-in-effect, keeping
+        // ctx.fusion_groups and ctx.grouping in agreement by construction
+        // (mirroring FusionStage's relationship to the resolver routing).
+        let mut config = small_config();
+        config.grouping = GroupingStrategy::BlockedEr(BlockedErConfig::default());
+        let mut ctx = crate::stage::PipelineContext::new(config);
+        ctx.structured_records = vec![
+            Record::from_pairs(
+                SourceId(0),
+                RecordId(0),
+                vec![
+                    (SHOW_NAME, Value::from("Walking Dead")),
+                    (CHEAPEST_PRICE, Value::from("$45")),
+                ],
+            ),
+            Record::from_pairs(
+                SourceId(0),
+                RecordId(1),
+                vec![
+                    (SHOW_NAME, Value::from("Dead Walking")),
+                    (CHEAPEST_PRICE, Value::from("$45")),
+                ],
+            ),
+        ];
+        let mut stages: Vec<Box<dyn crate::stage::PipelineStage + '_>> =
+            vec![Box::<EntityConsolidationStage>::default()];
+        crate::stage::run_stages(&mut ctx, &mut stages).unwrap();
+        assert_eq!(
+            ctx.fusion_groups.len(),
+            1,
+            "context grouping (BlockedEr), not the canonical-name default: {:?}",
+            ctx.fusion_groups
+        );
+        assert_eq!(ctx.fusion_groups[0].1, vec![0, 1]);
+    }
+
+    #[test]
+    fn case_variant_attributes_survive_schema_integration() {
+        // "price" and "PRICE" are distinct source attributes that collapse
+        // to one spelling after upper-casing; both values must survive and
+        // the collision must be counted, not swallowed.
+        let rows: Vec<Record> = (0..3u64)
+            .map(|i| {
+                Record::from_pairs(
+                    SourceId(0),
+                    RecordId(i),
+                    vec![
+                        ("show_name", Value::from(format!("Show Number{i}"))),
+                        ("price", Value::from("$10")),
+                        ("PRICE", Value::from("$99")),
+                    ],
+                )
+            })
+            .collect();
+        let mut dt = DataTamer::new(small_config());
+        dt.run(PipelinePlan::new().structured("s1", &rows)).unwrap();
+        match dt.context().report_of(stage_names::SCHEMA_INTEGRATION).unwrap() {
+            StageReport::SchemaIntegration { case_collisions, .. } => {
+                assert_eq!(*case_collisions, 1, "one colliding attribute in the source")
+            }
+            other => panic!("wrong report variant: {other:?}"),
+        }
+        let recs = dt.structured_records();
+        assert_eq!(recs.len(), 3);
+        for r in recs {
+            let spellings: Vec<&str> = r.field_names().collect();
+            assert!(
+                r.get("PRICE").is_some() && r.get("PRICE__2").is_some(),
+                "both case variants must survive mapping: {spellings:?}"
+            );
+        }
     }
 
     #[test]

@@ -29,8 +29,8 @@ use rayon::prelude::*;
 use crate::catalog::{Catalog, SourceKind};
 use crate::config::DataTamerConfig;
 use crate::fusion::{
-    group_records, merge_groups_with, FusedEntity, FusionGroup, FusionPolicy, ResolverRegistry,
-    CHEAPEST_PRICE, FIRST, PERFORMANCE, SHOW_NAME, THEATER,
+    group_records, merge_groups_with, FusedEntity, FusionGroup, FusionPolicy, GroupingReport,
+    GroupingStrategy, ResolverRegistry, CHEAPEST_PRICE, FIRST, PERFORMANCE, SHOW_NAME, THEATER,
 };
 use crate::ingest::{IngestStats, TextIngestor};
 use crate::pipeline::{record_to_doc, GLOBAL_RECORDS_COLLECTION};
@@ -87,6 +87,11 @@ pub enum StageReport {
         human_interventions: usize,
         /// Attributes newly added to the global schema.
         new_attributes: usize,
+        /// Source attributes whose upper-cased target spelling collided
+        /// with another attribute of the same source ("price" vs "PRICE")
+        /// — preserved under a deterministic `__N` suffix instead of
+        /// silently overwriting, counted once per colliding attribute.
+        case_collisions: usize,
     },
     /// [`stage_names::CLEANING`].
     Cleaning {
@@ -109,6 +114,11 @@ pub enum StageReport {
         multi_member_groups: usize,
         /// Largest group size.
         largest_group: usize,
+        /// Blocking health of the grouping run (all-zero under
+        /// canonical-name grouping, which has no pairwise phase). A
+        /// nonzero `degraded_buckets` means some buckets ran windowed
+        /// progressive expansion instead of exhaustive comparison.
+        blocking: GroupingReport,
     },
     /// [`stage_names::FUSION`].
     Fusion {
@@ -164,6 +174,12 @@ pub struct PipelineContext {
     /// re-fusion (`DataTamer::fuse`) uses this, so it always agrees with
     /// the routing that produced [`PipelineContext::fused`].
     pub fusion_resolvers: crate::fusion::RegistryConfig,
+    /// The grouping strategy currently in effect for entity consolidation
+    /// — same override discipline as [`PipelineContext::fusion_resolvers`]:
+    /// the system configuration's, until a successful run's `PipelinePlan`
+    /// replaces it, so ad-hoc re-fusion groups the way the context's fused
+    /// output was grouped.
+    pub grouping: GroupingStrategy,
     runs: Vec<StageRun>,
 }
 
@@ -177,6 +193,7 @@ impl PipelineContext {
         PipelineContext {
             store: Store::new(config.namespace.clone()),
             fusion_resolvers: config.fusion_resolvers.clone(),
+            grouping: config.grouping.clone(),
             config,
             catalog: Catalog::new(),
             integrator,
@@ -335,19 +352,53 @@ impl<'r> SchemaIntegrationStage<'r> {
     }
 }
 
+/// First free spelling for `target`: `target` itself when `occupied` says
+/// it is free, else the first `target__N` (N ≥ 2) that is. The bool
+/// reports whether a suffix was needed.
+fn decollide(target: String, occupied: impl Fn(&str) -> bool) -> (String, bool) {
+    if !occupied(&target) {
+        return (target, false);
+    }
+    let mut n = 2;
+    loop {
+        let candidate = format!("{target}__{n}");
+        if !occupied(&candidate) {
+            return (candidate, true);
+        }
+        n += 1;
+    }
+}
+
 /// Map one record onto the global schema given `(source_attr, target)`
 /// decisions: renamed when mapped, dropped when ignored, upper-cased when
-/// unknown.
-fn map_record(r: &Record, mapping: &[(String, Option<String>)]) -> Record {
+/// unknown. Returns the mapped record plus the number of case collisions.
+///
+/// Distinct source attributes can collide after upper-casing ("price" and
+/// "PRICE" on one record). Overwriting would silently drop the earlier
+/// value with no trace; instead the first occupant keeps the canonical
+/// spelling and later arrivals land under a deterministic `__N` suffix.
+/// On the staged-pipeline path the mapping is already de-collided once
+/// per source (see [`SchemaIntegrationStage`]), which keeps each source
+/// attribute's column identical across records; the in-record check here
+/// is the defensive net for direct calls and for attributes missing from
+/// the mapping entirely (counted per occurrence).
+fn map_record(r: &Record, mapping: &[(String, Option<String>)]) -> (Record, usize) {
     let mut out = Record::new(r.source, r.id);
+    let mut collisions = 0;
     for (attr, value) in r.iter() {
-        match mapping.iter().find(|(a, _)| a == attr) {
-            Some((_, Some(target))) => out.set(target.clone(), value.clone()),
-            Some((_, None)) => {}
-            None => out.set(attr.to_uppercase(), value.clone()),
-        }
+        let target = match mapping.iter().find(|(a, _)| a == attr) {
+            Some((_, Some(target))) => target.clone(),
+            Some((_, None)) => continue,
+            None => attr.to_uppercase(),
+        };
+        // Each source attribute appears once per record, so an occupied
+        // target means a *different* source attribute already landed there
+        // — distinct data that an overwrite would silently discard.
+        let (target, collided) = decollide(target, |c| out.get(c).is_some());
+        collisions += usize::from(collided);
+        out.set(target, value.clone());
     }
-    out
+    (out, collisions)
 }
 
 impl PipelineStage for SchemaIntegrationStage<'_> {
@@ -358,6 +409,7 @@ impl PipelineStage for SchemaIntegrationStage<'_> {
     fn run(&mut self, ctx: &mut PipelineContext) -> Result<StageReport> {
         let mut fallback = AcceptBest;
         let (mut sources, mut auto_accepted, mut human, mut new_attrs) = (0, 0, 0, 0);
+        let mut case_collisions = 0;
         for source in std::mem::take(&mut ctx.pending_sources) {
             // 1. Profile and integrate the schema.
             let schema =
@@ -386,9 +438,29 @@ impl PipelineStage for SchemaIntegrationStage<'_> {
                 mapping.push((s.source_attr.clone(), target));
             }
 
+            // De-collide targets once per *source*, not per record: every
+            // record of the source must send a given source attribute to
+            // the same global column, or downstream truth discovery would
+            // vote over columns mixing two semantically different
+            // attributes. First mapping entry keeps the canonical
+            // spelling; later colliders get deterministic `__N` suffixes.
+            let mut used: Vec<String> = Vec::new();
+            for (_, target) in mapping.iter_mut() {
+                let Some(t) = target.take() else { continue };
+                let (t, collided) = decollide(t, |c| used.iter().any(|u| u == c));
+                case_collisions += usize::from(collided);
+                used.push(t.clone());
+                *target = Some(t);
+            }
+
             // 3. Map records onto the global schema, in parallel.
-            let mapped: Vec<Record> =
+            let results: Vec<(Record, usize)> =
                 source.records.par_iter().map(|r| map_record(r, &mapping)).collect();
+            let mut mapped = Vec::with_capacity(results.len());
+            for (record, collisions) in results {
+                case_collisions += collisions;
+                mapped.push(record);
+            }
 
             sources += 1;
             auto_accepted += report.auto_accepted();
@@ -402,6 +474,7 @@ impl PipelineStage for SchemaIntegrationStage<'_> {
             auto_accepted,
             human_interventions: human,
             new_attributes: new_attrs,
+            case_collisions,
         })
     }
 }
@@ -478,14 +551,37 @@ impl PipelineStage for CleaningStage {
 ///
 /// Structured records come first so source-priority conflict resolution
 /// favours the curated sources downstream.
+///
+/// Grouping dispatches on a [`GroupingStrategy`]: the classic
+/// canonical-name scan, or similarity-based blocked ER (blocking →
+/// rayon-parallel pair scoring → union-find) for fuzzy duplicates the name
+/// key cannot reach. Built with an explicit strategy or policy, or, by
+/// default, reading the context's strategy-in-effect
+/// ([`PipelineContext::grouping`]) at run time — mirroring
+/// [`FusionStage`]'s relationship to the resolver routing.
+#[derive(Default)]
 pub struct EntityConsolidationStage {
-    policy: FusionPolicy,
+    mode: Option<ConsolidationMode>,
+}
+
+enum ConsolidationMode {
+    /// An explicit fusion policy (covers the non-declarative
+    /// [`FusionPolicy::Classifier`] variant).
+    Policy(FusionPolicy),
+    /// An explicit declarative strategy.
+    Strategy(GroupingStrategy),
 }
 
 impl EntityConsolidationStage {
-    /// Group with the given fusion policy.
+    /// Group with the given fusion policy (canonical-name scan).
     pub fn new(policy: FusionPolicy) -> Self {
-        EntityConsolidationStage { policy }
+        EntityConsolidationStage { mode: Some(ConsolidationMode::Policy(policy)) }
+    }
+
+    /// Group with an explicit declarative strategy instead of the
+    /// context's strategy-in-effect.
+    pub fn with_strategy(strategy: GroupingStrategy) -> Self {
+        EntityConsolidationStage { mode: Some(ConsolidationMode::Strategy(strategy)) }
     }
 }
 
@@ -500,7 +596,17 @@ impl PipelineStage for EntityConsolidationStage {
         );
         input.extend(ctx.structured_records.iter().cloned());
         input.extend(ctx.text_show_records.iter().cloned());
-        let groups = group_records(&input, &self.policy);
+
+        let threshold = ctx.config().fusion_threshold;
+        let (groups, blocking) = match &self.mode {
+            Some(ConsolidationMode::Policy(policy)) => {
+                (group_records(&input, policy), GroupingReport::default())
+            }
+            Some(ConsolidationMode::Strategy(strategy)) => {
+                strategy.groups_with_report(&input, threshold)
+            }
+            None => ctx.grouping.groups_with_report(&input, threshold),
+        };
 
         let multi = groups.iter().filter(|(_, m)| m.len() > 1).count();
         let largest = groups.iter().map(|(_, m)| m.len()).max().unwrap_or(0);
@@ -509,6 +615,7 @@ impl PipelineStage for EntityConsolidationStage {
             groups: groups.len(),
             multi_member_groups: multi,
             largest_group: largest,
+            blocking,
         };
         ctx.fusion_input = input;
         ctx.fusion_groups = groups;
@@ -566,5 +673,67 @@ impl PipelineStage for FusionStage {
         let report = StageReport::Fusion { entities: fused.len(), members };
         ctx.fused = fused;
         Ok(report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datatamer_model::{RecordId, SourceId, Value};
+
+    #[test]
+    fn map_record_preserves_case_colliding_unmapped_attributes() {
+        // Three distinct source attributes collapsing to one upper-cased
+        // spelling: first-wins keeps the canonical name, later arrivals
+        // get deterministic suffixes, and every value survives.
+        let r = Record::from_pairs(
+            SourceId(0),
+            RecordId(0),
+            vec![
+                ("price", Value::from("$27")),
+                ("Price", Value::from("$30")),
+                ("PRICE", Value::from("$45")),
+            ],
+        );
+        let (mapped, collisions) = map_record(&r, &[]);
+        assert_eq!(collisions, 2);
+        assert_eq!(mapped.get_text("PRICE").as_deref(), Some("$27"));
+        assert_eq!(mapped.get_text("PRICE__2").as_deref(), Some("$30"));
+        assert_eq!(mapped.get_text("PRICE__3").as_deref(), Some("$45"));
+        assert_eq!(mapped.len(), 3, "nothing silently dropped");
+    }
+
+    #[test]
+    fn map_record_suffixes_mapped_target_collisions_and_drops_ignored() {
+        // A mapped attribute and an unmapped case-variant landing on the
+        // same canonical target must both survive, in record field order.
+        let r = Record::from_pairs(
+            SourceId(0),
+            RecordId(0),
+            vec![("cost", Value::from("$10")), ("PRICE", Value::from("$20"))],
+        );
+        let mapping = vec![("cost".to_owned(), Some("PRICE".to_owned()))];
+        let (mapped, collisions) = map_record(&r, &mapping);
+        assert_eq!(collisions, 1);
+        assert_eq!(mapped.get_text("PRICE").as_deref(), Some("$10"));
+        assert_eq!(mapped.get_text("PRICE__2").as_deref(), Some("$20"));
+
+        let (dropped, collisions) = map_record(&r, &[("cost".to_owned(), None)]);
+        assert_eq!(collisions, 0, "an ignored attribute vacates its target");
+        assert_eq!(dropped.len(), 1);
+        assert_eq!(dropped.get_text("PRICE").as_deref(), Some("$20"));
+    }
+
+    #[test]
+    fn map_record_without_collisions_counts_zero() {
+        let r = Record::from_pairs(
+            SourceId(0),
+            RecordId(0),
+            vec![("show", Value::from("Matilda")), ("price", Value::from("$27"))],
+        );
+        let (mapped, collisions) = map_record(&r, &[]);
+        assert_eq!(collisions, 0);
+        assert_eq!(mapped.get_text("SHOW").as_deref(), Some("Matilda"));
+        assert_eq!(mapped.get_text("PRICE").as_deref(), Some("$27"));
     }
 }

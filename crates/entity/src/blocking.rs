@@ -3,7 +3,29 @@
 //! Comparing all `n²/2` record pairs is intractable at the paper's scale
 //! (173M entities); blocking restricts comparisons to records sharing a
 //! cheap key. Strategies trade recall against candidate volume — the
-//! ablation bench sweeps them.
+//! ablation bench sweeps them (`blocking/*` in `datatamer-bench`).
+//!
+//! ## Oversized buckets: progressive blocking, not truncation
+//!
+//! Bucket strategies (`Token`, `Soundex`) hit a wall on stopword-like keys:
+//! a bucket of 100k members would expand to ~5·10⁹ pairs. The historic
+//! answer was to cut the bucket at [`BUCKET_CAP`] — bounded cost, but a
+//! *recall cliff*: every duplicate past the cap was silently unreachable.
+//!
+//! The default is now **progressive blocking**
+//! ([`OversizeFallback::Progressive`]): an oversized bucket keeps the full
+//! quadratic expansion over its first [`BUCKET_CAP`] members (so nothing
+//! the cap used to find is ever lost) and *additionally* sorts the entire
+//! membership by the records' full key and slides a window over that order,
+//! so every member — including those past the cap — still meets its
+//! lexicographic neighbours. True duplicates have near-identical full keys
+//! and sort adjacent, so the window recovers them at
+//! `O(cap² + |bucket| · window)` candidates instead of `O(|bucket|²)`.
+//! Buckets handled this way are counted in
+//! [`BlockingOutcome::degraded_buckets`]: degraded means "window recall
+//! instead of exhaustive recall inside this bucket", never "records
+//! dropped". The legacy cliff survives only as the opt-in
+//! [`OversizeFallback::Truncate`], kept for recall-ablation comparisons.
 
 use std::collections::HashMap;
 
@@ -24,19 +46,55 @@ pub enum BlockingStrategy {
     MinHashLsh { bands: usize, rows: usize },
 }
 
-/// Bucket-based strategies cap gigantic buckets (stopword-like tokens) at
-/// this many members to bound the quadratic blowup. Truncation is never
-/// silent: it is reported as [`BlockingOutcome::truncated_buckets`].
+/// Bucket-based strategies treat buckets above this many members
+/// (stopword-like tokens) as oversized and apply the configured
+/// [`OversizeFallback`] to bound the quadratic blowup. Oversize handling is
+/// never silent: it is reported as [`BlockingOutcome::degraded_buckets`].
 pub const BUCKET_CAP: usize = 256;
+
+/// Default sorted-neighborhood window for
+/// [`OversizeFallback::Progressive`]: each member of an oversized bucket
+/// meets this many lexicographic neighbours (minus one) on each side of the
+/// full-key sort order.
+pub const PROGRESSIVE_WINDOW: usize = 16;
+
+/// What a bucket strategy does with a bucket larger than the cap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OversizeFallback {
+    /// Legacy behaviour: cut the bucket to the cap and expand only the
+    /// survivors — bounded cost, but every duplicate pair past the cap is
+    /// unreachable (the recall cliff). Kept for ablation comparisons; the
+    /// progressive fallback's candidate set is always a superset of this
+    /// one, so its recall on any truth set is at least as high.
+    Truncate,
+    /// Progressive blocking: keep the quadratic expansion over the first
+    /// cap members *and* sort the whole bucket by the records' full key,
+    /// sliding a window of `window` over that order so every member still
+    /// gets candidates. `O(cap² + |bucket| · window)` pairs per bucket.
+    Progressive {
+        /// Sorted-neighborhood window width (at least 2).
+        window: usize,
+    },
+}
+
+impl Default for OversizeFallback {
+    fn default() -> Self {
+        OversizeFallback::Progressive { window: PROGRESSIVE_WINDOW }
+    }
+}
 
 /// Candidate generation plus blocking-health counters.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BlockingOutcome {
-    /// Candidate index pairs `(i, j)` with `i < j`, deduplicated.
+    /// Candidate index pairs `(i, j)` with `i < j`, sorted, deduplicated.
     pub pairs: Vec<(usize, usize)>,
-    /// Buckets whose membership exceeded [`BUCKET_CAP`] and were cut down
-    /// to it — a recall hazard the caller must surface, not swallow.
-    pub truncated_buckets: usize,
+    /// Buckets whose membership exceeded the blocker's cap and fell back
+    /// to the configured [`OversizeFallback`]. Under
+    /// [`OversizeFallback::Progressive`] this means windowed (not
+    /// exhaustive) recall inside those buckets; under
+    /// [`OversizeFallback::Truncate`] it means beyond-cap members were
+    /// dropped entirely — a recall hazard the caller must surface.
+    pub degraded_buckets: usize,
 }
 
 /// Generates candidate pairs from records using one strategy.
@@ -46,22 +104,45 @@ pub struct Blocker {
     pub key_attr: String,
     /// The chosen strategy.
     pub strategy: BlockingStrategy,
+    /// Bucket size above which the fallback kicks in ([`BUCKET_CAP`] by
+    /// default; only the bucket strategies consult it).
+    pub bucket_cap: usize,
+    /// What to do with oversized buckets (progressive by default).
+    pub fallback: OversizeFallback,
 }
 
 impl Blocker {
-    /// Create a blocker on an attribute.
+    /// Create a blocker on an attribute with the default bucket cap and
+    /// progressive oversize fallback.
     pub fn new(key_attr: impl Into<String>, strategy: BlockingStrategy) -> Self {
-        Blocker { key_attr: key_attr.into(), strategy }
+        Blocker {
+            key_attr: key_attr.into(),
+            strategy,
+            bucket_cap: BUCKET_CAP,
+            fallback: OversizeFallback::default(),
+        }
     }
 
-    /// Candidate index pairs `(i, j)` with `i < j`, deduplicated.
+    /// Builder: override the bucket cap (testing and ablation knob).
+    pub fn with_bucket_cap(mut self, cap: usize) -> Self {
+        self.bucket_cap = cap.max(2);
+        self
+    }
+
+    /// Builder: override the oversized-bucket fallback.
+    pub fn with_fallback(mut self, fallback: OversizeFallback) -> Self {
+        self.fallback = fallback;
+        self
+    }
+
+    /// Candidate index pairs `(i, j)` with `i < j`, sorted, deduplicated.
     /// Records lacking the key attribute never appear in any pair.
     pub fn candidates(&self, records: &[Record]) -> Vec<(usize, usize)> {
         self.candidates_with_report(records).pairs
     }
 
-    /// [`Blocker::candidates`] plus the truncation counter. Only the
-    /// bucket-based strategies (`Token`, `Soundex`) can truncate; the
+    /// [`Blocker::candidates`] plus the degradation counter. Only the
+    /// bucket-based strategies (`Token`, `Soundex`) can degrade; the
     /// windowed and LSH strategies always report zero.
     pub fn candidates_with_report(&self, records: &[Record]) -> BlockingOutcome {
         match self.strategy {
@@ -69,17 +150,23 @@ impl Blocker {
             BlockingStrategy::Soundex => self.soundex_blocks(records),
             BlockingStrategy::SortedNeighborhood { window } => BlockingOutcome {
                 pairs: self.sorted_neighborhood(records, window),
-                truncated_buckets: 0,
+                degraded_buckets: 0,
             },
             BlockingStrategy::MinHashLsh { bands, rows } => BlockingOutcome {
                 pairs: self.lsh_blocks(records, bands, rows),
-                truncated_buckets: 0,
+                degraded_buckets: 0,
             },
         }
     }
 
     fn key_of(&self, r: &Record) -> Option<String> {
         r.get_text(&self.key_attr)
+    }
+
+    /// Lowercased full keys, indexed like `records` — the sort axis for
+    /// progressive expansion inside oversized buckets.
+    fn sort_keys(&self, records: &[Record]) -> Vec<Option<String>> {
+        records.iter().map(|r| self.key_of(r).map(|k| k.to_lowercase())).collect()
     }
 
     fn token_blocks(&self, records: &[Record]) -> BlockingOutcome {
@@ -98,7 +185,7 @@ impl Blocker {
                 }
             }
         }
-        pairs_from_buckets(buckets.into_values())
+        self.pairs_from_buckets(buckets.into_values(), records)
     }
 
     fn soundex_blocks(&self, records: &[Record]) -> BlockingOutcome {
@@ -111,7 +198,7 @@ impl Blocker {
                 }
             }
         }
-        pairs_from_buckets(buckets.into_values())
+        self.pairs_from_buckets(buckets.into_values(), records)
     }
 
     fn sorted_neighborhood(&self, records: &[Record], window: usize) -> Vec<(usize, usize)> {
@@ -144,41 +231,92 @@ impl Blocker {
         let mut lsh: MinHashLsh<usize> = MinHashLsh::new(bands, rows);
         for (i, r) in records.iter().enumerate() {
             if let Some(key) = self.key_of(r) {
-                let toks = tokenize(&key);
-                if !toks.is_empty() {
-                    lsh.insert(i, &hasher.signature(&toks));
-                }
+                // Empty token sets are rejected inside `insert` (their
+                // all-MAX signatures would band-collide with each other).
+                lsh.insert(i, &hasher.signature(&tokenize(&key)));
             }
         }
-        lsh.candidate_pairs()
+        // `candidate_pairs` is sorted and self-pair-free; re-normalising
+        // here keeps the byte-determinism contract local to this function
+        // instead of inherited, so a future index swap cannot silently
+        // reintroduce HashMap iteration order into the output.
+        let mut pairs: Vec<(usize, usize)> = lsh
+            .candidate_pairs()
             .into_iter()
+            .filter(|(a, b)| a != b)
             .map(|(a, b)| (a.min(b), a.max(b)))
-            .collect()
+            .collect();
+        pairs.sort_unstable();
+        pairs.dedup();
+        pairs
+    }
+
+    /// Expand buckets into pairs. Pair expansion is independent across
+    /// buckets — it fans out over the thread team while the final order
+    /// stays deterministic (globally sorted, deduplicated). Buckets at or
+    /// under the cap expand quadratically; oversized buckets apply the
+    /// configured [`OversizeFallback`] and are counted as degraded.
+    fn pairs_from_buckets<I: IntoIterator<Item = Vec<usize>>>(
+        &self,
+        buckets: I,
+        records: &[Record],
+    ) -> BlockingOutcome {
+        let cap = self.bucket_cap;
+        let buckets: Vec<Vec<usize>> = buckets.into_iter().collect();
+        let degraded_buckets = buckets.iter().filter(|m| m.len() > cap).count();
+        // The full-key sort axis is only read by the progressive arm, so
+        // the O(n) key clone + lowercase pass is skipped entirely on the
+        // common no-degradation path.
+        let sort_keys: Vec<Option<String>> = if degraded_buckets > 0
+            && matches!(self.fallback, OversizeFallback::Progressive { .. })
+        {
+            self.sort_keys(records)
+        } else {
+            Vec::new()
+        };
+        let mut pairs: Vec<(usize, usize)> = buckets
+            .par_iter()
+            .flat_map(|members| {
+                if members.len() <= cap {
+                    return quadratic_pairs(members);
+                }
+                match self.fallback {
+                    OversizeFallback::Truncate => quadratic_pairs(&members[..cap]),
+                    OversizeFallback::Progressive { window } => {
+                        // The quadratic core preserves everything the cap
+                        // used to find; the windowed pass over the full-key
+                        // sort order is what recovers beyond-cap duplicates.
+                        let mut local = quadratic_pairs(&members[..cap]);
+                        let window = window.max(2);
+                        let mut sorted = members.clone();
+                        sorted.sort_unstable_by(|&a, &b| {
+                            sort_keys[a].cmp(&sort_keys[b]).then(a.cmp(&b))
+                        });
+                        for i in 0..sorted.len() {
+                            for j in (i + 1)..(i + window).min(sorted.len()) {
+                                let (a, b) = (sorted[i], sorted[j]);
+                                local.push((a.min(b), a.max(b)));
+                            }
+                        }
+                        local
+                    }
+                }
+            })
+            .collect();
+        pairs.sort_unstable();
+        pairs.dedup();
+        BlockingOutcome { pairs, degraded_buckets }
     }
 }
 
-fn pairs_from_buckets<I: IntoIterator<Item = Vec<usize>>>(buckets: I) -> BlockingOutcome {
-    // Pair expansion is quadratic inside a bucket and independent across
-    // buckets — the expansion fans out over the thread team while the
-    // final order stays deterministic (bucket-major, then sorted).
-    let buckets: Vec<Vec<usize>> = buckets.into_iter().collect();
-    let truncated_buckets = buckets.iter().filter(|m| m.len() > BUCKET_CAP).count();
-    let mut pairs: Vec<(usize, usize)> = buckets
-        .par_iter()
-        .flat_map(|members| {
-            let m = &members[..members.len().min(BUCKET_CAP)];
-            let mut local = Vec::with_capacity(m.len().saturating_sub(1) * m.len() / 2);
-            for i in 0..m.len() {
-                for j in (i + 1)..m.len() {
-                    local.push((m[i].min(m[j]), m[i].max(m[j])));
-                }
-            }
-            local
-        })
-        .collect();
-    pairs.sort_unstable();
-    pairs.dedup();
-    BlockingOutcome { pairs, truncated_buckets }
+fn quadratic_pairs(members: &[usize]) -> Vec<(usize, usize)> {
+    let mut local = Vec::with_capacity(members.len().saturating_sub(1) * members.len() / 2);
+    for i in 0..members.len() {
+        for j in (i + 1)..members.len() {
+            local.push((members[i].min(members[j]), members[i].max(members[j])));
+        }
+    }
+    local
 }
 
 /// Recall of a candidate set against known duplicate pairs.
@@ -211,6 +349,23 @@ mod tests {
                 )
             })
             .collect()
+    }
+
+    /// One oversized bucket (every name shares "show") with duplicate pairs
+    /// planted inside, straddling, and fully beyond the cap boundary. The
+    /// planted duplicates have *near-identical* full keys (as real
+    /// near-duplicates do) but distinct secondary tokens, so only the
+    /// shared giant bucket can reach them — the structure the progressive
+    /// full-key sort exploits and token truncation cannot.
+    fn oversized_corpus() -> (Vec<Record>, Vec<(usize, usize)>) {
+        let mut names: Vec<String> = (0..600).map(|i| format!("show number{i:03}")).collect();
+        names[10] = "show aadupa1".to_owned();
+        names[300] = "show aadupa2".to_owned();
+        names[400] = "show zzdupb1".to_owned();
+        names[599] = "show zzdupb2".to_owned();
+        let refs: Vec<&str> = names.iter().map(String::as_str).collect();
+        let truth = vec![(0, 1), (10, 300), (400, 599)];
+        (records(&refs), truth)
     }
 
     #[test]
@@ -258,6 +413,45 @@ mod tests {
     }
 
     #[test]
+    fn lsh_blocking_output_is_sorted_dedup_and_stable_across_indexes() {
+        // The LSH band tables are RandomState-seeded HashMaps, and every
+        // Blocker run builds fresh ones with fresh seeds — so any leak of
+        // table iteration order into the output shows up as two differing
+        // runs. The output must also be sorted, deduplicated, and free of
+        // self-pairs, like every other strategy.
+        let names: Vec<String> = (0..120)
+            .map(|i| format!("the walking dead season {} review extra words", i % 7))
+            .collect();
+        let refs: Vec<&str> = names.iter().map(String::as_str).collect();
+        let rs = records(&refs);
+        let strategy = BlockingStrategy::MinHashLsh { bands: 8, rows: 4 };
+        let first = Blocker::new("name", strategy).candidates(&rs);
+        let second = Blocker::new("name", strategy).candidates(&rs);
+        assert_eq!(first, second, "fresh hash seeds must not change the output");
+        assert!(!first.is_empty());
+        let mut normalized = first.clone();
+        normalized.sort_unstable();
+        normalized.dedup();
+        assert_eq!(first, normalized, "output must arrive sorted and deduplicated");
+        assert!(first.iter().all(|(a, b)| a < b), "no self-pairs, ordered endpoints");
+    }
+
+    #[test]
+    fn lsh_empty_keys_never_pair_with_each_other() {
+        // Empty key values tokenize to nothing: their all-MAX signatures
+        // used to band-collide pairwise, pairing every empty-keyed record
+        // with every other.
+        let rs = records(&["", "", "", "The Walking Dead Show", "Walking Dead The Show"]);
+        let b = Blocker::new("name", BlockingStrategy::MinHashLsh { bands: 8, rows: 4 });
+        let pairs = b.candidates(&rs);
+        assert!(
+            pairs.iter().all(|(a, b)| *a >= 3 && *b >= 3),
+            "empty-keyed records must never pair: {pairs:?}"
+        );
+        assert!(pairs.contains(&(3, 4)));
+    }
+
+    #[test]
     fn missing_key_records_never_pair() {
         let mut rs = records(&["Matilda", "Matilda"]);
         rs.push(Record::from_pairs(
@@ -301,26 +495,32 @@ mod tests {
     }
 
     #[test]
-    fn giant_buckets_are_capped_and_reported() {
+    fn giant_buckets_degrade_progressively_and_are_reported() {
         // 600 records all sharing a token: uncapped would be ~180k pairs.
-        let names: Vec<String> = (0..600).map(|i| format!("show number{i}")).collect();
-        let refs: Vec<&str> = names.iter().map(String::as_str).collect();
-        let rs = records(&refs);
+        // Progressive blocking bounds the bucket at cap² core + window pass.
+        let (rs, _) = oversized_corpus();
         let outcome =
             Blocker::new("name", BlockingStrategy::Token).candidates_with_report(&rs);
+        let bound = BUCKET_CAP * (BUCKET_CAP - 1) / 2 + 600 * (PROGRESSIVE_WINDOW - 1);
         assert!(
-            outcome.pairs.len() < 256 * 256,
-            "bucket cap must bound the blowup: {}",
+            outcome.pairs.len() <= bound + 600, // small buckets contribute a little
+            "progressive expansion must bound the blowup: {} > {}",
+            outcome.pairs.len(),
+            bound + 600
+        );
+        assert!(
+            outcome.pairs.len() < 600 * 599 / 2 / 3,
+            "nowhere near quadratic: {}",
             outcome.pairs.len()
         );
         assert_eq!(
-            outcome.truncated_buckets, 1,
+            outcome.degraded_buckets, 1,
             "the 'show' bucket exceeded the cap and must be reported"
         );
     }
 
     #[test]
-    fn small_buckets_report_no_truncation() {
+    fn small_buckets_report_no_degradation() {
         let rs = records(&["Matilda Musical", "Matilda Show", "Wicked Show", "Annie"]);
         for strategy in [
             BlockingStrategy::Token,
@@ -329,30 +529,41 @@ mod tests {
             BlockingStrategy::MinHashLsh { bands: 4, rows: 4 },
         ] {
             let outcome = Blocker::new("name", strategy).candidates_with_report(&rs);
-            assert_eq!(outcome.truncated_buckets, 0, "{strategy:?}");
+            assert_eq!(outcome.degraded_buckets, 0, "{strategy:?}");
         }
     }
 
     #[test]
     fn oversized_bucket_blocking_recall_regression() {
-        // One bucket of 600 (shared token) with known duplicates that sit
-        // beyond the cap boundary: the cap necessarily loses them, and the
-        // truncation counter is what makes that loss visible. This pins the
-        // contract until progressive blocking (ROADMAP) replaces the cap.
-        let names: Vec<String> = (0..600).map(|i| format!("show number{i}")).collect();
-        let refs: Vec<&str> = names.iter().map(String::as_str).collect();
-        let rs = records(&refs);
+        // One bucket of 600 (shared token) with known duplicates inside the
+        // cap, straddling it, and fully beyond it. The legacy cap
+        // necessarily lost the beyond-cap pairs; progressive blocking must
+        // recover all of them — this test pins the recovery, where it used
+        // to pin the loss — while staying O(cap² + bucket · window), not
+        // quadratic.
+        let (rs, truth) = oversized_corpus();
         let outcome =
             Blocker::new("name", BlockingStrategy::Token).candidates_with_report(&rs);
+        assert_eq!(
+            blocking_recall(&outcome.pairs, &truth),
+            1.0,
+            "progressive blocking must recover every planted duplicate"
+        );
+        assert_eq!(outcome.degraded_buckets, 1, "the degradation must still be announced");
+        let bound = BUCKET_CAP * (BUCKET_CAP - 1) / 2 + 600 * (PROGRESSIVE_WINDOW - 1) + 600;
+        assert!(outcome.pairs.len() <= bound, "{} > {bound}", outcome.pairs.len());
 
-        // Truth: pairs inside the cap, straddling it, and fully beyond it.
-        let truth = vec![(0, 1), (10, 300), (400, 599)];
-        let recall = blocking_recall(&outcome.pairs, &truth);
+        // The legacy truncating fallback still loses everything past the
+        // cap on the same corpus — the cliff progressive blocking replaces.
+        let truncated = Blocker::new("name", BlockingStrategy::Token)
+            .with_fallback(OversizeFallback::Truncate)
+            .candidates_with_report(&rs);
+        let recall = blocking_recall(&truncated.pairs, &truth);
         assert!(
             (recall - 1.0 / 3.0).abs() < 1e-12,
-            "only the in-cap pair survives: {recall}"
+            "truncation keeps only the in-cap pair: {recall}"
         );
-        assert_eq!(outcome.truncated_buckets, 1, "the recall loss must be announced");
+        assert_eq!(truncated.degraded_buckets, 1);
 
         // A small bucket keeps perfect recall over the same truth shape.
         let small: Vec<String> = (0..100).map(|i| format!("show number{i}")).collect();
@@ -360,6 +571,34 @@ mod tests {
         let small_outcome = Blocker::new("name", BlockingStrategy::Token)
             .candidates_with_report(&records(&small_refs));
         assert_eq!(blocking_recall(&small_outcome.pairs, &[(0, 1), (10, 90)]), 1.0);
-        assert_eq!(small_outcome.truncated_buckets, 0);
+        assert_eq!(small_outcome.degraded_buckets, 0);
+    }
+
+    #[test]
+    fn progressive_candidates_superset_truncated() {
+        let (rs, _) = oversized_corpus();
+        let progressive =
+            Blocker::new("name", BlockingStrategy::Token).candidates(&rs);
+        let truncated = Blocker::new("name", BlockingStrategy::Token)
+            .with_fallback(OversizeFallback::Truncate)
+            .candidates(&rs);
+        let set: std::collections::HashSet<_> = progressive.iter().copied().collect();
+        assert!(
+            truncated.iter().all(|p| set.contains(p)),
+            "progressive must never lose a pair the cap found"
+        );
+        assert!(progressive.len() > truncated.len(), "and must add beyond-cap pairs");
+    }
+
+    #[test]
+    fn bucket_cap_override_triggers_fallback_early() {
+        let rs = records(&["show a", "show b", "show c", "show d", "show e"]);
+        let outcome = Blocker::new("name", BlockingStrategy::Token)
+            .with_bucket_cap(3)
+            .candidates_with_report(&rs);
+        assert_eq!(outcome.degraded_buckets, 1, "5-member 'show' bucket over cap 3");
+        // Window pass over the sorted bucket still connects neighbours
+        // beyond the cap boundary.
+        assert!(outcome.pairs.contains(&(3, 4)), "{:?}", outcome.pairs);
     }
 }

@@ -9,7 +9,9 @@
 //! conflict resolution.
 //!
 //! * [`blocking`] — token, Soundex, sorted-neighbourhood, and MinHash-LSH
-//!   candidate generation.
+//!   candidate generation; oversized buckets degrade to progressive
+//!   (sorted-neighborhood) expansion instead of truncating, so blocking
+//!   never silently drops a record's candidates.
 //! * [`pairsim`] — weighted per-attribute record-pair similarity.
 //! * [`cluster`] — union-find clustering of accepted pairs.
 //! * [`consolidate`] — composite-record merge with conflict resolution.
@@ -21,7 +23,10 @@ pub mod consolidate;
 pub mod pairsim;
 pub mod pipeline;
 
-pub use blocking::{blocking_recall, Blocker, BlockingOutcome, BlockingStrategy, BUCKET_CAP};
+pub use blocking::{
+    blocking_recall, Blocker, BlockingOutcome, BlockingStrategy, OversizeFallback, BUCKET_CAP,
+    PROGRESSIVE_WINDOW,
+};
 pub use cluster::UnionFind;
 pub use consolidate::{merge_cluster, merge_composite, ConflictPolicy, MergePolicy};
 pub use pairsim::{accepted_pairs, score_pairs, PairScorer, RecordSimilarity};

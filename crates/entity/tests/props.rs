@@ -1,13 +1,58 @@
 //! Property tests for entity consolidation: union-find matches a naive
-//! transitive closure, cluster merges preserve attribute coverage, and the
-//! pipeline never invents or loses records.
+//! transitive closure, cluster merges preserve attribute coverage, the
+//! pipeline never invents or loses records, and blocking holds its output
+//! invariants (sorted, deduplicated, ordered pairs; progressive recall
+//! dominating the truncating cap) for every strategy.
 
 use proptest::prelude::*;
 
+use datatamer_entity::blocking::{
+    blocking_recall, Blocker, BlockingStrategy, OversizeFallback,
+};
 use datatamer_entity::cluster::{cluster_pairs, UnionFind};
 use datatamer_entity::consolidate::{merge_cluster, MergePolicy};
 use datatamer_entity::pipeline::{ConsolidationPipeline, PipelineConfig};
 use datatamer_model::{Record, RecordId, SourceId, Value};
+
+/// Records with a `name` attribute from generated strings.
+fn named_records(names: &[String]) -> Vec<Record> {
+    names
+        .iter()
+        .enumerate()
+        .map(|(i, name)| {
+            Record::from_pairs(
+                SourceId(0),
+                RecordId(i as u64),
+                vec![("name", Value::from(name.clone()))],
+            )
+        })
+        .collect()
+}
+
+/// Every blocking strategy under test.
+fn all_strategies() -> Vec<BlockingStrategy> {
+    vec![
+        BlockingStrategy::Token,
+        BlockingStrategy::Soundex,
+        BlockingStrategy::SortedNeighborhood { window: 3 },
+        BlockingStrategy::MinHashLsh { bands: 4, rows: 4 },
+    ]
+}
+
+/// Every distinct `(strategy, fallback)` behaviour: only the bucket-based
+/// strategies consult the oversize fallback, so the windowed/LSH
+/// strategies run once instead of twice.
+fn strategy_fallback_pairs() -> Vec<(BlockingStrategy, OversizeFallback)> {
+    let progressive = OversizeFallback::Progressive { window: 3 };
+    vec![
+        (BlockingStrategy::Token, progressive),
+        (BlockingStrategy::Token, OversizeFallback::Truncate),
+        (BlockingStrategy::Soundex, progressive),
+        (BlockingStrategy::Soundex, OversizeFallback::Truncate),
+        (BlockingStrategy::SortedNeighborhood { window: 3 }, progressive),
+        (BlockingStrategy::MinHashLsh { bands: 4, rows: 4 }, progressive),
+    ]
+}
 
 /// Naive transitive closure for comparison.
 fn naive_clusters(n: usize, pairs: &[(usize, usize)]) -> Vec<Vec<usize>> {
@@ -105,6 +150,82 @@ proptest! {
             let seen = records.iter().any(|r| r.get(name) == Some(v));
             prop_assert!(seen, "invented value for {}", name);
         }
+    }
+
+    #[test]
+    fn blocking_pairs_are_sorted_dedup_and_ordered(
+        // A tiny alphabet with optional extra words forces shared tokens,
+        // shared Soundex codes, and (under a small cap) oversized buckets.
+        names in prop::collection::vec("[abcd ]{1,8}", 1..40),
+    ) {
+        let records = named_records(&names);
+        for (strategy, fallback) in strategy_fallback_pairs() {
+            let pairs = Blocker::new("name", strategy)
+                .with_bucket_cap(4)
+                .with_fallback(fallback)
+                .candidates(&records);
+            for &(a, b) in &pairs {
+                prop_assert!(a < b, "{strategy:?}/{fallback:?}: unordered pair ({a},{b})");
+                prop_assert!(b < records.len(), "{strategy:?}: index out of range");
+            }
+            let mut normalized = pairs.clone();
+            normalized.sort_unstable();
+            normalized.dedup();
+            prop_assert_eq!(
+                &pairs, &normalized,
+                "{:?}/{:?}: output must be sorted and deduplicated", strategy, fallback
+            );
+        }
+    }
+
+    #[test]
+    fn blocking_is_deterministic_across_fresh_blockers(
+        names in prop::collection::vec("[abcd ]{1,8}", 1..30),
+    ) {
+        // Two independently built blockers (fresh LSH tables, fresh hash
+        // seeds) must emit identical candidates — the byte-determinism
+        // contract every strategy upholds.
+        let records = named_records(&names);
+        for strategy in all_strategies() {
+            let first = Blocker::new("name", strategy).with_bucket_cap(4).candidates(&records);
+            let second = Blocker::new("name", strategy).with_bucket_cap(4).candidates(&records);
+            prop_assert_eq!(first, second, "{:?} must not depend on run state", strategy);
+        }
+    }
+
+    #[test]
+    fn progressive_recall_dominates_truncation(
+        names in prop::collection::vec("[abc ]{1,6}", 2..50),
+        raw_truth in prop::collection::vec((0usize..50, 0usize..50), 1..12),
+    ) {
+        // On ANY truth set, progressive blocking's candidate set is a
+        // superset of the truncating cap's, so its recall can never be
+        // lower — the invariant that replaces the recall cliff.
+        let n = names.len();
+        let truth: Vec<(usize, usize)> = raw_truth
+            .into_iter()
+            .map(|(a, b)| (a % n, b % n))
+            .filter(|(a, b)| a != b)
+            .collect();
+        let records = named_records(&names);
+        let base = || Blocker::new("name", BlockingStrategy::Token).with_bucket_cap(4);
+        let progressive = base()
+            .with_fallback(OversizeFallback::Progressive { window: 3 })
+            .candidates(&records);
+        let truncated = base()
+            .with_fallback(OversizeFallback::Truncate)
+            .candidates(&records);
+        let progressive_set: std::collections::HashSet<(usize, usize)> =
+            progressive.iter().copied().collect();
+        prop_assert!(
+            truncated.iter().all(|p| progressive_set.contains(p)),
+            "progressive candidates must be a superset of truncated ones"
+        );
+        prop_assert!(
+            blocking_recall(&progressive, &truth)
+                >= blocking_recall(&truncated, &truth) - 1e-12,
+            "progressive recall must dominate"
+        );
     }
 
     #[test]

@@ -43,6 +43,12 @@ impl Signature {
         let agree = self.0.iter().zip(&other.0).filter(|(a, b)| a == b).count();
         agree as f64 / self.0.len() as f64
     }
+
+    /// True when this is the signature of an empty token set (every
+    /// component still at `u64::MAX`, i.e. no token ever lowered a slot).
+    pub fn is_empty_set(&self) -> bool {
+        self.0.iter().all(|&v| v == u64::MAX)
+    }
 }
 
 /// Computes MinHash signatures with `k` seeded hash functions.
@@ -66,7 +72,12 @@ impl MinHasher {
     }
 
     /// Signature of a token set. An empty set yields an all-`u64::MAX`
-    /// signature (which never collides with non-empty ones except by chance).
+    /// signature. Such a signature rarely collides with a *non-empty* one
+    /// (a token would have to hash to `u64::MAX` under every function),
+    /// but it collides with every *other* empty signature on every band —
+    /// two empty sets look identical, not dissimilar. Empty signatures are
+    /// therefore skipped by [`MinHashLsh::insert`]; test with
+    /// [`Signature::is_empty_set`].
     pub fn signature<S: AsRef<str>>(&self, tokens: &[S]) -> Signature {
         let mut mins = vec![u64::MAX; self.seeds.len()];
         for t in tokens {
@@ -104,17 +115,26 @@ impl<K: Clone + Eq + Hash> MinHashLsh<K> {
     }
 
     /// Insert an item's signature under `key`.
-    pub fn insert(&mut self, key: K, sig: &Signature) {
+    ///
+    /// Empty-set signatures (all `u64::MAX`) are skipped: they carry no
+    /// similarity evidence, yet band-collide with every other empty
+    /// signature, which would pair every empty-keyed item with every other.
+    /// Returns whether the item was indexed.
+    pub fn insert(&mut self, key: K, sig: &Signature) -> bool {
         assert_eq!(
             sig.0.len(),
             self.bands * self.rows,
             "signature length must equal bands*rows"
         );
+        if sig.is_empty_set() {
+            return false;
+        }
         for (band, table) in self.tables.iter_mut().enumerate() {
             let chunk = &sig.0[band * self.rows..(band + 1) * self.rows];
             let h = hash_chunk(chunk, band as u64);
             table.entry(h).or_default().push(key.clone());
         }
+        true
     }
 
     /// Query candidate keys sharing at least one band bucket with `sig`.
@@ -136,11 +156,18 @@ impl<K: Clone + Eq + Hash> MinHashLsh<K> {
         out
     }
 
-    /// All candidate pairs across the index (each unordered pair once).
+    /// All candidate pairs across the index: each pair once, ordered
+    /// `(min, max)`, with the result sorted — the band tables are
+    /// `HashMap`s (RandomState-seeded, so their iteration order changes
+    /// per process), and sorting here is what makes the output stable
+    /// across runs instead of leaking that order to callers.
     pub fn candidate_pairs(&self) -> Vec<(K, K)>
     where
         K: Ord,
     {
+        // Dedup on the fly: near-duplicates collide in *most* bands (that
+        // is LSH's point), so buffering every band's copy before a final
+        // dedup would hold up to `bands`× the unique pair count in memory.
         let mut pairs: Vec<(K, K)> = Vec::new();
         let mut seen: std::collections::HashSet<(K, K)> = std::collections::HashSet::new();
         for table in &self.tables {
@@ -159,6 +186,7 @@ impl<K: Clone + Eq + Hash> MinHashLsh<K> {
                 }
             }
         }
+        pairs.sort_unstable();
         pairs
     }
 }
@@ -213,6 +241,35 @@ mod tests {
         let h = MinHasher::new(4, 0);
         let e = h.signature::<&str>(&[]);
         assert!(e.0.iter().all(|&v| v == u64::MAX));
+        assert!(e.is_empty_set());
+        assert!(!h.signature(&["token"]).is_empty_set());
+    }
+
+    #[test]
+    fn empty_signatures_are_not_indexed_and_never_pair() {
+        // Two empty token sets band-collide on every band (all-MAX
+        // signatures are identical), which used to pair every empty-keyed
+        // item with every other. Insert must skip them.
+        let h = MinHasher::new(16, 9);
+        let mut lsh: MinHashLsh<u32> = MinHashLsh::new(4, 4);
+        assert!(!lsh.insert(0, &h.signature::<&str>(&[])));
+        assert!(!lsh.insert(1, &h.signature::<&str>(&[])));
+        assert!(lsh.insert(2, &h.signature(&["real", "tokens"])));
+        assert_eq!(lsh.candidate_pairs(), vec![]);
+        assert!(lsh.candidates(&h.signature::<&str>(&[])).is_empty());
+    }
+
+    #[test]
+    fn candidate_pairs_are_sorted_and_deduplicated() {
+        let h = MinHasher::new(16, 3);
+        let mut lsh: MinHashLsh<u32> = MinHashLsh::new(4, 4);
+        // Three identical sets collide on every band of every table —
+        // maximal duplication pressure on the pair expansion.
+        for key in [3, 1, 2] {
+            lsh.insert(key, &h.signature(&["a", "b", "c"]));
+        }
+        let pairs = lsh.candidate_pairs();
+        assert_eq!(pairs, vec![(1, 2), (1, 3), (2, 3)]);
     }
 
     #[test]

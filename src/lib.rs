@@ -23,7 +23,7 @@
 //! | [`corpus`] | `datatamer-corpus` | synthetic WEBINSTANCE / WEBENTITIES / FTABLES generators |
 //! | [`ml`] | `datatamer-ml` | hand-rolled classifiers + 10-fold cross-validation (§IV) |
 //! | [`schema`] | `datatamer-schema` | bottom-up schema integration (Figs 2–3) |
-//! | [`entity`] | `datatamer-entity` | entity consolidation: blocking + rayon-parallel pair scoring |
+//! | [`entity`] | `datatamer-entity` | entity consolidation: progressive blocking + rayon-parallel pair scoring |
 //! | [`clean`] | `datatamer-clean` | cleaning + transformations (EUR→USD), parallel per source |
 //! | [`expert`] | `datatamer-expert` | expert sourcing |
 //! | [`core`] | `datatamer-core` | the staged pipeline, the fusion resolver registry, and demo queries |
@@ -121,6 +121,70 @@
 //!     fused[0].record.get("RATING"),
 //!     Some(&Value::Array(vec![Value::from("PG"), Value::from("PG-13")]))
 //! );
+//! ```
+//!
+//! ## Blocking at scale: progressive, never a recall cliff
+//!
+//! Comparing all `n²/2` record pairs is intractable at the paper's scale
+//! (173M entities), so consolidation blocks first: token, Soundex,
+//! sorted-neighbourhood, or MinHash-LSH candidate generation
+//! ([`entity::blocking`]). Bucket strategies used to *truncate* giant
+//! buckets (stopword-like keys) at [`entity::BUCKET_CAP`] members — every
+//! duplicate past the cap was silently unreachable. The default is now
+//! **progressive blocking** ([`entity::OversizeFallback::Progressive`]):
+//! an oversized bucket keeps its in-cap quadratic expansion *and* sorts
+//! the whole membership by the records' full key, sliding a window over
+//! that order, so every record still gets candidates at
+//! `O(cap² + bucket · window)` cost. Degradation is reported
+//! (`BlockingOutcome::degraded_buckets`), never silent, and the candidate
+//! set is always a superset of the old truncating cap's — recall can only
+//! go up. Every strategy emits sorted, deduplicated `(i, j)` pairs with
+//! `i < j`, byte-identical across runs and thread counts (the LSH band
+//! tables are hash-seeded per process; their iteration order never leaks
+//! into the output). The `blocking/*` bench group sweeps the strategies
+//! across bucket-size distributions.
+//!
+//! How the staged pipeline *groups* records for fusion is itself
+//! configurable through the [`core::fusion::GroupingStrategy`] seam — on
+//! `DataTamerConfig::grouping` system-wide or per run on a
+//! `PipelinePlan`. `CanonicalName` is the classic demo scan;
+//! `BlockedEr` runs the full ER machinery (blocking → rayon-parallel pair
+//! scoring → union-find clustering) inside the consolidation stage, which
+//! consolidates fuzzy duplicates the name key cannot reach:
+//!
+//! ```
+//! use datatamer::core::fusion::{BlockedErConfig, GroupingStrategy};
+//! use datatamer::core::{DataTamer, DataTamerConfig, PipelinePlan};
+//! use datatamer::model::{Record, RecordId, SourceId, Value};
+//!
+//! // Word-order damage: Jaro-Winkler on the canonical names is far below
+//! // any sane fuzzy threshold, so canonical-name grouping splits these —
+//! // blocked ER's token-aware record similarity consolidates them.
+//! let rows = vec![
+//!     Record::from_pairs(
+//!         SourceId(0),
+//!         RecordId(0),
+//!         vec![
+//!             ("show_name", Value::from("Walking Dead")),
+//!             ("cheapest_price", Value::from("$45")),
+//!         ],
+//!     ),
+//!     Record::from_pairs(
+//!         SourceId(0),
+//!         RecordId(1),
+//!         vec![
+//!             ("show_name", Value::from("Dead Walking")),
+//!             ("cheapest_price", Value::from("$45")),
+//!         ],
+//!     ),
+//! ];
+//! let mut dt = DataTamer::new(DataTamerConfig::default());
+//! let plan = PipelinePlan::new()
+//!     .structured("listings", &rows)
+//!     .grouping(GroupingStrategy::BlockedEr(BlockedErConfig::default()));
+//! let fused = dt.run(plan).expect("pipeline runs");
+//! assert_eq!(fused.len(), 1, "one consolidated entity");
+//! assert_eq!(fused[0].member_count, 2);
 //! ```
 
 pub use datatamer_clean as clean;

@@ -5,7 +5,9 @@
 //! The rayon shim honours `ThreadPool::install` thread-locally, so each
 //! closure below runs the entire pipeline at its pool's width.
 
-use datatamer::core::fusion::{RegistryConfig, ResolverSpec};
+use datatamer::core::fusion::{
+    BlockedErConfig, GroupingStrategy, RegistryConfig, ResolverSpec,
+};
 use datatamer::core::{DataTamer, DataTamerConfig, PipelinePlan};
 use datatamer::corpus::ftables::{self, FtablesConfig};
 use datatamer::corpus::webtext::{WebTextConfig, WebTextCorpus};
@@ -16,6 +18,15 @@ use rayon::ThreadPoolBuilder;
 /// observable output into one comparable byte blob. `resolvers` overrides
 /// the fusion stage's truth-discovery routing when given.
 fn run_pipeline_fingerprint_with(resolvers: Option<RegistryConfig>) -> (String, Vec<String>) {
+    run_pipeline_fingerprint(resolvers, None)
+}
+
+/// [`run_pipeline_fingerprint_with`] plus an optional entity-consolidation
+/// grouping override.
+fn run_pipeline_fingerprint(
+    resolvers: Option<RegistryConfig>,
+    grouping: Option<GroupingStrategy>,
+) -> (String, Vec<String>) {
     let corpus = WebTextCorpus::generate(&WebTextConfig {
         num_fragments: 400,
         background_mentions: 4,
@@ -37,6 +48,9 @@ fn run_pipeline_fingerprint_with(resolvers: Option<RegistryConfig>) -> (String, 
     plan = plan.webtext(DomainParser::with_gazetteer(corpus.gazetteer.clone()), frags);
     if let Some(config) = resolvers {
         plan = plan.resolvers(config);
+    }
+    if let Some(strategy) = grouping {
+        plan = plan.grouping(strategy);
     }
 
     let fused = dt.run(plan).expect("pipeline runs");
@@ -110,6 +124,61 @@ fn custom_resolver_registry_runs_are_byte_identical() {
         serial_fused, default_fused,
         "the custom registry must actually alter fused values"
     );
+}
+
+#[test]
+fn blocked_er_grouping_runs_are_byte_identical() {
+    // The blocked-ER consolidation path — blocking, rayon-parallel pair
+    // scoring, union-find clustering — must produce byte-identical fused
+    // output at any pool width, like the canonical-name path it joins.
+    let grouping = || GroupingStrategy::BlockedEr(BlockedErConfig::default());
+    let serial_pool = ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+    let (serial_fused, serial_stats) =
+        serial_pool.install(|| run_pipeline_fingerprint(None, Some(grouping())));
+
+    let wide_pool = ThreadPoolBuilder::new().num_threads(8).build().unwrap();
+    let (wide_fused, wide_stats) =
+        wide_pool.install(|| run_pipeline_fingerprint(None, Some(grouping())));
+
+    assert_eq!(
+        serial_fused, wide_fused,
+        "blocked-ER fusion must be byte-identical at any thread count"
+    );
+    assert_eq!(serial_stats, wide_stats, "collection stats must match");
+    assert!(!serial_fused.is_empty(), "the fingerprint must cover real output");
+}
+
+#[test]
+fn lsh_blocking_is_byte_identical_across_runs_and_thread_counts() {
+    use datatamer::entity::{Blocker, BlockingStrategy};
+    use datatamer::model::{Record, RecordId, SourceId, Value};
+
+    // The LSH index hashes its band tables into RandomState-seeded
+    // HashMaps whose iteration order changes with every table instance —
+    // repeated runs (fresh tables) and different pool widths must still
+    // produce identical candidates.
+    let records: Vec<Record> = (0..200u64)
+        .map(|i| {
+            Record::from_pairs(
+                SourceId(0),
+                RecordId(i),
+                vec![(
+                    "name",
+                    Value::from(format!("the walking dead season {} review", i % 13)),
+                )],
+            )
+        })
+        .collect();
+    let strategy = BlockingStrategy::MinHashLsh { bands: 8, rows: 4 };
+    let job = || Blocker::new("name", strategy).candidates(&records);
+
+    let serial = ThreadPoolBuilder::new().num_threads(1).build().unwrap().install(job);
+    let again = ThreadPoolBuilder::new().num_threads(1).build().unwrap().install(job);
+    let wide = ThreadPoolBuilder::new().num_threads(8).build().unwrap().install(job);
+    assert_eq!(serial, again, "fresh LSH tables must not change the output");
+    assert_eq!(serial, wide, "thread count must not change the output");
+    assert!(!serial.is_empty());
+    assert!(serial.windows(2).all(|w| w[0] < w[1]), "sorted, deduplicated, self-pair-free");
 }
 
 #[test]
