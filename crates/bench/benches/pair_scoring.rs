@@ -1,0 +1,130 @@
+//! Pair-scoring throughput: prepare-once/score-many vs naive per-pair.
+//!
+//! The interesting axis is the *reuse factor* — how many candidate pairs
+//! each record appears in. Blocking controls that number: progressive
+//! fallbacks and multi-token buckets put the same record in many pairs, so
+//! per-record normalisation amortises across them. At reuse 1 the prepared
+//! path pays its prepare pass for a single score per record (worst case);
+//! as reuse grows the naive path re-runs `to_text` / parsing / lowercasing
+//! / tokenisation per pair while the prepared path re-reads arena slices.
+//! Both variants include their full cost inside the timed body (the
+//! prepared ones rebuild the [`ScoringContext`] every iteration), so the
+//! ids compare end-to-end work at each reuse factor, Rules vs Classifier.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use datatamer_entity::pairsim::{PairScorer, RecordSimilarity};
+use datatamer_ml::logreg::LogRegConfig;
+use datatamer_ml::DedupClassifier;
+use datatamer_model::{Record, RecordId, SourceId, Value};
+
+const N_RULES: usize = 400;
+const N_CLASSIFIER: usize = 120;
+
+/// Records with the mixed value shapes the scorer sees after schema
+/// mapping: multi-token names with shared vocabulary, money strings,
+/// year-like strings, and free-text venues.
+fn corpus(n: usize) -> Vec<Record> {
+    (0..n)
+        .map(|i| {
+            Record::from_pairs(
+                SourceId(0),
+                RecordId(i as u64),
+                vec![
+                    ("name", Value::from(format!("the great show number{} act {}", i, i % 7))),
+                    ("price", Value::from(format!("${}", 20 + i % 180))),
+                    ("year", Value::from(format!("{}", 1980 + i % 45))),
+                    ("venue", Value::from(format!("grand theatre hall {}", i % 11))),
+                ],
+            )
+        })
+        .collect()
+}
+
+/// Candidate pairs where each record meets its `k` nearest successors —
+/// every record appears in ~`2k` pairs, the reuse factor blocking's
+/// windowed fallbacks produce.
+fn pairs_with_reuse(n: usize, k: usize) -> Vec<(usize, usize)> {
+    let mut out = Vec::with_capacity(n * k);
+    for i in 0..n {
+        for d in 1..=k {
+            if i + d < n {
+                out.push((i, i + d));
+            }
+        }
+    }
+    out
+}
+
+fn accepted_naive(
+    scorer: &PairScorer,
+    records: &[Record],
+    pairs: &[(usize, usize)],
+    threshold: f64,
+) -> usize {
+    pairs
+        .iter()
+        .filter(|&&(i, j)| scorer.score(&records[i], &records[j]) >= threshold)
+        .count()
+}
+
+fn accepted_prepared(
+    scorer: &PairScorer,
+    records: &[Record],
+    pairs: &[(usize, usize)],
+    threshold: f64,
+) -> usize {
+    let ctx = scorer.prepare(records);
+    pairs.iter().filter(|&&(i, j)| ctx.score_pair(i, j) >= threshold).count()
+}
+
+fn bench_rules(c: &mut Criterion) {
+    let records = corpus(N_RULES);
+    let scorer = PairScorer::Rules(RecordSimilarity::default());
+    let mut group = c.benchmark_group("pair_scoring");
+    group.sample_size(15);
+    for &k in &[1usize, 8, 32] {
+        let pairs = pairs_with_reuse(N_RULES, k);
+        group.throughput(Throughput::Elements(pairs.len() as u64));
+        group.bench_with_input(BenchmarkId::new("rules_naive", k), &pairs, |b, pairs| {
+            b.iter(|| black_box(accepted_naive(&scorer, &records, pairs, 0.75)))
+        });
+        group.bench_with_input(BenchmarkId::new("rules_prepared", k), &pairs, |b, pairs| {
+            b.iter(|| black_box(accepted_prepared(&scorer, &records, pairs, 0.75)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_classifier(c: &mut Criterion) {
+    let training = vec![
+        ("Matilda".to_owned(), "matilda".to_owned(), true),
+        ("Matilda".to_owned(), "Wicked".to_owned(), false),
+        ("Annie".to_owned(), "Annie!".to_owned(), true),
+        ("Annie".to_owned(), "Pippin".to_owned(), false),
+        ("Goodfellas".to_owned(), "Goodfelas".to_owned(), true),
+        ("Goodfellas".to_owned(), "Written".to_owned(), false),
+    ];
+    let model = DedupClassifier::train(&training, &LogRegConfig::default());
+    let scorer = PairScorer::Classifier { key_attr: "name".into(), model };
+    let records = corpus(N_CLASSIFIER);
+    let mut group = c.benchmark_group("pair_scoring");
+    group.sample_size(15);
+    for &k in &[1usize, 8] {
+        let pairs = pairs_with_reuse(N_CLASSIFIER, k);
+        group.throughput(Throughput::Elements(pairs.len() as u64));
+        group.bench_with_input(BenchmarkId::new("classifier_naive", k), &pairs, |b, pairs| {
+            b.iter(|| black_box(accepted_naive(&scorer, &records, pairs, 0.5)))
+        });
+        group.bench_with_input(
+            BenchmarkId::new("classifier_prepared", k),
+            &pairs,
+            |b, pairs| b.iter(|| black_box(accepted_prepared(&scorer, &records, pairs, 0.5))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_rules, bench_classifier);
+criterion_main!(benches);

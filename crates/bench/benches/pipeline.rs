@@ -7,6 +7,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Through
 use std::hint::black_box;
 
 use datatamer_bench::{HarnessConfig, ScaledSystem};
+use datatamer_core::fusion::{BlockedErConfig, GroupingStrategy};
 use datatamer_core::DataTamer;
 
 fn bench_end_to_end(c: &mut Criterion) {
@@ -22,6 +23,31 @@ fn bench_end_to_end(c: &mut Criterion) {
         group.throughput(Throughput::Elements(config.num_fragments() as u64));
         group.bench_with_input(
             BenchmarkId::from_parameter(config.num_fragments()),
+            &config,
+            |b, cfg| {
+                b.iter(|| {
+                    let sys = ScaledSystem::build(cfg.clone());
+                    let fused = sys.dt.fuse();
+                    black_box(DataTamer::lookup(&fused, "Matilda").is_some())
+                })
+            },
+        );
+    }
+    // The same end-to-end build with consolidation routed through blocked
+    // ER (blocking → prepared pair scoring → union-find) — the
+    // configuration whose fusion stage actually exercises the pair-scoring
+    // hot path.
+    for &denom in &[50_000u32, 20_000] {
+        let config = HarnessConfig {
+            scale: 1.0 / denom as f64,
+            padding_sentences: 2,
+            background_mentions: 3,
+            grouping: GroupingStrategy::BlockedEr(BlockedErConfig::default()),
+            ..Default::default()
+        };
+        group.throughput(Throughput::Elements(config.num_fragments() as u64));
+        group.bench_with_input(
+            BenchmarkId::new("blocked_er", config.num_fragments()),
             &config,
             |b, cfg| {
                 b.iter(|| {

@@ -1,5 +1,6 @@
 //! Scaled system construction shared by the table printers and benches.
 
+use datatamer_core::fusion::GroupingStrategy;
 use datatamer_core::{DataTamer, DataTamerConfig};
 use datatamer_corpus::ftables::{self, FtablesConfig, GeneratedSource};
 use datatamer_corpus::webtext::{WebTextConfig, WebTextCorpus};
@@ -43,6 +44,11 @@ pub struct HarnessConfig {
     /// Padding sentences per fragment (pushes instance docs toward the
     /// paper's large web-page excerpts).
     pub padding_sentences: usize,
+    /// How the consolidation stage groups records (`CanonicalName` keeps
+    /// the classic scan; `BlockedEr` routes fusion through blocking +
+    /// prepared pair scoring — the hot path the `pair_scoring/*` bench
+    /// group measures in isolation).
+    pub grouping: GroupingStrategy,
 }
 
 impl Default for HarnessConfig {
@@ -56,6 +62,7 @@ impl Default for HarnessConfig {
             // (WEBINSTANCE at 242 extents vs WEBENTITIES at 56 despite 10×
             // fewer documents).
             padding_sentences: 24,
+            grouping: GroupingStrategy::CanonicalName,
         }
     }
 }
@@ -106,6 +113,7 @@ impl ScaledSystem {
         );
         let mut dt = DataTamer::new(DataTamerConfig {
             extent_size: config.extent_size(),
+            grouping: config.grouping.clone(),
             ..Default::default()
         });
         for s in &sources {
@@ -127,6 +135,7 @@ impl ScaledSystem {
         let sources = Vec::new();
         let mut dt = DataTamer::new(DataTamerConfig {
             extent_size: config.extent_size(),
+            grouping: config.grouping.clone(),
             ..Default::default()
         });
         let parser = DomainParser::with_gazetteer(corpus.gazetteer.clone());

@@ -30,7 +30,7 @@
 use std::collections::HashMap;
 
 use datatamer_model::Record;
-use datatamer_sim::{soundex, tokenize, MinHashLsh, MinHasher};
+use datatamer_sim::{for_each_token, soundex, tokenize, MinHashLsh, MinHasher, TokenInterner};
 use rayon::prelude::*;
 
 /// Available blocking strategies.
@@ -170,22 +170,34 @@ impl Blocker {
     }
 
     fn token_blocks(&self, records: &[Record]) -> BlockingOutcome {
-        let mut buckets: HashMap<String, Vec<usize>> = HashMap::new();
+        // Buckets are keyed by interned token id and stored in a dense
+        // vector: one streaming tokenisation pass per record, token
+        // equality reduced to `u32`, no per-record `Vec<String>` and no
+        // string-keyed hash map. Bucket contents and the final pair set
+        // are byte-identical to the string-keyed form (pairs are globally
+        // sorted and deduplicated downstream).
+        let mut interner = TokenInterner::new();
+        let mut buckets: Vec<Vec<usize>> = Vec::new();
+        let mut ids: Vec<u32> = Vec::new();
         for (i, r) in records.iter().enumerate() {
             if let Some(key) = self.key_of(r) {
                 // Distinct tokens only: a repeated token ("La La Land")
                 // must not enter the record into its bucket twice, which
                 // would emit a self-pair `(i, i)` and inflate bucket sizes
                 // toward the cap.
-                let mut toks = tokenize(&key);
-                toks.sort_unstable();
-                toks.dedup();
-                for tok in toks {
-                    buckets.entry(tok).or_default().push(i);
+                ids.clear();
+                for_each_token(&key, |tok| ids.push(interner.intern(tok)));
+                ids.sort_unstable();
+                ids.dedup();
+                for &id in &ids {
+                    while buckets.len() <= id as usize {
+                        buckets.push(Vec::new());
+                    }
+                    buckets[id as usize].push(i);
                 }
             }
         }
-        self.pairs_from_buckets(buckets.into_values(), records)
+        self.pairs_from_buckets(buckets, records)
     }
 
     fn soundex_blocks(&self, records: &[Record]) -> BlockingOutcome {
@@ -256,6 +268,11 @@ impl Blocker {
     /// stays deterministic (globally sorted, deduplicated). Buckets at or
     /// under the cap expand quadratically; oversized buckets apply the
     /// configured [`OversizeFallback`] and are counted as degraded.
+    ///
+    /// Pairs travel as packed `u64`s (`i` in the high half, `j` in the
+    /// low) until the final unpack: packed order equals tuple order, so
+    /// the dominant sort + dedup runs over half the bytes with single-word
+    /// compares while the emitted pair list stays byte-identical.
     fn pairs_from_buckets<I: IntoIterator<Item = Vec<usize>>>(
         &self,
         buckets: I,
@@ -274,7 +291,7 @@ impl Blocker {
         } else {
             Vec::new()
         };
-        let mut pairs: Vec<(usize, usize)> = buckets
+        let mut packed: Vec<u64> = buckets
             .par_iter()
             .flat_map(|members| {
                 if members.len() <= cap {
@@ -294,8 +311,7 @@ impl Blocker {
                         });
                         for i in 0..sorted.len() {
                             for j in (i + 1)..(i + window).min(sorted.len()) {
-                                let (a, b) = (sorted[i], sorted[j]);
-                                local.push((a.min(b), a.max(b)));
+                                local.push(pack_pair(sorted[i], sorted[j]));
                             }
                         }
                         local
@@ -303,17 +319,32 @@ impl Blocker {
                 }
             })
             .collect();
-        pairs.sort_unstable();
-        pairs.dedup();
+        packed.sort_unstable();
+        packed.dedup();
+        let pairs: Vec<(usize, usize)> = packed.into_iter().map(unpack_pair).collect();
         BlockingOutcome { pairs, degraded_buckets }
     }
 }
 
-fn quadratic_pairs(members: &[usize]) -> Vec<(usize, usize)> {
+/// Pack an unordered index pair into one word, smaller index high — packed
+/// `u64` order is exactly `(min, max)` tuple order.
+#[inline]
+fn pack_pair(a: usize, b: usize) -> u64 {
+    debug_assert!(a != b && a <= u32::MAX as usize && b <= u32::MAX as usize);
+    let (lo, hi) = (a.min(b), a.max(b));
+    ((lo as u64) << 32) | hi as u64
+}
+
+#[inline]
+fn unpack_pair(p: u64) -> (usize, usize) {
+    ((p >> 32) as usize, (p & u32::MAX as u64) as usize)
+}
+
+fn quadratic_pairs(members: &[usize]) -> Vec<u64> {
     let mut local = Vec::with_capacity(members.len().saturating_sub(1) * members.len() / 2);
     for i in 0..members.len() {
         for j in (i + 1)..members.len() {
-            local.push((members[i].min(members[j]), members[i].max(members[j])));
+            local.push(pack_pair(members[i], members[j]));
         }
     }
     local

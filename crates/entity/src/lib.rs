@@ -12,7 +12,11 @@
 //!   candidate generation; oversized buckets degrade to progressive
 //!   (sorted-neighborhood) expansion instead of truncating, so blocking
 //!   never silently drops a record's candidates.
-//! * [`pairsim`] — weighted per-attribute record-pair similarity.
+//! * [`pairsim`] — weighted per-attribute record-pair similarity with a
+//!   prepare-once / score-many layer ([`ScoringContext`]): per-record
+//!   features (interned attributes, parsed numerics, lowercased text,
+//!   sorted interned token ids) are normalised once per run, so each of
+//!   the millions of candidate pairs scores allocation-free.
 //! * [`cluster`] — union-find clustering of accepted pairs.
 //! * [`consolidate`] — composite-record merge with conflict resolution.
 //! * [`pipeline`] — the end-to-end consolidation pipeline with statistics.
@@ -29,5 +33,8 @@ pub use blocking::{
 };
 pub use cluster::UnionFind;
 pub use consolidate::{merge_cluster, merge_composite, ConflictPolicy, MergePolicy};
-pub use pairsim::{accepted_pairs, score_pairs, PairScorer, RecordSimilarity};
+pub use pairsim::{
+    accepted_pairs, accepted_pairs_prepared, score_pairs, score_pairs_prepared, PairScorer,
+    PrepareStats, RecordSimilarity, ScoringContext,
+};
 pub use pipeline::{ConsolidationPipeline, ConsolidationResult, PipelineConfig};

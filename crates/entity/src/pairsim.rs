@@ -1,8 +1,37 @@
-//! Record-pair similarity scoring.
+//! Record-pair similarity scoring: prepare once, score many.
+//!
+//! Pair scoring is the consolidation hot path — blocking deliberately
+//! *grows* the candidate set (progressive fallback) to protect recall, so
+//! at paper scale one consolidation run scores millions of pairs, and a
+//! record appearing in `k` candidate pairs used to pay its text
+//! normalisation (`to_text`, money/decimal parsing, lowercasing, a fresh
+//! `Vec<String>` → `HashSet<String>` tokenisation) `k` times over.
+//!
+//! The module is therefore layered in two:
+//!
+//! * **Naive scorers** — [`PairScorer::score`] / [`RecordSimilarity::score`]
+//!   compute everything from the raw [`Record`]s on every call. They are
+//!   the *semantic definition* of pair similarity and the test oracle.
+//! * **Prepared scoring** — [`PairScorer::prepare`] runs one pass over the
+//!   records and builds a [`ScoringContext`] holding, per record and per
+//!   non-null attribute: the interned attribute id, the `as_float` /
+//!   numeric-ish parses, the lowercased text (one shared arena), and the
+//!   token set as a sorted, deduplicated `Vec<u32>` of ids from a global
+//!   [`sim::TokenInterner`]. [`ScoringContext::score_pair`] then runs
+//!   allocation-free: Jaccard by sorted-slice merge
+//!   ([`sim::jaccard_sorted`]), O(1) attribute-weight lookup through a
+//!   vector indexed by attribute id, and string work reduced to arena
+//!   slices.
+//!
+//! Prepared scores are **bit-identical** to the naive path: preparation
+//! only hoists the per-value normalisation (same expressions, same
+//! evaluation order); interning changes equality *lookups*, never a float.
+//! `tests/prepared_equivalence.rs` pins this property, and the
+//! serial-vs-parallel byte-equivalence suite rides on it.
 
+use datatamer_ml::DedupClassifier;
 use datatamer_model::{Record, Value};
 use datatamer_sim as sim;
-use datatamer_ml::DedupClassifier;
 use rayon::prelude::*;
 
 /// How a pair of records is scored.
@@ -15,7 +44,12 @@ pub enum PairScorer {
 }
 
 impl PairScorer {
-    /// Score a pair in `[0, 1]`.
+    /// Score a pair in `[0, 1]` from the raw records — the naive path.
+    ///
+    /// Normalises both sides from scratch on every call; fine for a
+    /// handful of pairs, quadratic waste on a candidate set. Batch callers
+    /// go through [`PairScorer::prepare`]; this stays as the oracle the
+    /// prepared path is pinned against.
     pub fn score(&self, a: &Record, b: &Record) -> f64 {
         match self {
             PairScorer::Rules(rs) => rs.score(a, b),
@@ -26,6 +60,27 @@ impl PairScorer {
                 }
             }
         }
+    }
+
+    /// Build a [`ScoringContext`] for `records`: one normalisation pass
+    /// (each record visited exactly once), after which any number of pairs
+    /// score without re-deriving features.
+    pub fn prepare<'a>(&'a self, records: &[Record]) -> ScoringContext<'a> {
+        let inner = match self {
+            PairScorer::Rules(rs) => Prepared::Rules(PreparedRules::build(rs, records)),
+            PairScorer::Classifier { key_attr, model } => {
+                let keys: Vec<Option<String>> =
+                    records.iter().map(|r| r.get_text(key_attr)).collect();
+                let stats = PrepareStats {
+                    records: records.len(),
+                    values: keys.iter().filter(|k| k.is_some()).count(),
+                    distinct_attrs: 1,
+                    distinct_tokens: 0,
+                };
+                Prepared::Classifier { model, keys, stats }
+            }
+        };
+        ScoringContext { inner }
     }
 }
 
@@ -87,39 +142,299 @@ impl RecordSimilarity {
     }
 }
 
+/// Counters from one [`PairScorer::prepare`] pass — the observable proof
+/// of its prepare-once contract (each record contributes to `records` and
+/// `values` exactly once; scoring never mutates them).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PrepareStats {
+    /// Records visited (always the full input length).
+    pub records: usize,
+    /// Non-null values normalised (for the classifier: key texts found).
+    pub values: usize,
+    /// Distinct attribute names interned.
+    pub distinct_attrs: usize,
+    /// Distinct tokens interned across every value.
+    pub distinct_tokens: usize,
+}
+
+/// One record's slice of the prepared-field arena.
+#[derive(Debug, Clone, Copy)]
+struct PreparedRecord {
+    field_start: u32,
+    field_len: u32,
+}
+
+/// One non-null attribute value, fully normalised at prepare time.
+#[derive(Debug, Clone, Copy)]
+struct PreparedField {
+    /// Interned attribute id — index into the weights vector.
+    attr: u32,
+    /// `Value::as_float` (native numerics).
+    float: Option<f64>,
+    /// [`parse_numericish`] of the text rendering (prices, years).
+    numericish: Option<f64>,
+    /// Lowercased text rendering: byte range into the shared text arena.
+    lo_start: u32,
+    lo_len: u32,
+    /// Sorted, deduplicated interned token ids: range into the token arena.
+    tok_start: u32,
+    tok_len: u32,
+}
+
+/// Prepared features for the rules scorer: every per-value normalisation
+/// the naive path recomputes per pair, hoisted into flat arenas.
+struct PreparedRules {
+    /// Attribute weight by interned attribute id — replaces the per-pair
+    /// linear scan of `RecordSimilarity::weight_of` with one indexed load.
+    weights: Vec<f64>,
+    records: Vec<PreparedRecord>,
+    fields: Vec<PreparedField>,
+    token_arena: Vec<u32>,
+    text_arena: String,
+    stats: PrepareStats,
+}
+
+impl PreparedRules {
+    fn build(rs: &RecordSimilarity, records: &[Record]) -> Self {
+        let mut attr_ids = sim::TokenInterner::new();
+        let mut tokens = sim::TokenInterner::new();
+        let mut weights: Vec<f64> = Vec::new();
+        let mut prepared_records = Vec::with_capacity(records.len());
+        let mut fields: Vec<PreparedField> = Vec::new();
+        let mut token_arena: Vec<u32> = Vec::new();
+        let mut text_arena = String::new();
+        let mut tok_buf: Vec<u32> = Vec::new();
+        let mut values = 0usize;
+
+        for r in records {
+            debug_assert!(
+                fields.len() <= u32::MAX as usize
+                    && token_arena.len() <= u32::MAX as usize
+                    && text_arena.len() <= u32::MAX as usize,
+                "prepared arenas exceed u32 offsets — shard the records first"
+            );
+            let field_start = fields.len() as u32;
+            for (attr, v) in r.iter() {
+                if v.is_null() {
+                    continue;
+                }
+                let attr_id = attr_ids.intern_str(attr);
+                if attr_id as usize == weights.len() {
+                    weights.push(rs.weight_of(attr));
+                }
+                let float = v.as_float();
+                let text = v.to_text();
+                let numericish = parse_numericish(&text);
+                let lower = text.to_lowercase();
+                tok_buf.clear();
+                sim::for_each_token(&lower, |tok| tok_buf.push(tokens.intern(tok)));
+                tok_buf.sort_unstable();
+                tok_buf.dedup();
+                let tok_start = token_arena.len() as u32;
+                token_arena.extend_from_slice(&tok_buf);
+                let lo_start = text_arena.len() as u32;
+                text_arena.push_str(&lower);
+                fields.push(PreparedField {
+                    attr: attr_id,
+                    float,
+                    numericish,
+                    lo_start,
+                    lo_len: lower.len() as u32,
+                    tok_start,
+                    tok_len: tok_buf.len() as u32,
+                });
+                values += 1;
+            }
+            prepared_records.push(PreparedRecord {
+                field_start,
+                field_len: fields.len() as u32 - field_start,
+            });
+        }
+        let stats = PrepareStats {
+            records: records.len(),
+            values,
+            distinct_attrs: attr_ids.len(),
+            distinct_tokens: tokens.len(),
+        };
+        PreparedRules { weights, records: prepared_records, fields, token_arena, text_arena, stats }
+    }
+
+    fn fields_of(&self, i: usize) -> &[PreparedField] {
+        let r = self.records[i];
+        &self.fields[r.field_start as usize..(r.field_start + r.field_len) as usize]
+    }
+
+    fn lower_of(&self, f: &PreparedField) -> &str {
+        &self.text_arena[f.lo_start as usize..(f.lo_start + f.lo_len) as usize]
+    }
+
+    fn tokens_of(&self, f: &PreparedField) -> &[u32] {
+        &self.token_arena[f.tok_start as usize..(f.tok_start + f.tok_len) as usize]
+    }
+
+    /// Mirrors [`value_similarity`] over prepared features — same branch
+    /// order, same float expressions, hence bit-identical scores.
+    fn value_similarity(&self, a: &PreparedField, b: &PreparedField) -> f64 {
+        if let (Some(x), Some(y)) = (a.float, b.float) {
+            return sim::relative_diff_similarity(x, y);
+        }
+        if let (Some(x), Some(y)) = (a.numericish, b.numericish) {
+            return sim::relative_diff_similarity(x, y);
+        }
+        let la = self.lower_of(a);
+        let lb = self.lower_of(b);
+        if la == lb {
+            return 1.0;
+        }
+        let jw = sim::jaro_winkler(la, lb);
+        let jac = sim::jaccard_sorted(self.tokens_of(a), self.tokens_of(b));
+        0.6 * jw + 0.4 * jac
+    }
+
+    /// Mirrors [`RecordSimilarity::score`]: iterate `a`'s fields in record
+    /// order (accumulation order is part of the bit-identical contract),
+    /// match `b`'s field by interned id, weight by indexed lookup.
+    fn score_pair(&self, i: usize, j: usize) -> f64 {
+        let fields_a = self.fields_of(i);
+        let fields_b = self.fields_of(j);
+        let mut total_weight = 0.0;
+        let mut acc = 0.0;
+        for fa in fields_a {
+            let Some(fb) = fields_b.iter().find(|f| f.attr == fa.attr) else { continue };
+            let w = self.weights[fa.attr as usize];
+            if w == 0.0 {
+                continue;
+            }
+            acc += w * self.value_similarity(fa, fb);
+            total_weight += w;
+        }
+        if total_weight == 0.0 {
+            0.0
+        } else {
+            acc / total_weight
+        }
+    }
+}
+
+enum Prepared<'a> {
+    Rules(PreparedRules),
+    Classifier {
+        model: &'a DedupClassifier,
+        /// Key-attribute text per record, hoisted out of the pair loop
+        /// (the naive path re-allocates both strings per pair).
+        keys: Vec<Option<String>>,
+        stats: PrepareStats,
+    },
+}
+
+/// Per-run scoring context built by [`PairScorer::prepare`]: normalised
+/// features for every record, computed once, shared (immutably, hence
+/// freely across threads) by every pair scored afterwards.
+pub struct ScoringContext<'a> {
+    inner: Prepared<'a>,
+}
+
+impl ScoringContext<'_> {
+    /// Number of prepared records (pair indexes must stay below this).
+    pub fn len(&self) -> usize {
+        match &self.inner {
+            Prepared::Rules(r) => r.records.len(),
+            Prepared::Classifier { keys, .. } => keys.len(),
+        }
+    }
+
+    /// True when no records were prepared.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Counters from the prepare pass.
+    pub fn stats(&self) -> PrepareStats {
+        match &self.inner {
+            Prepared::Rules(r) => r.stats,
+            Prepared::Classifier { stats, .. } => *stats,
+        }
+    }
+
+    /// Score one prepared pair in `[0, 1]` — bit-identical to
+    /// [`PairScorer::score`] on the same records, allocation-free on the
+    /// rules path.
+    pub fn score_pair(&self, i: usize, j: usize) -> f64 {
+        match &self.inner {
+            Prepared::Rules(r) => r.score_pair(i, j),
+            Prepared::Classifier { model, keys, .. } => match (&keys[i], &keys[j]) {
+                (Some(x), Some(y)) => model.proba(x, y),
+                _ => 0.0,
+            },
+        }
+    }
+
+    /// Score candidate pairs in parallel, preserving pair order.
+    ///
+    /// This is the consolidation hot path — at paper scale the candidate
+    /// set runs to millions of pairs, each scoring independently against
+    /// the shared context, so the work is embarrassingly parallel. Output
+    /// index `k` is the score of `pairs[k]` regardless of thread count.
+    pub fn score_pairs(&self, pairs: &[(usize, usize)]) -> Vec<f64> {
+        pairs.par_iter().map(|&(i, j)| self.score_pair(i, j)).collect()
+    }
+
+    /// Score candidate pairs in parallel and keep those at or above
+    /// `threshold`, in one fused pass (order preserved) — no intermediate
+    /// `Vec<f64>` of scores is ever materialised.
+    pub fn accepted_pairs(&self, pairs: &[(usize, usize)], threshold: f64) -> Vec<(usize, usize)> {
+        pairs
+            .par_iter()
+            .filter_map(|&(i, j)| (self.score_pair(i, j) >= threshold).then_some((i, j)))
+            .collect()
+    }
+}
+
+/// Score candidate pairs against a prepared context, preserving pair order
+/// (free-function form of [`ScoringContext::score_pairs`]).
+pub fn score_pairs_prepared(ctx: &ScoringContext<'_>, pairs: &[(usize, usize)]) -> Vec<f64> {
+    ctx.score_pairs(pairs)
+}
+
+/// Filter candidate pairs at `threshold` against a prepared context in one
+/// fused parallel pass (free-function form of
+/// [`ScoringContext::accepted_pairs`]).
+pub fn accepted_pairs_prepared(
+    ctx: &ScoringContext<'_>,
+    pairs: &[(usize, usize)],
+    threshold: f64,
+) -> Vec<(usize, usize)> {
+    ctx.accepted_pairs(pairs, threshold)
+}
+
 /// Score candidate pairs in parallel, preserving pair order.
 ///
-/// This is the consolidation hot path — at paper scale the candidate set
-/// runs to millions of pairs, each scoring independently, so the work is
-/// embarrassingly parallel. Output index `k` is the score of `pairs[k]`
-/// regardless of thread count.
+/// Prepares a [`ScoringContext`] internally (one pass over `records`) and
+/// scores through it — callers holding the same records across several
+/// candidate sets should call [`PairScorer::prepare`] themselves and reuse
+/// the context.
 pub fn score_pairs(
     scorer: &PairScorer,
     records: &[Record],
     pairs: &[(usize, usize)],
 ) -> Vec<f64> {
-    pairs
-        .par_iter()
-        .map(|&(i, j)| scorer.score(&records[i], &records[j]))
-        .collect()
+    scorer.prepare(records).score_pairs(pairs)
 }
 
 /// Score candidate pairs in parallel and keep those at or above
-/// `threshold` (order preserved).
+/// `threshold` (order preserved). Prepares once, then filters in a single
+/// fused pass — see [`ScoringContext::accepted_pairs`].
 pub fn accepted_pairs(
     scorer: &PairScorer,
     records: &[Record],
     pairs: &[(usize, usize)],
     threshold: f64,
 ) -> Vec<(usize, usize)> {
-    score_pairs(scorer, records, pairs)
-        .into_iter()
-        .zip(pairs)
-        .filter_map(|(score, &pair)| (score >= threshold).then_some(pair))
-        .collect()
+    scorer.prepare(records).accepted_pairs(pairs, threshold)
 }
 
-/// Type-aware scalar similarity.
+/// Type-aware scalar similarity (the naive, per-call form; the prepared
+/// path hoists every normalisation here into [`PairScorer::prepare`]).
 pub fn value_similarity(a: &Value, b: &Value) -> f64 {
     if let (Some(x), Some(y)) = (a.as_float(), b.as_float()) { return sim::relative_diff_similarity(x, y) }
     let (ta, tb) = (a.to_text(), b.to_text());
@@ -226,5 +541,67 @@ mod tests {
         assert!(scorer.score(&a, &b) > scorer.score(&a, &c));
         let no_key = rec(vec![("other", "x")]);
         assert_eq!(scorer.score(&a, &no_key), 0.0);
+    }
+
+    #[test]
+    fn prepared_scores_match_naive_on_mixed_values() {
+        let records = vec![
+            rec(vec![("name", "Matilda the Musical"), ("price", "$27"), ("year", "2013")]),
+            rec(vec![("name", "matilda musical"), ("price", "27 USD"), ("year", "2013")]),
+            rec(vec![("name", "The Lion King"), ("price", "$150"), ("venue", "Minskoff")]),
+            rec(vec![("other", "x")]),
+            rec(vec![]),
+        ];
+        let scorer = PairScorer::Rules(RecordSimilarity::with_weights(
+            vec![("name".into(), 3.0), ("venue".into(), 0.0)],
+            1.0,
+        ));
+        let ctx = scorer.prepare(&records);
+        for i in 0..records.len() {
+            for j in 0..records.len() {
+                let naive = scorer.score(&records[i], &records[j]);
+                let prepared = ctx.score_pair(i, j);
+                assert_eq!(prepared.to_bits(), naive.to_bits(), "pair ({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn prepared_free_functions_and_wrappers_agree() {
+        let records = vec![
+            rec(vec![("name", "Wicked"), ("price", "$99")]),
+            rec(vec![("name", "WICKED"), ("price", "$98")]),
+            rec(vec![("name", "Annie"), ("price", "$45")]),
+        ];
+        let scorer = PairScorer::Rules(RecordSimilarity::default());
+        let pairs = vec![(0, 1), (0, 2), (1, 2)];
+        let ctx = scorer.prepare(&records);
+        let via_ctx = score_pairs_prepared(&ctx, &pairs);
+        let via_wrapper = score_pairs(&scorer, &records, &pairs);
+        assert_eq!(via_ctx, via_wrapper);
+        assert_eq!(
+            accepted_pairs_prepared(&ctx, &pairs, 0.75),
+            accepted_pairs(&scorer, &records, &pairs, 0.75),
+        );
+        assert_eq!(accepted_pairs_prepared(&ctx, &pairs, 0.75), vec![(0, 1)]);
+    }
+
+    #[test]
+    fn prepare_stats_count_one_visit_per_record() {
+        let mut records = vec![
+            rec(vec![("name", "Matilda"), ("price", "$27")]),
+            rec(vec![("name", "Annie")]),
+            rec(vec![]),
+        ];
+        records[1].set("venue", Value::Null);
+        let scorer = PairScorer::Rules(RecordSimilarity::default());
+        let ctx = scorer.prepare(&records);
+        let stats = ctx.stats();
+        assert_eq!(stats.records, 3);
+        assert_eq!(stats.values, 3, "nulls and empty records add nothing");
+        assert_eq!(stats.distinct_attrs, 2, "name + price (null venue skipped)");
+        // Scoring must not re-prepare: stats are immutable after the pass.
+        let _ = ctx.score_pairs(&[(0, 1), (1, 2), (0, 2)]);
+        assert_eq!(ctx.stats(), stats);
     }
 }

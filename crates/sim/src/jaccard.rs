@@ -38,6 +38,40 @@ pub fn weighted_jaccard<T: Eq + Hash>(a: &HashMap<T, f64>, b: &HashMap<T, f64>) 
     num / den
 }
 
+/// Exact Jaccard over two **sorted, deduplicated** slices by merge
+/// intersection — the allocation-free counterpart of [`jaccard`] for
+/// interned token ids (`&[u32]`) prepared once per record.
+///
+/// Produces bit-identical results to [`jaccard`] over the equivalent sets:
+/// the intersection and union counts are the same integers and the final
+/// division is the same float expression, so a scorer can swap hash sets
+/// for sorted id slices without moving a single score. `1.0` when both
+/// slices are empty.
+///
+/// The caller owns the sorted/deduplicated invariant (it is checked only in
+/// debug builds); violating it undercounts the intersection.
+pub fn jaccard_sorted<T: Ord>(a: &[T], b: &[T]) -> f64 {
+    debug_assert!(a.windows(2).all(|w| w[0] < w[1]), "lhs not sorted/deduped");
+    debug_assert!(b.windows(2).all(|w| w[0] < w[1]), "rhs not sorted/deduped");
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    let (mut i, mut j, mut inter) = (0usize, 0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                inter += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    let union = a.len() + b.len() - inter;
+    inter as f64 / union as f64
+}
+
 /// Convenience: Jaccard over the token sets of two strings.
 pub fn token_jaccard(a: &str, b: &str) -> f64 {
     let sa: HashSet<String> = crate::tokens::tokenize(a).into_iter().collect();
@@ -67,6 +101,27 @@ mod tests {
         assert_eq!(jaccard(&a, &set(&["y"])), 0.0);
         assert_eq!(jaccard::<String>(&HashSet::new(), &HashSet::new()), 1.0);
         assert_eq!(jaccard(&a, &HashSet::new()), 0.0);
+    }
+
+    #[test]
+    fn sorted_slices_match_hash_sets() {
+        let cases: &[(&[u32], &[u32])] = &[
+            (&[1, 2, 3], &[2, 3, 4]),
+            (&[5], &[5]),
+            (&[1], &[2]),
+            (&[], &[]),
+            (&[7, 9], &[]),
+            (&[0, 1, 2, 3, 4], &[2]),
+        ];
+        for (a, b) in cases {
+            let sa: HashSet<u32> = a.iter().copied().collect();
+            let sb: HashSet<u32> = b.iter().copied().collect();
+            assert_eq!(
+                jaccard_sorted(a, b).to_bits(),
+                jaccard(&sa, &sb).to_bits(),
+                "{a:?} vs {b:?}"
+            );
+        }
     }
 
     #[test]

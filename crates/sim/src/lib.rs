@@ -17,11 +17,14 @@ pub mod soundex;
 pub mod tokens;
 
 pub use cosine::{CosineModel, TfIdfWeights};
-pub use jaccard::{jaccard, weighted_jaccard};
+pub use jaccard::{jaccard, jaccard_sorted, weighted_jaccard};
 pub use jaro::{jaro, jaro_winkler};
 pub use levenshtein::{bounded_levenshtein, levenshtein, levenshtein_similarity};
 pub use minhash::{MinHashLsh, MinHasher, Signature};
 pub use ngram::{char_ngrams, ngram_similarity};
 pub use numeric::{overlap_fraction, relative_diff_similarity, stats_similarity};
 pub use soundex::soundex;
-pub use tokens::{normalize_token, tokenize};
+pub use tokens::{
+    for_each_token, normalize_token, tokenize, tokenize_into, FnvBuildHasher, FnvHasher,
+    TokenInterner,
+};

@@ -10,13 +10,12 @@ use std::hash::Hash;
 
 /// 64-bit FNV-1a, seeded by XOR-folding the seed into the offset basis.
 /// Hand-rolled so the signature scheme has zero dependencies and is stable
-/// across platforms and runs.
+/// across platforms and runs (core step shared with `crate::tokens`).
 fn fnv1a_seeded(bytes: &[u8], seed: u64) -> u64 {
-    let mut h = 0xcbf29ce484222325u64 ^ seed.wrapping_mul(0x9e3779b97f4a7c15);
-    for &b in bytes {
-        h ^= u64::from(b);
-        h = h.wrapping_mul(0x100000001b3);
-    }
+    let mut h = crate::tokens::fnv1a_step(
+        crate::tokens::FNV_OFFSET_BASIS ^ seed.wrapping_mul(0x9e3779b97f4a7c15),
+        bytes,
+    );
     // Final avalanche (splitmix64 tail) to decorrelate the seeds.
     h ^= h >> 30;
     h = h.wrapping_mul(0xbf58476d1ce4e5b9);

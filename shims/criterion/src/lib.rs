@@ -3,13 +3,21 @@
 //! Keeps the bench files' API (`criterion_group!` / `criterion_main!`,
 //! benchmark groups, `BenchmarkId`, `Throughput`, `Bencher::iter`) while
 //! measuring with plain wall-clock sampling: a warm-up call, then up to
-//! `sample_size` timed samples (time-capped per benchmark), reporting the
-//! median. No statistics beyond min/median/max — this is a trajectory
-//! tracker, not a rigorous harness.
+//! `sample_size` timed samples (time-capped per benchmark).
+//!
+//! Reporting is robust-statistics flavoured, because the target box is a
+//! noisy shared core: samples whose modified z-score
+//! `0.6745·|x − median| / MAD` exceeds 3.5 (the same rule the cleaning
+//! crate's outlier detector uses) are rejected before the summary, and the
+//! summary carries both a robust spread (the MAD itself) and the classic
+//! standard deviation of the retained samples — so an A/B delta can be
+//! read against the benchmark's own noise band instead of a guess.
 //!
 //! Set `CRITERION_OUTPUT_JSON=/path/file.json` to append one JSON object
-//! per benchmark: `{"id", "median_ns", "min_ns", "max_ns", "samples",
-//! "iters_per_sample", "throughput": {...}|null}`.
+//! per benchmark: `{"id", "median_ns", "mad_ns", "stddev_ns", "min_ns",
+//! "max_ns", "samples", "rejected_samples", "iters_per_sample",
+//! "throughput": {...}|null}` (`median_ns`/`stddev_ns` are computed over
+//! the retained samples, `mad_ns`/`min_ns`/`max_ns` over all of them).
 
 use std::io::Write as _;
 use std::time::{Duration, Instant};
@@ -92,10 +100,62 @@ impl Bencher {
 #[derive(Debug, Default)]
 struct Report {
     median_ns: u128,
+    mad_ns: u128,
+    stddev_ns: u128,
     min_ns: u128,
     max_ns: u128,
     samples: usize,
+    rejected_samples: usize,
     iters_per_sample: u64,
+}
+
+/// Modified z-score cutoff for sample rejection (median/MAD rule).
+const OUTLIER_CUTOFF: f64 = 3.5;
+
+fn median_of_sorted(ns: &[u128]) -> u128 {
+    ns[ns.len() / 2]
+}
+
+/// Robust summary of one benchmark's samples: MAD-based outlier rejection
+/// (modified z-score `0.6745·|x − median| / MAD > 3.5`), median and
+/// standard deviation over the retained samples, MAD and min/max over all.
+fn summarize(samples: &[Duration], iters_per_sample: u64) -> Report {
+    let mut ns: Vec<u128> = samples.iter().map(Duration::as_nanos).collect();
+    ns.sort_unstable();
+    let raw_median = median_of_sorted(&ns);
+    let mut deviations: Vec<u128> =
+        ns.iter().map(|&x| x.abs_diff(raw_median)).collect();
+    deviations.sort_unstable();
+    let mad = median_of_sorted(&deviations);
+    // MAD of 0 (degenerate or tiny sample sets) keeps everything: with no
+    // spread estimate there is no basis for rejection.
+    let kept: Vec<u128> = if mad == 0 {
+        ns.clone()
+    } else {
+        ns.iter()
+            .copied()
+            .filter(|&x| 0.6745 * (x.abs_diff(raw_median) as f64) / (mad as f64) <= OUTLIER_CUTOFF)
+            .collect()
+    };
+    let mean = kept.iter().sum::<u128>() as f64 / kept.len() as f64;
+    let variance = kept
+        .iter()
+        .map(|&x| {
+            let d = x as f64 - mean;
+            d * d
+        })
+        .sum::<f64>()
+        / kept.len() as f64;
+    Report {
+        median_ns: median_of_sorted(&kept),
+        mad_ns: mad,
+        stddev_ns: variance.sqrt().round() as u128,
+        min_ns: ns[0],
+        max_ns: *ns.last().unwrap(),
+        samples: ns.len(),
+        rejected_samples: ns.len() - kept.len(),
+        iters_per_sample,
+    }
 }
 
 fn run_one(
@@ -110,15 +170,7 @@ fn run_one(
         eprintln!("bench {id:<50} (no samples)");
         return;
     }
-    let mut ns: Vec<u128> = b.samples.iter().map(Duration::as_nanos).collect();
-    ns.sort_unstable();
-    let report = Report {
-        median_ns: ns[ns.len() / 2],
-        min_ns: ns[0],
-        max_ns: *ns.last().unwrap(),
-        samples: ns.len(),
-        iters_per_sample: b.iters_per_sample,
-    };
+    let report = summarize(&b.samples, b.iters_per_sample);
     let per = |n: u64| -> String {
         if n == 0 || report.median_ns == 0 {
             return String::new();
@@ -131,9 +183,15 @@ fn run_one(
         Some(Throughput::Bytes(n)) => per(n),
         None => String::new(),
     };
+    let rejected = if report.rejected_samples > 0 {
+        format!(" ({} outliers)", report.rejected_samples)
+    } else {
+        String::new()
+    };
     eprintln!(
-        "bench {id:<50} median {:>12}{extra}  [{} samples x {} iters]",
+        "bench {id:<50} median {:>12} ±{}{extra}  [{} samples x {} iters{rejected}]",
         human_ns(report.median_ns),
+        human_ns(report.mad_ns),
         report.samples,
         report.iters_per_sample,
     );
@@ -144,8 +202,9 @@ fn run_one(
             None => "null".to_owned(),
         };
         let line = format!(
-            "{{\"id\":{:?},\"median_ns\":{},\"min_ns\":{},\"max_ns\":{},\"samples\":{},\"iters_per_sample\":{},\"throughput\":{}}}\n",
-            id, report.median_ns, report.min_ns, report.max_ns, report.samples,
+            "{{\"id\":{:?},\"median_ns\":{},\"mad_ns\":{},\"stddev_ns\":{},\"min_ns\":{},\"max_ns\":{},\"samples\":{},\"rejected_samples\":{},\"iters_per_sample\":{},\"throughput\":{}}}\n",
+            id, report.median_ns, report.mad_ns, report.stddev_ns, report.min_ns,
+            report.max_ns, report.samples, report.rejected_samples,
             report.iters_per_sample, tp,
         );
         if let Ok(mut file) =
@@ -331,5 +390,49 @@ mod tests {
     fn benchmark_ids_render() {
         assert_eq!(BenchmarkId::new("f", 3).name, "f/3");
         assert_eq!(BenchmarkId::from_parameter("x").name, "x");
+    }
+
+    fn durations(ns: &[u64]) -> Vec<Duration> {
+        ns.iter().map(|&n| Duration::from_nanos(n)).collect()
+    }
+
+    #[test]
+    fn summarize_rejects_mad_outliers() {
+        // A tight cluster with one scheduler spike: the spike must be
+        // rejected, leaving the median and stddev on the cluster while the
+        // raw min/max and sample count still tell the whole story.
+        let samples = durations(&[100, 101, 99, 102, 100, 98, 5_000]);
+        let report = summarize(&samples, 3);
+        assert_eq!(report.rejected_samples, 1, "{report:?}");
+        assert_eq!(report.median_ns, 100);
+        assert_eq!(report.samples, 7);
+        assert_eq!(report.max_ns, 5_000);
+        assert_eq!(report.min_ns, 98);
+        assert!(report.mad_ns <= 2, "robust spread ignores the spike: {report:?}");
+        assert!(report.stddev_ns <= 2, "stddev over retained samples only: {report:?}");
+        assert_eq!(report.iters_per_sample, 3);
+    }
+
+    #[test]
+    fn summarize_keeps_everything_without_spread() {
+        // MAD of 0 (constant samples) must not divide by zero or reject.
+        let report = summarize(&durations(&[50, 50, 50, 50, 9_000]), 1);
+        assert_eq!(report.mad_ns, 0);
+        assert_eq!(report.rejected_samples, 0);
+        assert_eq!(report.median_ns, 50);
+        // And a clean spread rejects nothing.
+        let clean = summarize(&durations(&[10, 11, 12, 13, 14]), 1);
+        assert_eq!(clean.rejected_samples, 0);
+        assert_eq!(clean.median_ns, 12);
+        assert!(clean.stddev_ns >= 1);
+    }
+
+    #[test]
+    fn summarize_single_sample() {
+        let report = summarize(&durations(&[42]), 1);
+        assert_eq!(report.median_ns, 42);
+        assert_eq!(report.samples, 1);
+        assert_eq!(report.rejected_samples, 0);
+        assert_eq!(report.stddev_ns, 0);
     }
 }

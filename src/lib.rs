@@ -23,7 +23,7 @@
 //! | [`corpus`] | `datatamer-corpus` | synthetic WEBINSTANCE / WEBENTITIES / FTABLES generators |
 //! | [`ml`] | `datatamer-ml` | hand-rolled classifiers + 10-fold cross-validation (§IV) |
 //! | [`schema`] | `datatamer-schema` | bottom-up schema integration (Figs 2–3) |
-//! | [`entity`] | `datatamer-entity` | entity consolidation: progressive blocking + rayon-parallel pair scoring |
+//! | [`entity`] | `datatamer-entity` | entity consolidation: progressive blocking + prepared, rayon-parallel pair scoring |
 //! | [`clean`] | `datatamer-clean` | cleaning + transformations (EUR→USD), parallel per source |
 //! | [`expert`] | `datatamer-expert` | expert sourcing |
 //! | [`core`] | `datatamer-core` | the staged pipeline, the fusion resolver registry, and demo queries |
@@ -144,13 +144,63 @@
 //! into the output). The `blocking/*` bench group sweeps the strategies
 //! across bucket-size distributions.
 //!
+//! ## Pair scoring: prepare once, score many
+//!
+//! Blocking hands the scorer *millions* of candidate pairs, and the same
+//! record appears in many of them — so per-pair normalisation (text
+//! rendering, money/decimal parsing, lowercasing, tokenising into a fresh
+//! hash set) is the consolidation bottleneck. [`entity::PairScorer::prepare`]
+//! hoists all of it into one pass: a [`entity::ScoringContext`] stores, per
+//! record and per attribute, the interned attribute id, the parsed
+//! numerics, the lowercased text, and the token set as a sorted,
+//! deduplicated slice of globally interned `u32` token ids. Scoring a pair
+//! is then allocation-free — Jaccard by sorted-slice merge
+//! ([`sim::jaccard_sorted`]), attribute weights by indexed lookup — and
+//! **bit-identical** to the naive [`entity::PairScorer::score`] oracle
+//! (pinned by proptest), so determinism guarantees ride along unchanged:
+//!
+//! ```
+//! use datatamer::entity::pairsim::{accepted_pairs_prepared, score_pairs_prepared};
+//! use datatamer::entity::{PairScorer, RecordSimilarity};
+//! use datatamer::model::{Record, RecordId, SourceId, Value};
+//!
+//! let records: Vec<Record> = [("Matilda", "$27"), ("matilda", "27 USD"), ("Wicked", "$99")]
+//!     .iter()
+//!     .enumerate()
+//!     .map(|(i, &(name, price))| {
+//!         Record::from_pairs(
+//!             SourceId(0),
+//!             RecordId(i as u64),
+//!             vec![("name", Value::from(name)), ("price", Value::from(price))],
+//!         )
+//!     })
+//!     .collect();
+//!
+//! // One normalisation pass over the records…
+//! let scorer = PairScorer::Rules(RecordSimilarity::default());
+//! let ctx = scorer.prepare(&records);
+//! assert_eq!(ctx.stats().records, 3);
+//!
+//! // …then any number of candidate pairs scores against the shared context.
+//! let pairs = [(0, 1), (0, 2), (1, 2)];
+//! let scores = score_pairs_prepared(&ctx, &pairs);
+//! assert!(scores[0] > 0.95, "case + currency-format damage still matches");
+//! assert!(scores[1] < 0.6);
+//! // Bit-identical to the naive per-pair oracle.
+//! assert_eq!(scores[0].to_bits(), scorer.score(&records[0], &records[1]).to_bits());
+//! // The accept filter is one fused parallel pass — no score vector.
+//! assert_eq!(accepted_pairs_prepared(&ctx, &pairs, 0.75), vec![(0, 1)]);
+//! ```
+//!
 //! How the staged pipeline *groups* records for fusion is itself
 //! configurable through the [`core::fusion::GroupingStrategy`] seam — on
 //! `DataTamerConfig::grouping` system-wide or per run on a
 //! `PipelinePlan`. `CanonicalName` is the classic demo scan;
-//! `BlockedEr` runs the full ER machinery (blocking → rayon-parallel pair
-//! scoring → union-find clustering) inside the consolidation stage, which
-//! consolidates fuzzy duplicates the name key cannot reach:
+//! `BlockedEr` runs the full ER machinery (blocking → prepared,
+//! rayon-parallel pair scoring → union-find clustering) inside the
+//! consolidation stage — the scoring context is built once, before the
+//! parallel fan-out — which consolidates fuzzy duplicates the name key
+//! cannot reach:
 //!
 //! ```
 //! use datatamer::core::fusion::{BlockedErConfig, GroupingStrategy};
