@@ -1,0 +1,115 @@
+//! Shard-coordinator benches: backend × routing × shard-count sweep.
+//!
+//! Measures the scatter/gather hot path — batched `insert_many` followed
+//! by a full parallel scan — across the coordinator's whole configuration
+//! space: both backends (in-process memory vs out-of-core file), the three
+//! routing policies, and widening shard counts. Reads as: what does
+//! out-of-core cost, what does keyed routing cost over round robin, and
+//! how does the batch path scale with shards.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use datatamer_model::{doc, Document};
+use datatamer_storage::{BackendConfig, Collection, CollectionConfig, RoutingPolicy};
+
+const DOCS: usize = 4_000;
+
+fn sample_docs() -> Vec<Document> {
+    (0..DOCS as i64)
+        .map(|i| {
+            doc! {
+                "show" => format!("Show Number{}", i % 97),
+                "price" => 20 + (i % 80),
+                "pad" => "payload ".repeat(1 + (i % 4) as usize)
+            }
+        })
+        .collect()
+}
+
+fn routings() -> Vec<RoutingPolicy> {
+    vec![
+        RoutingPolicy::RoundRobin,
+        RoutingPolicy::HashKey { attr: "show".into() },
+        RoutingPolicy::Range { attr: "show".into() },
+    ]
+}
+
+fn backend_configs() -> Vec<(&'static str, BackendConfig)> {
+    let dir = std::env::temp_dir().join(format!("dt_sharding_bench_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    vec![
+        ("memory", BackendConfig::Memory),
+        ("file", BackendConfig::File { dir }),
+    ]
+}
+
+/// One full coordinator round: build, batch-insert, scan back.
+fn ingest_and_scan(config: &CollectionConfig, docs: &[Document]) -> usize {
+    let col = Collection::new("bench", config.clone()).unwrap();
+    col.insert_many(docs);
+    col.parallel_scan(|_, d| d.get("price").cloned()).len()
+}
+
+fn bench_backend_routing_shards(c: &mut Criterion) {
+    let docs = sample_docs();
+    let mut group = c.benchmark_group("sharding");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(DOCS as u64));
+    // Each file-backed iteration writes into a brand-new numbered subdir:
+    // the timed closure never deletes anything (rm -rf of the previous
+    // chain would pollute the file-vs-memory comparison) and never reopens
+    // an existing chain (which would accrete extents across samples). The
+    // whole tree is wiped once, untimed, after the group.
+    let mut unique = 0u64;
+    for (backend_name, backend) in backend_configs() {
+        for routing in routings() {
+            for &shards in &[2usize, 8] {
+                let id = format!("{backend_name}_{}_{shards}shards", routing.name());
+                let backend = match &backend {
+                    BackendConfig::Memory => BackendConfig::Memory,
+                    BackendConfig::File { dir } => {
+                        BackendConfig::File { dir: dir.join(&id) }
+                    }
+                };
+                let config = CollectionConfig {
+                    extent_size: 256 * 1024,
+                    shards,
+                    backend,
+                    routing: routing.clone(),
+                };
+                group.bench_with_input(
+                    BenchmarkId::from_parameter(&id),
+                    &config,
+                    |b, cfg| {
+                        b.iter(|| {
+                            let cfg = match &cfg.backend {
+                                BackendConfig::File { dir } => {
+                                    unique += 1;
+                                    CollectionConfig {
+                                        backend: BackendConfig::File {
+                                            dir: dir.join(format!("it{unique}")),
+                                        },
+                                        ..cfg.clone()
+                                    }
+                                }
+                                _ => cfg.clone(),
+                            };
+                            black_box(ingest_and_scan(&cfg, &docs))
+                        })
+                    },
+                );
+            }
+        }
+    }
+    group.finish();
+    // Untimed teardown: leave no bench droppings behind.
+    for (_, backend) in backend_configs() {
+        if let BackendConfig::File { dir } = backend {
+            let _ = std::fs::remove_dir_all(dir);
+        }
+    }
+}
+
+criterion_group!(benches, bench_backend_routing_shards);
+criterion_main!(benches);

@@ -23,7 +23,7 @@ fn sample_doc(i: i64) -> datatamer_model::Document {
 fn seeded_collection(n: i64, indexed: bool) -> Collection {
     let c = Collection::new(
         "bench",
-        CollectionConfig { extent_size: 2 * 1024 * 1024, shards: 8 },
+        CollectionConfig { extent_size: 2 * 1024 * 1024, shards: 8, ..Default::default() },
     )
     .unwrap();
     if indexed {

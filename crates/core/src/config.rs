@@ -1,9 +1,23 @@
 //! System configuration.
 
 use datatamer_schema::IntegrationConfig;
-use datatamer_storage::CollectionConfig;
+use datatamer_storage::{BackendConfig, CollectionConfig, RoutingPolicy};
 
 use crate::fusion::{GroupingStrategy, RegistryConfig};
+
+/// Where collections live and how documents route to shards — the
+/// system-level face of the storage crate's shard coordinator. The default
+/// (in-process memory, round robin) is byte-compatible with the
+/// pre-coordinator engine; switching to [`BackendConfig::File`] makes every
+/// collection out-of-core (only tail extents resident), and a keyed
+/// [`RoutingPolicy`] co-locates equal-keyed records per shard.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct StorageConfig {
+    /// Shard substrate for every collection the pipeline creates.
+    pub backend: BackendConfig,
+    /// Shard-routing policy for every collection the pipeline creates.
+    pub routing: RoutingPolicy,
+}
 
 /// Configuration of a [`crate::DataTamer`] instance.
 #[derive(Debug, Clone)]
@@ -16,6 +30,9 @@ pub struct DataTamerConfig {
     pub extent_size: usize,
     /// Shards per collection.
     pub shards: usize,
+    /// Shard backend and routing for every collection (see
+    /// [`StorageConfig`]).
+    pub storage: StorageConfig,
     /// Schema-integration thresholds.
     pub integration: IntegrationConfig,
     /// Threshold for fusing two show records as the same entity.
@@ -44,6 +61,7 @@ impl Default for DataTamerConfig {
             namespace: "dt".to_owned(),
             extent_size: 2 * 1024 * 1024,
             shards: 8,
+            storage: StorageConfig::default(),
             integration: IntegrationConfig::default(),
             fusion_threshold: 0.82,
             grouping: GroupingStrategy::CanonicalName,
@@ -56,7 +74,12 @@ impl Default for DataTamerConfig {
 impl DataTamerConfig {
     /// Collection config derived from this system config.
     pub fn collection_config(&self) -> CollectionConfig {
-        CollectionConfig { extent_size: self.extent_size, shards: self.shards }
+        CollectionConfig {
+            extent_size: self.extent_size,
+            shards: self.shards,
+            backend: self.storage.backend.clone(),
+            routing: self.storage.routing.clone(),
+        }
     }
 
     /// A configuration scaled relative to the paper's deployment: `scale`
@@ -83,6 +106,23 @@ mod tests {
         let cc = c.collection_config();
         assert_eq!(cc.extent_size, c.extent_size);
         assert_eq!(cc.shards, 8);
+        assert_eq!(cc.backend, BackendConfig::Memory);
+        assert_eq!(cc.routing, RoutingPolicy::RoundRobin);
+    }
+
+    #[test]
+    fn storage_config_travels_into_collection_config() {
+        let dir = std::env::temp_dir().join("dt_cfg_test");
+        let c = DataTamerConfig {
+            storage: StorageConfig {
+                backend: BackendConfig::File { dir: dir.clone() },
+                routing: RoutingPolicy::HashKey { attr: "SHOW_NAME".into() },
+            },
+            ..Default::default()
+        };
+        let cc = c.collection_config();
+        assert_eq!(cc.backend, BackendConfig::File { dir });
+        assert_eq!(cc.routing, RoutingPolicy::HashKey { attr: "SHOW_NAME".into() });
     }
 
     #[test]

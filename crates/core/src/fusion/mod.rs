@@ -111,6 +111,12 @@ pub struct FusedEntity {
     pub record: Record,
     /// Input records merged into it.
     pub member_count: usize,
+    /// Mean per-attribute resolution confidence, when any dispatched
+    /// resolver reported one (e.g. [`MajorityVote`]'s support fraction,
+    /// [`SourceReliability`]'s winning weight share). `None` when no
+    /// resolver in the routing quantifies confidence — distinct from a
+    /// measured low confidence.
+    pub confidence: Option<f64>,
 }
 
 /// One fusion candidate group: the canonical key and member indexes into
@@ -169,7 +175,20 @@ pub fn group_records(records: &[Record], policy: &FusionPolicy) -> Vec<FusionGro
 /// survivor as the scalar, an empty set as null, same as
 /// [`Resolved::None`]).
 pub fn resolve_group(members: &[&Record], registry: &ResolverRegistry) -> Record {
-    datatamer_entity::consolidate::merge_composite(members, |attr, values| {
+    resolve_group_with_confidence(members, registry).0
+}
+
+/// [`resolve_group`] plus the mean per-attribute confidence across the
+/// attributes whose dispatched resolver reported one (`None` when no
+/// resolver did). Attributes resolve in first-seen order sequentially, so
+/// the mean is a deterministic float summation at any thread count.
+pub fn resolve_group_with_confidence(
+    members: &[&Record],
+    registry: &ResolverRegistry,
+) -> (Record, Option<f64>) {
+    let mut confidence_sum = 0.0;
+    let mut confidence_count = 0usize;
+    let record = datatamer_entity::consolidate::merge_composite(members, |attr, values| {
         let provenanced: Vec<ProvenancedValue<'_>> = values
             .iter()
             .map(|&(rank, value)| ProvenancedValue {
@@ -179,7 +198,12 @@ pub fn resolve_group(members: &[&Record], registry: &ResolverRegistry) -> Record
                 rank,
             })
             .collect();
-        match registry.resolve(attr, &provenanced) {
+        let (resolved, confidence) = registry.resolve_with_confidence(attr, &provenanced);
+        if let Some(c) = confidence {
+            confidence_sum += c;
+            confidence_count += 1;
+        }
+        match resolved {
             Resolved::Single(v) => v,
             Resolved::Multi(mut vs) => match vs.len() {
                 0 => Value::Null,
@@ -188,7 +212,10 @@ pub fn resolve_group(members: &[&Record], registry: &ResolverRegistry) -> Record
             },
             Resolved::None => Value::Null,
         }
-    })
+    });
+    let confidence = (confidence_count > 0)
+        .then(|| confidence_sum / confidence_count as f64);
+    (record, confidence)
 }
 
 /// Merge half of fusion: collapse each candidate group into one composite
@@ -205,8 +232,13 @@ pub fn merge_groups_with(
         .par_iter()
         .map(|(key, members)| {
             let refs: Vec<&Record> = members.iter().map(|&i| &records[i]).collect();
-            let record = resolve_group(&refs, registry);
-            FusedEntity { key: key.clone(), record, member_count: members.len() }
+            let (record, confidence) = resolve_group_with_confidence(&refs, registry);
+            FusedEntity {
+                key: key.clone(),
+                record,
+                member_count: members.len(),
+                confidence,
+            }
         })
         .collect()
 }
@@ -438,6 +470,44 @@ mod tests {
                 "empty_multi={empty_multi}"
             );
         }
+    }
+
+    #[test]
+    fn fused_confidence_averages_reporting_attributes() {
+        // Two attributes under MajorityVote: SHOW_NAME unanimous (1.0),
+        // STATUS split 2-vs-1 (2/3) — the entity confidence is their mean.
+        let registry = ResolverRegistry::new(Box::new(MajorityVote));
+        let records = vec![
+            rec(0, 0, vec![(SHOW_NAME, "Annie"), ("STATUS", "open")]),
+            rec(1, 1, vec![(SHOW_NAME, "Annie"), ("STATUS", "open")]),
+            rec(2, 2, vec![(SHOW_NAME, "Annie"), ("STATUS", "closed")]),
+        ];
+        let fused = fuse_records_with(&records, &fuzzy(), &registry);
+        assert_eq!(fused.len(), 1);
+        let expected = (1.0 + 2.0 / 3.0) / 2.0;
+        let got = fused[0].confidence.expect("majority vote reports confidence");
+        assert!((got - expected).abs() < 1e-12, "{got} vs {expected}");
+    }
+
+    #[test]
+    fn policy_only_routing_reports_no_confidence() {
+        // The broadway registry is all order-sensitive PolicyResolvers,
+        // which have no confidence notion — the channel stays None rather
+        // than faking a number.
+        let records = vec![
+            rec(0, 0, vec![(SHOW_NAME, "Annie"), (CHEAPEST_PRICE, "$45")]),
+            rec(1, 1, vec![(SHOW_NAME, "Annie"), (CHEAPEST_PRICE, "$39")]),
+        ];
+        let fused = fuse_records(&records, &fuzzy());
+        assert_eq!(fused[0].confidence, None);
+
+        // Mixed routing: only the majority-voted attribute contributes.
+        let registry = ResolverRegistry::new(Box::new(PolicyResolver(
+            datatamer_entity::consolidate::ConflictPolicy::First,
+        )))
+        .with(SHOW_NAME, Box::new(MajorityVote));
+        let fused = fuse_records_with(&records, &fuzzy(), &registry);
+        assert_eq!(fused[0].confidence, Some(1.0), "only SHOW_NAME reports, unanimously");
     }
 
     #[test]

@@ -55,6 +55,16 @@ impl ResolverRegistry {
         self.resolver_of(attr).resolve(attr, values)
     }
 
+    /// [`ResolverRegistry::resolve`] plus the dispatched resolver's
+    /// confidence, when it reports one.
+    pub fn resolve_with_confidence(
+        &self,
+        attr: &str,
+        values: &[ProvenancedValue<'_>],
+    ) -> (Resolved, Option<f64>) {
+        self.resolver_of(attr).resolve_with_confidence(attr, values)
+    }
+
     /// `(attribute, resolver name)` routing table plus the default's name —
     /// what tests assert dispatch against.
     pub fn dispatch_table(&self) -> (Vec<(&str, &'static str)>, &'static str) {

@@ -52,7 +52,19 @@ impl ValueResolver for SourceReliability {
         "source_reliability"
     }
 
-    fn resolve(&self, _attr: &str, values: &[ProvenancedValue<'_>]) -> Resolved {
+    fn resolve(&self, attr: &str, values: &[ProvenancedValue<'_>]) -> Resolved {
+        self.resolve_with_confidence(attr, values).0
+    }
+
+    /// Confidence is the winner's *weight share* at the fixpoint: the
+    /// winning candidate's score over the sum of all candidate scores —
+    /// 1.0 when every source claims the winner, shrinking as credible
+    /// dissent survives the reinforcement rounds.
+    fn resolve_with_confidence(
+        &self,
+        _attr: &str,
+        values: &[ProvenancedValue<'_>],
+    ) -> (Resolved, Option<f64>) {
         // One claim per SOURCE, not per record: a source contributing many
         // records must not corroborate itself, so each source's claim is
         // its internal majority (ties to the smaller text), represented by
@@ -120,13 +132,18 @@ impl ValueResolver for SourceReliability {
                 _ => best = Some((text, *score)),
             }
         }
-        let winner = best.expect("resolver input is never empty").0;
+        let (winner, winner_score) = best.expect("resolver input is never empty");
         let value = votes
             .values()
             .find(|(t, _)| t == winner)
             .expect("winner came from the vote table")
             .1;
-        Resolved::Single(value.clone())
+        // Weight share of the winning claim. Tied-support scores are
+        // bit-identical (same sorted summation), so the share is a pure
+        // function of the input multiset like the winner itself.
+        let total: f64 = scores.values().sum();
+        let confidence = if total > 0.0 { Some(winner_score / total) } else { None };
+        (Resolved::Single(value.clone()), confidence)
     }
 }
 
@@ -162,6 +179,33 @@ mod tests {
                 .resolve("x", &provs);
             assert_eq!(r, Resolved::Single(Value::from("b")), "at {iters} iterations");
         }
+    }
+
+    #[test]
+    fn confidence_is_winning_weight_share() {
+        use super::super::resolve::Resolved;
+        // Unanimity: the winner holds the entire weight mass.
+        let vals: Vec<Value> = ["$27", "$27"].iter().map(|s| Value::from(*s)).collect();
+        let provs: Vec<ProvenancedValue<'_>> =
+            vals.iter().enumerate().map(|(i, v)| pv(v, i as u32, i as u64, i)).collect();
+        let (r, c) = SourceReliability::default().resolve_with_confidence("price", &provs);
+        assert_eq!(r, Resolved::Single(Value::from("$27")));
+        assert!((c.unwrap() - 1.0).abs() < 1e-12, "unanimous share: {c:?}");
+
+        // 2-vs-1: reinforcement amplifies the majority's share above its
+        // raw 2/3 vote fraction, but dissent keeps it under 1.
+        let vals: Vec<Value> = ["$27", "$27", "$99"].iter().map(|s| Value::from(*s)).collect();
+        let provs: Vec<ProvenancedValue<'_>> =
+            vals.iter().enumerate().map(|(i, v)| pv(v, i as u32, i as u64, i)).collect();
+        let (_, c) = SourceReliability::default().resolve_with_confidence("price", &provs);
+        let share = c.unwrap();
+        assert!(share > 2.0 / 3.0 && share < 1.0, "amplified but not unanimous: {share}");
+
+        // Confidence is permutation-invariant like the winner.
+        let mut rev = provs.clone();
+        rev.reverse();
+        let (_, c_rev) = SourceReliability::default().resolve_with_confidence("price", &rev);
+        assert_eq!(c, c_rev);
     }
 
     #[test]

@@ -82,6 +82,21 @@ pub trait ValueResolver: Send + Sync {
 
     /// Resolve one attribute's non-null values. `values` is never empty.
     fn resolve(&self, attr: &str, values: &[ProvenancedValue<'_>]) -> Resolved;
+
+    /// [`ValueResolver::resolve`] plus a confidence in `[0, 1]` when the
+    /// resolver can quantify how contested the decision was (e.g. the
+    /// winner's support fraction). Resolvers with no meaningful notion of
+    /// confidence — order-sensitive policies, freshness proxies — keep the
+    /// default `None`, so downstream consumers can distinguish "fully
+    /// contested" from "not measured". The confidence must be a pure
+    /// function of the input multiset, like the resolution itself.
+    fn resolve_with_confidence(
+        &self,
+        attr: &str,
+        values: &[ProvenancedValue<'_>],
+    ) -> (Resolved, Option<f64>) {
+        (self.resolve(attr, values), None)
+    }
 }
 
 /// Count support per distinct text rendering, returning
@@ -115,7 +130,18 @@ impl ValueResolver for MajorityVote {
         "majority_vote"
     }
 
-    fn resolve(&self, _attr: &str, values: &[ProvenancedValue<'_>]) -> Resolved {
+    fn resolve(&self, attr: &str, values: &[ProvenancedValue<'_>]) -> Resolved {
+        self.resolve_with_confidence(attr, values).0
+    }
+
+    /// Confidence is the winner's support fraction: votes agreeing with
+    /// the surviving value over all non-null votes (1.0 when unanimous,
+    /// approaching `1/k` for a k-way split).
+    fn resolve_with_confidence(
+        &self,
+        _attr: &str,
+        values: &[ProvenancedValue<'_>],
+    ) -> (Resolved, Option<f64>) {
         let tally = support_by_text(values);
         // Sorted by text, so max_by_key's "last max wins" would pick the
         // lexicographically largest among ties; scan keeps the smallest.
@@ -125,7 +151,8 @@ impl ValueResolver for MajorityVote {
                 best = cand;
             }
         }
-        Resolved::Single(best.2.clone())
+        let confidence = best.1 as f64 / values.len() as f64;
+        (Resolved::Single(best.2.clone()), Some(confidence))
     }
 }
 
@@ -281,6 +308,38 @@ mod tests {
         let vals = texts(&["a", "b", "b"]);
         let r = MajorityVote.resolve("x", &pvs(&vals));
         assert_eq!(r, Resolved::Single(Value::from("b")));
+    }
+
+    #[test]
+    fn majority_vote_confidence_is_support_fraction() {
+        let vals = texts(&["a", "b", "b", "b"]);
+        let (r, c) = MajorityVote.resolve_with_confidence("x", &pvs(&vals));
+        assert_eq!(r, Resolved::Single(Value::from("b")));
+        assert_eq!(c, Some(0.75));
+        let unanimous = texts(&["z", "z"]);
+        let (_, c) = MajorityVote.resolve_with_confidence("x", &pvs(&unanimous));
+        assert_eq!(c, Some(1.0));
+        // A 3-way split still reports the (low) winning fraction.
+        let split = texts(&["a", "b", "c"]);
+        let (_, c) = MajorityVote.resolve_with_confidence("x", &pvs(&split));
+        assert!((c.unwrap() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn resolvers_without_confidence_report_none() {
+        let vals = texts(&["x", "y"]);
+        let provs = pvs(&vals);
+        assert_eq!(LatestWins.resolve_with_confidence("a", &provs).1, None);
+        assert_eq!(
+            PolicyResolver(ConflictPolicy::First).resolve_with_confidence("a", &provs).1,
+            None
+        );
+        assert_eq!(MultiTruth::default().resolve_with_confidence("a", &provs).1, None);
+        // The default method must agree with resolve().
+        assert_eq!(
+            LatestWins.resolve_with_confidence("a", &provs).0,
+            LatestWins.resolve("a", &provs)
+        );
     }
 
     #[test]

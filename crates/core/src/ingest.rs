@@ -170,7 +170,7 @@ mod tests {
     }
 
     fn cfg() -> CollectionConfig {
-        CollectionConfig { extent_size: 64 * 1024, shards: 2 }
+        CollectionConfig { extent_size: 64 * 1024, shards: 2, ..Default::default() }
     }
 
     #[test]

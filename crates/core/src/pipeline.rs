@@ -444,10 +444,17 @@ mod tests {
         let ctx = dt.context();
 
         match ctx.report_of(stage_names::INGEST).unwrap() {
-            StageReport::Ingest { structured_sources, structured_records, text } => {
+            StageReport::Ingest { structured_sources, structured_records, text, storage } => {
                 assert_eq!(*structured_sources, 2);
                 assert_eq!(*structured_records, 6);
                 assert_eq!(text.as_ref().unwrap().instances, 1);
+                // Text ingest wrote the instance/entity collections, so the
+                // stage surfaces their shard distribution.
+                let names: Vec<&str> =
+                    storage.iter().map(|s| s.collection.as_str()).collect();
+                assert_eq!(names, vec!["instance", "entity"]);
+                assert!(storage.iter().all(|s| s.routing == "round_robin"));
+                assert_eq!(storage[0].docs(), 1);
             }
             other => panic!("wrong report variant: {other:?}"),
         }
@@ -456,10 +463,15 @@ mod tests {
             other => panic!("wrong report variant: {other:?}"),
         }
         match ctx.report_of(stage_names::CLEANING).unwrap() {
-            StageReport::Cleaning { sources, records, values_transformed, .. } => {
+            StageReport::Cleaning { sources, records, values_transformed, storage, .. } => {
                 assert_eq!(*sources, 2);
                 assert_eq!(*records, 6);
                 assert!(*values_transformed >= 2, "two EUR prices converted");
+                let report = storage.as_ref().expect("global records persisted");
+                assert_eq!(report.collection, GLOBAL_RECORDS_COLLECTION);
+                assert_eq!(report.docs(), 6);
+                assert_eq!(report.shards.len(), 2, "small_config uses 2 shards");
+                assert_eq!(report.flushes, 0, "memory backend never flushes");
             }
             other => panic!("wrong report variant: {other:?}"),
         }

@@ -100,7 +100,7 @@ mod tests {
 
     fn instance_with(frags: &[(&str, &[&str])]) -> Collection {
         // (fragment text, movie names)
-        let c = Collection::new("instance", CollectionConfig { extent_size: 8192, shards: 2 })
+        let c = Collection::new("instance", CollectionConfig { extent_size: 8192, shards: 2, ..Default::default() })
             .unwrap();
         for (text, movies) in frags {
             let entities: Vec<Value> = movies

@@ -22,7 +22,7 @@ use datatamer_clean::{clean_sources_parallel, CleaningEngine, CleaningReport};
 use datatamer_model::{Record, Result, SourceId, SourceSchema};
 use datatamer_schema::integrate::{AcceptBest, EscalationResolver};
 use datatamer_schema::{IntegrationReport, SchemaIntegrator};
-use datatamer_storage::Store;
+use datatamer_storage::{StorageReport, Store};
 use datatamer_text::DomainParser;
 use rayon::prelude::*;
 
@@ -76,6 +76,10 @@ pub enum StageReport {
         structured_records: usize,
         /// Text ingestion outcome, when web text was ingested.
         text: Option<IngestStats>,
+        /// Shard-distribution reports of the collections this stage wrote,
+        /// in the fixed write order `instance` then `entity`: per-shard
+        /// doc/extent counts, backend kind, routing, and flush traffic.
+        storage: Vec<StorageReport>,
     },
     /// [`stage_names::SCHEMA_INTEGRATION`].
     SchemaIntegration {
@@ -103,6 +107,10 @@ pub enum StageReport {
         nulls_canonicalized: usize,
         /// Values rewritten by transform rules.
         values_transformed: usize,
+        /// Shard-distribution report of the global-records collection this
+        /// stage persisted into (`None` on text-only runs that created no
+        /// collection).
+        storage: Option<StorageReport>,
     },
     /// [`stage_names::ENTITY_CONSOLIDATION`].
     EntityConsolidation {
@@ -299,6 +307,7 @@ impl PipelineStage for IngestStage<'_> {
         }
 
         let mut text_stats = None;
+        let mut storage = Vec::new();
         if let Some(job) = self.text.take() {
             let source_id = ctx.catalog.register("webtext", SourceKind::Text);
             let ingestor = if ctx.config.clean_text {
@@ -316,12 +325,18 @@ impl PipelineStage for IngestStage<'_> {
             ctx.text_show_records.extend(shows);
             ctx.text_stats = stats.clone();
             text_stats = Some(stats);
+            for name in [crate::ingest::INSTANCE_COLLECTION, crate::ingest::ENTITY_COLLECTION] {
+                if let Some(col) = ctx.store.collection(name) {
+                    storage.push(col.storage_report());
+                }
+            }
         }
 
         Ok(StageReport::Ingest {
             structured_sources,
             structured_records,
             text: text_stats,
+            storage,
         })
     }
 }
@@ -521,6 +536,7 @@ impl PipelineStage for CleaningStage {
         // Text-only runs clean nothing — leave the collection uncreated so
         // store listings/stats only ever show collections with a reason to
         // exist (matching the pre-staged behavior).
+        let mut storage = None;
         if !jobs.is_empty() {
             let col = ctx
                 .store
@@ -531,6 +547,7 @@ impl PipelineStage for CleaningStage {
                 col.insert_many(docs.iter());
                 ctx.structured_records.extend(cleaned);
             }
+            storage = Some(col.storage_report());
         }
 
         Ok(StageReport::Cleaning {
@@ -538,6 +555,7 @@ impl PipelineStage for CleaningStage {
             records,
             nulls_canonicalized: nulls,
             values_transformed: transformed,
+            storage,
         })
     }
 }

@@ -58,6 +58,10 @@ pub const BUCKET_CAP: usize = 256;
 /// full-key sort order.
 pub const PROGRESSIVE_WINDOW: usize = 16;
 
+/// Default clamp for [`OversizeFallback::ProgressiveAdaptive`]: however
+/// oversized the bucket, the per-member window never exceeds this.
+pub const ADAPTIVE_WINDOW_MAX: usize = 128;
+
 /// What a bucket strategy does with a bucket larger than the cap.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum OversizeFallback {
@@ -75,12 +79,51 @@ pub enum OversizeFallback {
         /// Sorted-neighborhood window width (at least 2).
         window: usize,
     },
+    /// Progressive blocking with a window that *scales with bucket size*:
+    /// `window = base · ⌈log₂(|bucket| / cap)⌉`, clamped to
+    /// `[base, max]`. A bucket just over the cap gets the base window
+    /// (identical to [`OversizeFallback::Progressive`] at `base`); each
+    /// doubling of the overflow widens the window by another `base`, so
+    /// recall inside stopword-sized buckets degrades logarithmically
+    /// instead of cliff-like — while the candidate count stays
+    /// `O(cap² + |bucket| · window)` with `window ≤ max`. The candidate
+    /// set always contains the fixed-`base` progressive set (the window
+    /// can only grow), so the recall-dominance invariant extends:
+    /// adaptive ⊇ progressive(base) ⊇ truncated.
+    ProgressiveAdaptive {
+        /// Window at the smallest oversize (at least 2).
+        base: usize,
+        /// Hard ceiling on the scaled window.
+        max: usize,
+    },
 }
 
 impl Default for OversizeFallback {
     fn default() -> Self {
         OversizeFallback::Progressive { window: PROGRESSIVE_WINDOW }
     }
+}
+
+impl OversizeFallback {
+    /// The default adaptive configuration: base [`PROGRESSIVE_WINDOW`],
+    /// clamped at [`ADAPTIVE_WINDOW_MAX`].
+    pub fn adaptive() -> Self {
+        OversizeFallback::ProgressiveAdaptive {
+            base: PROGRESSIVE_WINDOW,
+            max: ADAPTIVE_WINDOW_MAX,
+        }
+    }
+}
+
+/// The adaptive window for one oversized bucket:
+/// `base · ⌈log₂(bucket / cap)⌉` clamped into `[base, max]` (see
+/// [`OversizeFallback::ProgressiveAdaptive`]). Only called for
+/// `bucket > cap`, where the multiplier is at least 1.
+fn adaptive_window(base: usize, max: usize, bucket: usize, cap: usize) -> usize {
+    let base = base.max(2);
+    let ratio = bucket as f64 / cap.max(1) as f64;
+    let doublings = ratio.log2().ceil().max(1.0) as usize;
+    (base.saturating_mul(doublings)).clamp(base, max.max(base))
 }
 
 /// Candidate generation plus blocking-health counters.
@@ -285,8 +328,11 @@ impl Blocker {
         // the O(n) key clone + lowercase pass is skipped entirely on the
         // common no-degradation path.
         let sort_keys: Vec<Option<String>> = if degraded_buckets > 0
-            && matches!(self.fallback, OversizeFallback::Progressive { .. })
-        {
+            && matches!(
+                self.fallback,
+                OversizeFallback::Progressive { .. }
+                    | OversizeFallback::ProgressiveAdaptive { .. }
+            ) {
             self.sort_keys(records)
         } else {
             Vec::new()
@@ -297,26 +343,29 @@ impl Blocker {
                 if members.len() <= cap {
                     return quadratic_pairs(members);
                 }
-                match self.fallback {
-                    OversizeFallback::Truncate => quadratic_pairs(&members[..cap]),
-                    OversizeFallback::Progressive { window } => {
-                        // The quadratic core preserves everything the cap
-                        // used to find; the windowed pass over the full-key
-                        // sort order is what recovers beyond-cap duplicates.
-                        let mut local = quadratic_pairs(&members[..cap]);
-                        let window = window.max(2);
-                        let mut sorted = members.clone();
-                        sorted.sort_unstable_by(|&a, &b| {
-                            sort_keys[a].cmp(&sort_keys[b]).then(a.cmp(&b))
-                        });
-                        for i in 0..sorted.len() {
-                            for j in (i + 1)..(i + window).min(sorted.len()) {
-                                local.push(pack_pair(sorted[i], sorted[j]));
-                            }
-                        }
-                        local
+                let window = match self.fallback {
+                    OversizeFallback::Truncate => {
+                        return quadratic_pairs(&members[..cap]);
+                    }
+                    OversizeFallback::Progressive { window } => window.max(2),
+                    OversizeFallback::ProgressiveAdaptive { base, max } => {
+                        adaptive_window(base, max, members.len(), cap)
+                    }
+                };
+                // The quadratic core preserves everything the cap used to
+                // find; the windowed pass over the full-key sort order is
+                // what recovers beyond-cap duplicates.
+                let mut local = quadratic_pairs(&members[..cap]);
+                let mut sorted = members.clone();
+                sorted.sort_unstable_by(|&a, &b| {
+                    sort_keys[a].cmp(&sort_keys[b]).then(a.cmp(&b))
+                });
+                for i in 0..sorted.len() {
+                    for j in (i + 1)..(i + window).min(sorted.len()) {
+                        local.push(pack_pair(sorted[i], sorted[j]));
                     }
                 }
+                local
             })
             .collect();
         packed.sort_unstable();
@@ -619,6 +668,44 @@ mod tests {
             "progressive must never lose a pair the cap found"
         );
         assert!(progressive.len() > truncated.len(), "and must add beyond-cap pairs");
+    }
+
+    #[test]
+    fn adaptive_window_scales_logarithmically_and_clamps() {
+        // Just over the cap: one doubling, base window.
+        assert_eq!(adaptive_window(16, 128, 257, 256), 16);
+        assert_eq!(adaptive_window(16, 128, 512, 256), 16, "exactly one doubling");
+        // Each further doubling of the overflow adds another base.
+        assert_eq!(adaptive_window(16, 128, 513, 256), 32);
+        assert_eq!(adaptive_window(16, 128, 1025, 256), 48);
+        // Stopword-sized buckets clamp at max.
+        assert_eq!(adaptive_window(16, 128, 1 << 20, 256), 128);
+        // Degenerate configs degrade instead of exploding.
+        assert_eq!(adaptive_window(1, 0, 1000, 256), 2, "base floors at 2, max at base");
+    }
+
+    #[test]
+    fn adaptive_candidates_superset_fixed_progressive() {
+        let (rs, truth) = oversized_corpus();
+        let base = || Blocker::new("name", BlockingStrategy::Token);
+        let fixed = base()
+            .with_fallback(OversizeFallback::Progressive { window: PROGRESSIVE_WINDOW })
+            .candidates(&rs);
+        let adaptive = base()
+            .with_fallback(OversizeFallback::adaptive())
+            .candidates_with_report(&rs);
+        let set: std::collections::HashSet<_> = adaptive.pairs.iter().copied().collect();
+        assert!(
+            fixed.iter().all(|p| set.contains(p)),
+            "the adaptive window can only widen, never narrow"
+        );
+        // 600 members over cap 256 is two doublings: window 32 > 16, so
+        // the adaptive pass genuinely adds neighbours.
+        assert!(adaptive.pairs.len() > fixed.len());
+        assert_eq!(blocking_recall(&adaptive.pairs, &truth), 1.0);
+        assert_eq!(adaptive.degraded_buckets, 1, "degradation still announced");
+        // And stays nowhere near quadratic.
+        assert!(adaptive.pairs.len() < 600 * 599 / 2 / 3);
     }
 
     #[test]

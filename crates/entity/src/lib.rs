@@ -28,8 +28,8 @@ pub mod pairsim;
 pub mod pipeline;
 
 pub use blocking::{
-    blocking_recall, Blocker, BlockingOutcome, BlockingStrategy, OversizeFallback, BUCKET_CAP,
-    PROGRESSIVE_WINDOW,
+    blocking_recall, Blocker, BlockingOutcome, BlockingStrategy, OversizeFallback,
+    ADAPTIVE_WINDOW_MAX, BUCKET_CAP, PROGRESSIVE_WINDOW,
 };
 pub use cluster::UnionFind;
 pub use consolidate::{merge_cluster, merge_composite, ConflictPolicy, MergePolicy};

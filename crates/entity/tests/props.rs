@@ -44,10 +44,13 @@ fn all_strategies() -> Vec<BlockingStrategy> {
 /// strategies run once instead of twice.
 fn strategy_fallback_pairs() -> Vec<(BlockingStrategy, OversizeFallback)> {
     let progressive = OversizeFallback::Progressive { window: 3 };
+    let adaptive = OversizeFallback::ProgressiveAdaptive { base: 3, max: 12 };
     vec![
         (BlockingStrategy::Token, progressive),
+        (BlockingStrategy::Token, adaptive),
         (BlockingStrategy::Token, OversizeFallback::Truncate),
         (BlockingStrategy::Soundex, progressive),
+        (BlockingStrategy::Soundex, adaptive),
         (BlockingStrategy::Soundex, OversizeFallback::Truncate),
         (BlockingStrategy::SortedNeighborhood { window: 3 }, progressive),
         (BlockingStrategy::MinHashLsh { bands: 4, rows: 4 }, progressive),
@@ -225,6 +228,23 @@ proptest! {
             blocking_recall(&progressive, &truth)
                 >= blocking_recall(&truncated, &truth) - 1e-12,
             "progressive recall must dominate"
+        );
+        // The adaptive window only ever widens from the same base, so its
+        // candidate set dominates the fixed window's the same way the fixed
+        // window dominates truncation: adaptive ⊇ progressive ⊇ truncated.
+        let adaptive = base()
+            .with_fallback(OversizeFallback::ProgressiveAdaptive { base: 3, max: 12 })
+            .candidates(&records);
+        let adaptive_set: std::collections::HashSet<(usize, usize)> =
+            adaptive.iter().copied().collect();
+        prop_assert!(
+            progressive.iter().all(|p| adaptive_set.contains(p)),
+            "adaptive candidates must be a superset of fixed-window ones"
+        );
+        prop_assert!(
+            blocking_recall(&adaptive, &truth)
+                >= blocking_recall(&progressive, &truth) - 1e-12,
+            "adaptive recall must dominate the fixed window"
         );
     }
 

@@ -1,0 +1,766 @@
+//! Pluggable shard backends: where one shard's extent chain lives.
+//!
+//! A shard is a chain of fixed-size extents. Historically that chain was an
+//! in-process `Vec<Extent>` behind a lock inside `Collection`; the
+//! [`ShardBackend`] trait lifts it into an interface — append, point read,
+//! ordered scan, tombstone delete, snapshot/restore — so the coordinator
+//! can place shards on different substrates:
+//!
+//! * [`MemoryBackend`] — the extracted in-process shard: everything on the
+//!   heap, zero I/O. Byte-compatible with the pre-coordinator collection.
+//! * [`FileBackend`] — out-of-core shards: only the tail extent (the one
+//!   taking appends) stays in memory; a full extent is flushed to its own
+//!   file (the [`crate::extent::Extent::to_bytes`] persist encoding, one
+//!   file per extent exactly like [`crate::persist`]) and re-loaded
+//!   transiently for reads. Resident memory is O(extent_size) per shard
+//!   regardless of collection size, and reopening a backend over the same
+//!   directory resumes the chain.
+//!
+//! Both backends produce byte-identical scan output for the same append
+//! sequence — the coordinator's equivalence contract, pinned by tests.
+
+use std::fs;
+use std::io::{Read, Write};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::RwLock;
+
+use datatamer_model::{Document, DtError, Result};
+
+use crate::encode::decode_document;
+use crate::extent::Extent;
+
+/// Which substrate a backend stores its extents on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BackendKind {
+    /// In-process heap extents.
+    Memory,
+    /// One file per flushed extent under a shard directory.
+    File,
+}
+
+impl BackendKind {
+    /// Short stable name for reports and bench ids.
+    pub fn name(self) -> &'static str {
+        match self {
+            BackendKind::Memory => "memory",
+            BackendKind::File => "file",
+        }
+    }
+}
+
+/// Declarative backend choice for a collection (travels on
+/// [`crate::collection::CollectionConfig`]).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub enum BackendConfig {
+    /// In-process shards (the default).
+    #[default]
+    Memory,
+    /// File-backed shards rooted at `dir`: the collection stores its
+    /// shards under `dir/<collection-name>/shard<NNN>/`.
+    File {
+        /// Root directory for file-backed collections.
+        dir: PathBuf,
+    },
+}
+
+impl BackendConfig {
+    /// The [`BackendKind`] this config instantiates.
+    pub fn kind(&self) -> BackendKind {
+        match self {
+            BackendConfig::Memory => BackendKind::Memory,
+            BackendConfig::File { .. } => BackendKind::File,
+        }
+    }
+}
+
+/// Storage operations over one shard's extent chain.
+///
+/// Implementations are internally synchronised (`&self` methods take their
+/// own locks) and `Send + Sync`: the coordinator fans `insert_many` and
+/// scans out across the rayon team with one backend per shard.
+pub trait ShardBackend: Send + Sync {
+    /// Which substrate this backend is.
+    fn kind(&self) -> BackendKind;
+
+    /// Append one encoded document, chaining a new extent when the tail is
+    /// full. Returns `(extent_index, slot)`.
+    fn append(&self, encoded: &[u8]) -> Result<(u32, u32)>;
+
+    /// Append a batch under a single lock acquisition, in order.
+    fn append_batch(&self, encoded: &[&[u8]]) -> Result<Vec<(u32, u32)>> {
+        encoded.iter().map(|e| self.append(e)).collect()
+    }
+
+    /// Decode the live document at `(extent, slot)`, if any. Point reads
+    /// deliberately fold "not live" and "unreadable" into `None` (the
+    /// lookup contract callers already hold); bulk reads ([`Self::visit`])
+    /// are loud on I/O failure instead, because a silent skip there would
+    /// drop whole extents from scan output.
+    fn get(&self, extent: u32, slot: u32) -> Option<Document>;
+
+    /// Tombstone `(extent, slot)`; returns the document when it was live
+    /// (same `None` folding as [`Self::get`]).
+    fn delete(&self, extent: u32, slot: u32) -> Option<Document>;
+
+    /// Visit every live document in `(extent, slot)` order — the scan
+    /// order every backend must share for byte-identical results.
+    fn visit(&self, f: &mut dyn FnMut(u32, u32, &Document));
+
+    /// Live documents in this shard.
+    fn len(&self) -> u64;
+
+    /// True when no live documents exist.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Extents in the chain.
+    fn extent_count(&self) -> usize;
+
+    /// Bytes used by encoded documents across the chain.
+    fn used_bytes(&self) -> usize;
+
+    /// Capacity of the last extent, or 0 when the chain is empty.
+    fn last_extent_capacity(&self) -> usize;
+
+    /// Serialise every extent in chain order (persist encoding).
+    fn snapshot(&self) -> Result<Vec<Vec<u8>>>;
+
+    /// Replace the chain with restored extents; returns the live count.
+    fn restore(&self, extents: Vec<Vec<u8>>) -> Result<u64>;
+
+    /// Flush volatile state to stable storage (no-op for memory).
+    fn sync(&self) -> Result<()> {
+        Ok(())
+    }
+
+    /// Extent writes to stable storage so far (0 for memory backends).
+    fn flushes(&self) -> u64 {
+        0
+    }
+}
+
+// ---------------------------------------------------------------------------
+// MemoryBackend
+// ---------------------------------------------------------------------------
+
+/// The in-process shard: `Vec<Extent>` behind one lock — exactly what
+/// `Collection` used to inline per shard.
+#[derive(Debug)]
+pub struct MemoryBackend {
+    extent_size: usize,
+    extents: RwLock<Vec<Extent>>,
+}
+
+impl MemoryBackend {
+    /// Empty in-process shard with the given extent capacity.
+    pub fn new(extent_size: usize) -> Self {
+        MemoryBackend { extent_size, extents: RwLock::new(Vec::new()) }
+    }
+
+    /// Append to the tail extent of `extents`, chaining when full.
+    fn append_to(extents: &mut Vec<Extent>, encoded: &[u8], extent_size: usize) -> (u32, u32) {
+        loop {
+            if let Some(last) = extents.last_mut() {
+                if let Some(slot) = last.append(encoded) {
+                    return ((extents.len() - 1) as u32, slot);
+                }
+            }
+            extents.push(Extent::new(extent_size));
+        }
+    }
+}
+
+impl ShardBackend for MemoryBackend {
+    fn kind(&self) -> BackendKind {
+        BackendKind::Memory
+    }
+
+    fn append(&self, encoded: &[u8]) -> Result<(u32, u32)> {
+        let mut extents = self.extents.write();
+        Ok(Self::append_to(&mut extents, encoded, self.extent_size))
+    }
+
+    fn append_batch(&self, encoded: &[&[u8]]) -> Result<Vec<(u32, u32)>> {
+        let mut extents = self.extents.write();
+        Ok(encoded
+            .iter()
+            .map(|e| Self::append_to(&mut extents, e, self.extent_size))
+            .collect())
+    }
+
+    fn get(&self, extent: u32, slot: u32) -> Option<Document> {
+        let extents = self.extents.read();
+        extents.get(extent as usize)?.get(slot).and_then(|r| r.ok())
+    }
+
+    fn delete(&self, extent: u32, slot: u32) -> Option<Document> {
+        let mut extents = self.extents.write();
+        let e = extents.get_mut(extent as usize)?;
+        let doc = e.get(slot).and_then(|r| r.ok())?;
+        e.delete(slot).then_some(doc)
+    }
+
+    fn visit(&self, f: &mut dyn FnMut(u32, u32, &Document)) {
+        let extents = self.extents.read();
+        for (idx, extent) in extents.iter().enumerate() {
+            for (slot, bytes) in extent.iter_live() {
+                if let Ok(doc) = decode_document(bytes) {
+                    f(idx as u32, slot, &doc);
+                }
+            }
+        }
+    }
+
+    fn len(&self) -> u64 {
+        self.extents.read().iter().map(|e| e.live_count() as u64).sum()
+    }
+
+    fn extent_count(&self) -> usize {
+        self.extents.read().len()
+    }
+
+    fn used_bytes(&self) -> usize {
+        self.extents.read().iter().map(Extent::used_bytes).sum()
+    }
+
+    fn last_extent_capacity(&self) -> usize {
+        self.extents.read().last().map_or(0, Extent::capacity)
+    }
+
+    fn snapshot(&self) -> Result<Vec<Vec<u8>>> {
+        Ok(self.extents.read().iter().map(Extent::to_bytes).collect())
+    }
+
+    fn restore(&self, serialized: Vec<Vec<u8>>) -> Result<u64> {
+        let mut extents = self.extents.write();
+        extents.clear();
+        let mut live = 0u64;
+        for bytes in serialized {
+            let e = Extent::from_bytes(&bytes)?;
+            live += e.live_count() as u64;
+            extents.push(e);
+        }
+        Ok(live)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// FileBackend
+// ---------------------------------------------------------------------------
+
+/// Cached shape of a flushed extent, so stats and routing never touch disk.
+#[derive(Debug, Clone, Copy)]
+struct ExtentMeta {
+    live: usize,
+    used: usize,
+    capacity: usize,
+}
+
+impl ExtentMeta {
+    fn of(e: &Extent) -> Self {
+        ExtentMeta { live: e.live_count(), used: e.used_bytes(), capacity: e.capacity() }
+    }
+}
+
+/// One link of a file-backed chain: either resident (the tail taking
+/// appends) or flushed to its file with only metadata cached.
+#[derive(Debug)]
+enum ExtentSlot {
+    Loaded(Extent),
+    Flushed(ExtentMeta),
+}
+
+impl ExtentSlot {
+    fn meta(&self) -> ExtentMeta {
+        match self {
+            ExtentSlot::Loaded(e) => ExtentMeta::of(e),
+            ExtentSlot::Flushed(m) => *m,
+        }
+    }
+}
+
+/// Out-of-core shard: extents live as files under a directory, with only
+/// the tail extent resident. See the module docs for the layout contract.
+#[derive(Debug)]
+pub struct FileBackend {
+    dir: PathBuf,
+    extent_size: usize,
+    slots: RwLock<Vec<ExtentSlot>>,
+    flushes: AtomicU64,
+}
+
+impl FileBackend {
+    /// Open (or create) a file-backed shard at `dir`. An existing chain —
+    /// `ext000000`, `ext000001`, … — is adopted: all extents start flushed
+    /// and the tail is re-loaded on the first append. Each flushed extent
+    /// carries a small `.meta` sidecar (data length + live/used/capacity),
+    /// so adoption reads O(extent count) bytes, not the whole collection;
+    /// a missing, corrupt, or length-mismatched sidecar falls back to
+    /// decoding that one extent (see [`read_meta_sidecar`] for the one
+    /// crash window the length check cannot cover).
+    pub fn open(dir: impl Into<PathBuf>, extent_size: usize) -> Result<Self> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        let mut slots = Vec::new();
+        loop {
+            let path = dir.join(extent_file(slots.len()));
+            if !path.exists() {
+                break;
+            }
+            let file_len = fs::metadata(&path)?.len();
+            let meta = match read_meta_sidecar(&dir.join(meta_file(slots.len())), file_len) {
+                Some(meta) => meta,
+                None => ExtentMeta::of(&read_extent(&path)?),
+            };
+            slots.push(ExtentSlot::Flushed(meta));
+        }
+        Ok(FileBackend {
+            dir,
+            extent_size,
+            slots: RwLock::new(slots),
+            flushes: AtomicU64::new(0),
+        })
+    }
+
+    /// The directory holding this shard's extent files.
+    pub fn dir(&self) -> &std::path::Path {
+        &self.dir
+    }
+
+    fn path_of(&self, index: usize) -> PathBuf {
+        self.dir.join(extent_file(index))
+    }
+
+    fn meta_path_of(&self, index: usize) -> PathBuf {
+        self.dir.join(meta_file(index))
+    }
+
+    fn write_extent_bytes(&self, index: usize, bytes: &[u8], meta: ExtentMeta) -> Result<()> {
+        fs::File::create(self.path_of(index))?.write_all(bytes)?;
+        write_meta_sidecar(&self.meta_path_of(index), meta, bytes.len() as u64)?;
+        self.flushes.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    fn write_extent(&self, index: usize, extent: &Extent) -> Result<()> {
+        self.write_extent_bytes(index, &extent.to_bytes(), ExtentMeta::of(extent))
+    }
+
+    fn load_extent(&self, index: usize) -> Result<Extent> {
+        read_extent(&self.path_of(index))
+    }
+
+    /// Remove any `extN` / `extN.meta` files at or past `from` — restore
+    /// shrinking a chain must not leave surplus extents behind for the
+    /// next [`FileBackend::open`] to resurrect.
+    fn remove_extent_files_from(&self, from: usize) -> Result<()> {
+        let mut index = from;
+        loop {
+            let path = self.path_of(index);
+            if !path.exists() {
+                return Ok(());
+            }
+            fs::remove_file(&path)?;
+            let meta = self.meta_path_of(index);
+            if meta.exists() {
+                fs::remove_file(&meta)?;
+            }
+            index += 1;
+        }
+    }
+
+    /// Make the tail extent resident (loading it from its file if it was
+    /// flushed), appending an empty tail to an empty chain.
+    fn ensure_tail_loaded(&self, slots: &mut Vec<ExtentSlot>) -> Result<()> {
+        match slots.last() {
+            None => slots.push(ExtentSlot::Loaded(Extent::new(self.extent_size))),
+            Some(ExtentSlot::Flushed(_)) => {
+                let tail = self.load_extent(slots.len() - 1)?;
+                *slots.last_mut().expect("non-empty") = ExtentSlot::Loaded(tail);
+            }
+            Some(ExtentSlot::Loaded(_)) => {}
+        }
+        Ok(())
+    }
+
+    /// Append with flush-on-roll: a full tail is written to its file,
+    /// demoted to metadata, and a fresh resident tail opens.
+    fn append_locked(&self, slots: &mut Vec<ExtentSlot>, encoded: &[u8]) -> Result<(u32, u32)> {
+        loop {
+            self.ensure_tail_loaded(slots)?;
+            let index = slots.len() - 1;
+            let ExtentSlot::Loaded(tail) = slots.last_mut().expect("tail loaded") else {
+                unreachable!("ensure_tail_loaded leaves a resident tail");
+            };
+            if let Some(slot) = tail.append(encoded) {
+                return Ok((index as u32, slot));
+            }
+            let meta = ExtentMeta::of(tail);
+            self.write_extent(index, tail)?;
+            slots[index] = ExtentSlot::Flushed(meta);
+            slots.push(ExtentSlot::Loaded(Extent::new(self.extent_size)));
+        }
+    }
+}
+
+fn extent_file(index: usize) -> String {
+    format!("ext{index:06}")
+}
+
+fn meta_file(index: usize) -> String {
+    format!("ext{index:06}.meta")
+}
+
+fn read_extent(path: &std::path::Path) -> Result<Extent> {
+    let mut bytes = Vec::new();
+    fs::File::open(path)
+        .map_err(|e| DtError::Io(format!("{}: {e}", path.display())))?
+        .read_to_end(&mut bytes)?;
+    Extent::from_bytes(&bytes)
+}
+
+const META_MAGIC: &[u8; 4] = b"DTXM";
+
+fn write_meta_sidecar(path: &std::path::Path, meta: ExtentMeta, file_len: u64) -> Result<()> {
+    use crate::encode::put_varint;
+    let mut buf = Vec::with_capacity(4 + 20);
+    buf.extend_from_slice(META_MAGIC);
+    put_varint(&mut buf, file_len);
+    put_varint(&mut buf, meta.live as u64);
+    put_varint(&mut buf, meta.used as u64);
+    put_varint(&mut buf, meta.capacity as u64);
+    fs::File::create(path)?.write_all(&buf)?;
+    Ok(())
+}
+
+/// Best-effort sidecar read: any miss (absent, truncated, bad magic, or a
+/// recorded data-file length that no longer matches the extent file)
+/// returns `None` and the caller decodes the extent itself instead. The
+/// length check catches the common crash window — an extent rewritten
+/// (append roll, restore) without its sidecar reaching disk. A crash
+/// between a *tombstone* write-through and its sidecar is the one case
+/// this cannot detect (tombstoning flips a flag byte, leaving the length
+/// unchanged), so `live`/`used` may then overcount until the extent is
+/// next rewritten; scans and point reads always decode the real file and
+/// are never affected. Journaled metadata would close that window — out
+/// of scope here.
+fn read_meta_sidecar(path: &std::path::Path, file_len: u64) -> Option<ExtentMeta> {
+    use crate::encode::get_varint;
+    let mut bytes = Vec::new();
+    fs::File::open(path).ok()?.read_to_end(&mut bytes).ok()?;
+    if bytes.len() < 4 || &bytes[..4] != META_MAGIC {
+        return None;
+    }
+    let mut buf = &bytes[4..];
+    let recorded_len = get_varint(&mut buf).ok()?;
+    if recorded_len != file_len {
+        return None;
+    }
+    let live = get_varint(&mut buf).ok()? as usize;
+    let used = get_varint(&mut buf).ok()? as usize;
+    let capacity = get_varint(&mut buf).ok()? as usize;
+    Some(ExtentMeta { live, used, capacity })
+}
+
+impl ShardBackend for FileBackend {
+    fn kind(&self) -> BackendKind {
+        BackendKind::File
+    }
+
+    fn append(&self, encoded: &[u8]) -> Result<(u32, u32)> {
+        let mut slots = self.slots.write();
+        self.append_locked(&mut slots, encoded)
+    }
+
+    fn append_batch(&self, encoded: &[&[u8]]) -> Result<Vec<(u32, u32)>> {
+        let mut slots = self.slots.write();
+        encoded.iter().map(|e| self.append_locked(&mut slots, e)).collect()
+    }
+
+    fn get(&self, extent: u32, slot: u32) -> Option<Document> {
+        let slots = self.slots.read();
+        match slots.get(extent as usize)? {
+            ExtentSlot::Loaded(e) => e.get(slot).and_then(|r| r.ok()),
+            ExtentSlot::Flushed(_) => {
+                // Transient load: the extent is decoded for this read and
+                // dropped — resident memory stays O(tail).
+                let e = self.load_extent(extent as usize).ok()?;
+                e.get(slot).and_then(|r| r.ok())
+            }
+        }
+    }
+
+    fn delete(&self, extent: u32, slot: u32) -> Option<Document> {
+        let mut slots = self.slots.write();
+        let index = extent as usize;
+        match slots.get_mut(index)? {
+            ExtentSlot::Loaded(e) => {
+                let doc = e.get(slot).and_then(|r| r.ok())?;
+                e.delete(slot).then_some(doc)
+            }
+            ExtentSlot::Flushed(_) => {
+                // Read-modify-write: the tombstone must reach the file, or
+                // a reopen would resurrect the document. The write-back is
+                // loud like every other write: swallowing the error would
+                // leave the caller's count/indexes agreeing with neither
+                // the old nor the new on-disk state.
+                let mut e = self.load_extent(index).ok()?;
+                let doc = e.get(slot).and_then(|r| r.ok())?;
+                if !e.delete(slot) {
+                    return None;
+                }
+                self.write_extent(index, &e)
+                    .unwrap_or_else(|err| panic!("tombstone write-back, extent {index}: {err}"));
+                slots[index] = ExtentSlot::Flushed(ExtentMeta::of(&e));
+                Some(doc)
+            }
+        }
+    }
+
+    fn visit(&self, f: &mut dyn FnMut(u32, u32, &Document)) {
+        let slots = self.slots.read();
+        for (index, slot_state) in slots.iter().enumerate() {
+            let loaded;
+            let extent: &Extent = match slot_state {
+                ExtentSlot::Loaded(e) => e,
+                // Loud on I/O failure, like the write path: silently
+                // skipping an unreadable extent would drop every document
+                // in it from scans — wrong fused output with no error.
+                ExtentSlot::Flushed(_) => {
+                    loaded = self
+                        .load_extent(index)
+                        .unwrap_or_else(|e| panic!("shard extent {index} unreadable: {e}"));
+                    &loaded
+                }
+            };
+            for (slot, bytes) in extent.iter_live() {
+                if let Ok(doc) = decode_document(bytes) {
+                    f(index as u32, slot, &doc);
+                }
+            }
+        }
+    }
+
+    fn len(&self) -> u64 {
+        self.slots.read().iter().map(|s| s.meta().live as u64).sum()
+    }
+
+    fn extent_count(&self) -> usize {
+        self.slots.read().len()
+    }
+
+    fn used_bytes(&self) -> usize {
+        self.slots.read().iter().map(|s| s.meta().used).sum()
+    }
+
+    fn last_extent_capacity(&self) -> usize {
+        self.slots.read().last().map_or(0, |s| s.meta().capacity)
+    }
+
+    fn snapshot(&self) -> Result<Vec<Vec<u8>>> {
+        let slots = self.slots.read();
+        slots
+            .iter()
+            .enumerate()
+            .map(|(index, s)| match s {
+                ExtentSlot::Loaded(e) => Ok(e.to_bytes()),
+                // Flushed extents already hold the persist encoding — the
+                // file bytes ARE the snapshot.
+                ExtentSlot::Flushed(_) => {
+                    let path = self.path_of(index);
+                    let mut bytes = Vec::new();
+                    fs::File::open(&path)
+                        .map_err(|e| DtError::Io(format!("{}: {e}", path.display())))?
+                        .read_to_end(&mut bytes)?;
+                    Ok(bytes)
+                }
+            })
+            .collect()
+    }
+
+    fn restore(&self, serialized: Vec<Vec<u8>>) -> Result<u64> {
+        let mut slots = self.slots.write();
+        slots.clear();
+        let mut live = 0u64;
+        for (index, bytes) in serialized.iter().enumerate() {
+            let e = Extent::from_bytes(bytes)?;
+            live += e.live_count() as u64;
+            let meta = ExtentMeta::of(&e);
+            self.write_extent_bytes(index, bytes, meta)?;
+            slots.push(ExtentSlot::Flushed(meta));
+        }
+        // A restore that shrinks the chain must clear the old tail's
+        // files, or the next open would adopt them and resurrect stale
+        // documents past the restored chain.
+        self.remove_extent_files_from(serialized.len())?;
+        Ok(live)
+    }
+
+    fn sync(&self) -> Result<()> {
+        let mut slots = self.slots.write();
+        if let Some(index) = slots.len().checked_sub(1) {
+            if let ExtentSlot::Loaded(tail) = &slots[index] {
+                let meta = ExtentMeta::of(tail);
+                self.write_extent(index, tail)?;
+                slots[index] = ExtentSlot::Flushed(meta);
+            }
+        }
+        Ok(())
+    }
+
+    fn flushes(&self) -> u64 {
+        self.flushes.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode::encode_document;
+    use datatamer_model::doc;
+
+    fn tempdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("dt_backend_{tag}_{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn encoded(i: i64) -> Vec<u8> {
+        encode_document(&doc! {"i" => i, "pad" => "x".repeat(24)})
+    }
+
+    #[test]
+    fn memory_and_file_append_identically() {
+        let dir = tempdir("ident");
+        let mem = MemoryBackend::new(128);
+        let file = FileBackend::open(&dir, 128).unwrap();
+        for i in 0..20i64 {
+            let e = encoded(i);
+            assert_eq!(mem.append(&e).unwrap(), file.append(&e).unwrap(), "doc {i}");
+        }
+        assert_eq!(mem.len(), file.len());
+        assert_eq!(mem.extent_count(), file.extent_count());
+        assert_eq!(mem.used_bytes(), file.used_bytes());
+        let mut mem_seen = Vec::new();
+        mem.visit(&mut |e, s, d| mem_seen.push((e, s, format!("{d:?}"))));
+        let mut file_seen = Vec::new();
+        file.visit(&mut |e, s, d| file_seen.push((e, s, format!("{d:?}"))));
+        assert_eq!(mem_seen, file_seen, "scan order and content must match");
+        assert!(file.flushes() > 0, "rolled extents were written out");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn file_backend_reopens_the_chain() {
+        let dir = tempdir("reopen");
+        {
+            let file = FileBackend::open(&dir, 128).unwrap();
+            for i in 0..12i64 {
+                file.append(&encoded(i)).unwrap();
+            }
+            file.sync().unwrap();
+        }
+        let reopened = FileBackend::open(&dir, 128).unwrap();
+        assert_eq!(reopened.len(), 12);
+        let mut seen = Vec::new();
+        reopened.visit(&mut |_, _, d| seen.push(d.get("i").cloned().unwrap()));
+        assert_eq!(seen.len(), 12);
+        // And the chain keeps growing from where it left off.
+        let (ext, _) = reopened.append(&encoded(99)).unwrap();
+        assert!(ext as usize >= reopened.extent_count() - 1);
+        assert_eq!(reopened.len(), 13);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn file_delete_reaches_flushed_extents() {
+        let dir = tempdir("del");
+        let file = FileBackend::open(&dir, 96).unwrap();
+        let spots: Vec<(u32, u32)> =
+            (0..10i64).map(|i| file.append(&encoded(i)).unwrap()).collect();
+        // Delete one doc from a rolled (flushed) extent and one from the tail.
+        let (fe, fs_) = spots[0];
+        assert!(file.delete(fe, fs_).is_some());
+        assert!(file.delete(fe, fs_).is_none(), "double delete is a no-op");
+        let (te, ts) = *spots.last().unwrap();
+        assert!(file.delete(te, ts).is_some());
+        assert_eq!(file.len(), 8);
+        file.sync().unwrap();
+        let reopened = FileBackend::open(&dir, 96).unwrap();
+        assert_eq!(reopened.len(), 8, "tombstones survive reopen");
+        assert!(reopened.get(fe, fs_).is_none());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn restore_shrinking_the_chain_clears_surplus_files() {
+        // Regression: restore() used to rewrite only the restored prefix,
+        // leaving old extent files behind — the next open() adopted them
+        // and resurrected stale documents past the restored chain.
+        let dir = tempdir("shrink");
+        let long_snapshot = {
+            let file = FileBackend::open(&dir, 96).unwrap();
+            for i in 0..20i64 {
+                file.append(&encoded(i)).unwrap();
+            }
+            file.sync().unwrap();
+            assert!(file.extent_count() > 2, "need a multi-extent chain");
+            file.snapshot().unwrap()
+        };
+        let short_snapshot = long_snapshot[..2].to_vec();
+        let short_live: u64 = short_snapshot
+            .iter()
+            .map(|b| Extent::from_bytes(b).unwrap().live_count() as u64)
+            .sum();
+
+        let file = FileBackend::open(&dir, 96).unwrap();
+        assert_eq!(file.restore(short_snapshot).unwrap(), short_live);
+        assert_eq!(file.extent_count(), 2);
+        let reopened = FileBackend::open(&dir, 96).unwrap();
+        assert_eq!(reopened.extent_count(), 2, "surplus extent files must be gone");
+        assert_eq!(reopened.len(), short_live, "no resurrected documents");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn open_uses_meta_sidecars_and_survives_their_absence() {
+        let dir = tempdir("sidecar");
+        {
+            let file = FileBackend::open(&dir, 96).unwrap();
+            for i in 0..12i64 {
+                file.append(&encoded(i)).unwrap();
+            }
+            file.sync().unwrap();
+        }
+        // Sidecars exist for every flushed extent.
+        assert!(dir.join("ext000000.meta").exists());
+        // Deleting one sidecar degrades that extent to a full decode, not
+        // an error — and a corrupt sidecar behaves the same.
+        fs::remove_file(dir.join("ext000000.meta")).unwrap();
+        fs::write(dir.join("ext000001.meta"), b"garbage").unwrap();
+        let reopened = FileBackend::open(&dir, 96).unwrap();
+        assert_eq!(reopened.len(), 12);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn snapshot_restore_roundtrip_across_backends() {
+        let dir = tempdir("snap");
+        let file = FileBackend::open(&dir, 128).unwrap();
+        for i in 0..15i64 {
+            file.append(&encoded(i)).unwrap();
+        }
+        let snap = file.snapshot().unwrap();
+        let mem = MemoryBackend::new(128);
+        assert_eq!(mem.restore(snap).unwrap(), 15);
+        let mut a = Vec::new();
+        file.visit(&mut |e, s, d| a.push((e, s, format!("{d:?}"))));
+        let mut b = Vec::new();
+        mem.visit(&mut |e, s, d| b.push((e, s, format!("{d:?}"))));
+        assert_eq!(a, b, "a file snapshot restores byte-identically into memory");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,21 +1,26 @@
 //! Sharded collections of documents.
 //!
-//! Inserts route round-robin to shards; each shard owns a chain of
-//! fixed-size extents behind its own lock, so concurrent ingest scales with
-//! shard count — the in-process analogue of the paper's distributed
-//! 2 GB-extent collections. Document ids pack `(shard, extent, slot)` so
-//! point reads touch exactly one shard with no id→location map.
+//! A collection is a [`crate::coordinator::ShardCoordinator`] — routing
+//! plus one [`crate::backend::ShardBackend`] per shard — wrapped with
+//! secondary indexes and stats. Each shard owns a chain of fixed-size
+//! extents, in process ([`BackendConfig::Memory`]) or out of core on files
+//! ([`BackendConfig::File`]), so concurrent ingest scales with shard count
+//! — the in-process analogue of the paper's distributed 2 GB-extent
+//! collections. Document ids pack `(shard, extent, slot)` so point reads
+//! touch exactly one shard with no id→location map. Routing is declarative
+//! ([`RoutingPolicy`]): round robin, key hashing (co-locate equal keys for
+//! blocking locality), or byte-range partitioning.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use parking_lot::RwLock;
-use rayon::prelude::*;
 
 use datatamer_model::{Document, DtError, Result, Value};
 
-use crate::encode::encode_document;
-use crate::extent::Extent;
+use crate::backend::{BackendConfig, FileBackend, MemoryBackend, ShardBackend};
+use crate::coordinator::{ShardCoordinator, StorageReport};
 use crate::index::{Index, IndexSpec};
+use crate::routing::RoutingPolicy;
 use crate::stats::CollectionStats;
 
 /// Packed document id: `shard (8) | extent (24) | slot (32)`.
@@ -46,54 +51,63 @@ impl DocId {
 }
 
 /// Collection configuration.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CollectionConfig {
     /// Extent capacity in bytes (the paper's extents are 2 GB; scale-down
     /// experiments shrink this so `numExtents` stays in the paper's range).
     pub extent_size: usize,
     /// Number of shards (1–256).
     pub shards: usize,
+    /// Where each shard's extent chain lives (in-process memory by
+    /// default, or one file per flushed extent for out-of-core
+    /// collections).
+    pub backend: BackendConfig,
+    /// How documents route to shards (round robin by default).
+    pub routing: RoutingPolicy,
 }
 
 impl Default for CollectionConfig {
     fn default() -> Self {
-        CollectionConfig { extent_size: 2 * 1024 * 1024, shards: 8 }
-    }
-}
-
-#[derive(Debug, Default)]
-struct Shard {
-    extents: Vec<Extent>,
-}
-
-impl Shard {
-    /// Append encoded bytes to the last extent, chaining a new extent when
-    /// full. Returns `(extent_index, slot)`.
-    fn append(&mut self, encoded: &[u8], extent_size: usize) -> (usize, u32) {
-        loop {
-            if let Some(last) = self.extents.last_mut() {
-                if let Some(slot) = last.append(encoded) {
-                    return (self.extents.len() - 1, slot);
-                }
-            }
-            self.extents.push(Extent::new(extent_size));
+        CollectionConfig {
+            extent_size: 2 * 1024 * 1024,
+            shards: 8,
+            backend: BackendConfig::Memory,
+            routing: RoutingPolicy::RoundRobin,
         }
     }
+}
+
+/// Reject collection names that would be unsafe as on-disk directory names
+/// (the persist layout and the file backend both interpolate the name into
+/// a path) or that are plain nonsense as identifiers.
+pub(crate) fn validate_collection_name(name: &str) -> Result<()> {
+    if name.is_empty() {
+        return Err(DtError::Config("collection name must not be empty".into()));
+    }
+    if name.contains(['/', '\\', '\0']) || name.contains("..") || name == "." {
+        return Err(DtError::Config(format!(
+            "collection name {name:?} must not contain path separators, \
+             '..', or NUL — it becomes an on-disk directory name"
+        )));
+    }
+    Ok(())
 }
 
 /// A sharded document collection with secondary indexes.
 pub struct Collection {
     name: String,
     config: CollectionConfig,
-    shards: Vec<RwLock<Shard>>,
+    coordinator: ShardCoordinator,
     indexes: RwLock<Vec<Index>>,
     count: AtomicU64,
-    next_shard: AtomicU64,
 }
 
 impl Collection {
-    /// Create an empty collection.
+    /// Create an empty collection (or, for a file backend, adopt whatever
+    /// extent chains already exist under its directory).
     pub fn new(name: impl Into<String>, config: CollectionConfig) -> Result<Self> {
+        let name = name.into();
+        validate_collection_name(&name)?;
         if config.shards == 0 || config.shards > 256 {
             return Err(DtError::Config(format!(
                 "shard count {} out of range 1..=256",
@@ -103,14 +117,25 @@ impl Collection {
         if config.extent_size == 0 {
             return Err(DtError::Config("extent_size must be positive".into()));
         }
-        let shards = (0..config.shards).map(|_| RwLock::new(Shard::default())).collect();
+        let mut backends: Vec<Box<dyn ShardBackend>> = Vec::with_capacity(config.shards);
+        for shard_no in 0..config.shards {
+            backends.push(match &config.backend {
+                BackendConfig::Memory => Box::new(MemoryBackend::new(config.extent_size)),
+                BackendConfig::File { dir } => {
+                    let shard_dir = dir.join(&name).join(format!("shard{shard_no:03}"));
+                    Box::new(FileBackend::open(shard_dir, config.extent_size)?)
+                }
+            });
+        }
+        let coordinator = ShardCoordinator::new(backends, config.routing.clone());
+        // A reopened file backend may already hold documents.
+        let count = AtomicU64::new(coordinator.len());
         Ok(Collection {
-            name: name.into(),
+            name,
             config,
-            shards,
+            coordinator,
             indexes: RwLock::new(Vec::new()),
-            count: AtomicU64::new(0),
-            next_shard: AtomicU64::new(0),
+            count,
         })
     }
 
@@ -135,15 +160,12 @@ impl Collection {
     }
 
     /// Insert a document, returning its id.
+    ///
+    /// # Panics
+    /// On backend I/O failure (file-backed shards only) — the in-memory
+    /// default never fails.
     pub fn insert(&self, doc: &Document) -> DocId {
-        let encoded = encode_document(doc);
-        let shard_no =
-            (self.next_shard.fetch_add(1, Ordering::Relaxed) % self.shards.len() as u64) as usize;
-        let id = {
-            let mut shard = self.shards[shard_no].write();
-            let (extent_idx, slot) = shard.append(&encoded, self.config.extent_size);
-            DocId::pack(shard_no as u8, extent_idx as u32, slot)
-        };
+        let id = self.coordinator.insert(doc).expect("shard backend append");
         {
             let mut indexes = self.indexes.write();
             for idx in indexes.iter_mut() {
@@ -156,50 +178,22 @@ impl Collection {
 
     /// Insert a batch, returning ids in input order.
     ///
-    /// The batch path is what makes ingest scale: documents encode in
-    /// parallel across the rayon team, the batch reserves its round-robin
-    /// window with one atomic bump, and each shard's documents append
-    /// under a single write-lock acquisition (shards proceed in parallel)
-    /// instead of one lock round-trip per document. Shard routing is
-    /// identical to repeated [`Self::insert`] calls.
+    /// The batch path is what makes ingest scale: the coordinator encodes
+    /// documents in parallel across the rayon team, routes the batch in
+    /// input order (round robin reserves its window with one atomic bump),
+    /// and appends each shard's documents under a single lock acquisition
+    /// (shards proceed in parallel) instead of one lock round-trip per
+    /// document. Shard routing is identical to repeated [`Self::insert`]
+    /// calls under every [`RoutingPolicy`].
+    ///
+    /// # Panics
+    /// On backend I/O failure (file-backed shards only).
     pub fn insert_many<'a, I: IntoIterator<Item = &'a Document>>(&self, docs: I) -> Vec<DocId> {
         let docs: Vec<&Document> = docs.into_iter().collect();
         if docs.is_empty() {
             return Vec::new();
         }
-        let encoded: Vec<Vec<u8>> =
-            docs.par_iter().map(|d| encode_document(d)).collect();
-
-        let nshards = self.shards.len() as u64;
-        let base = self.next_shard.fetch_add(docs.len() as u64, Ordering::Relaxed);
-        let mut per_shard: Vec<Vec<usize>> = vec![Vec::new(); self.shards.len()];
-        for i in 0..docs.len() {
-            per_shard[((base + i as u64) % nshards) as usize].push(i);
-        }
-
-        let placed: Vec<Vec<(usize, DocId)>> = (0..self.shards.len())
-            .into_par_iter()
-            .map(|shard_no| {
-                let doc_indexes = &per_shard[shard_no];
-                if doc_indexes.is_empty() {
-                    return Vec::new();
-                }
-                let mut shard = self.shards[shard_no].write();
-                doc_indexes
-                    .iter()
-                    .map(|&i| {
-                        let (extent_idx, slot) =
-                            shard.append(&encoded[i], self.config.extent_size);
-                        (i, DocId::pack(shard_no as u8, extent_idx as u32, slot))
-                    })
-                    .collect()
-            })
-            .collect();
-
-        let mut ids = vec![DocId(0); docs.len()];
-        for (i, id) in placed.into_iter().flatten() {
-            ids[i] = id;
-        }
+        let ids = self.coordinator.insert_many(&docs).expect("shard backend batch append");
         {
             let mut indexes = self.indexes.write();
             for idx in indexes.iter_mut() {
@@ -214,28 +208,13 @@ impl Collection {
 
     /// Fetch a document by id.
     pub fn get(&self, id: DocId) -> Option<Document> {
-        let shard = self.shards.get(id.shard() as usize)?.read();
-        let extent = shard.extents.get(id.extent() as usize)?;
-        extent.get(id.slot()).and_then(|r| r.ok())
+        self.coordinator.get(id)
     }
 
     /// Delete a document by id. Returns whether it was live.
     pub fn delete(&self, id: DocId) -> bool {
-        let Some(lock) = self.shards.get(id.shard() as usize) else {
+        let Some(doc) = self.coordinator.delete(id) else {
             return false;
-        };
-        let doc = {
-            let mut shard = lock.write();
-            let Some(extent) = shard.extents.get_mut(id.extent() as usize) else {
-                return false;
-            };
-            let Some(doc) = extent.get(id.slot()).and_then(|r| r.ok()) else {
-                return false;
-            };
-            if !extent.delete(id.slot()) {
-                return false;
-            }
-            doc
         };
         let mut indexes = self.indexes.write();
         for idx in indexes.iter_mut() {
@@ -278,45 +257,32 @@ impl Collection {
     }
 
     /// Sequentially visit every live document.
-    pub fn for_each(&self, mut f: impl FnMut(DocId, &Document)) {
-        for (shard_no, lock) in self.shards.iter().enumerate() {
-            let shard = lock.read();
-            for (extent_idx, extent) in shard.extents.iter().enumerate() {
-                for (slot, bytes) in extent.iter_live() {
-                    if let Ok(doc) = crate::encode::decode_document(bytes) {
-                        f(DocId::pack(shard_no as u8, extent_idx as u32, slot), &doc);
-                    }
-                }
-            }
-        }
+    pub fn for_each(&self, f: impl FnMut(DocId, &Document)) {
+        self.coordinator.for_each(f);
     }
 
     /// Scan all shards in parallel via rayon, collecting `f`'s non-`None`
-    /// outputs. Output order is deterministic regardless of thread count:
-    /// shard-major, then extent, then slot.
+    /// outputs. Output order is deterministic regardless of thread count
+    /// and backend: shard-major, then extent, then slot.
     pub fn parallel_scan<T, F>(&self, f: F) -> Vec<T>
     where
         T: Send,
         F: Fn(DocId, &Document) -> Option<T> + Sync,
     {
-        (0..self.shards.len())
-            .into_par_iter()
-            .flat_map(|shard_no| {
-                let shard = self.shards[shard_no].read();
-                let mut out = Vec::new();
-                for (extent_idx, extent) in shard.extents.iter().enumerate() {
-                    for (slot, bytes) in extent.iter_live() {
-                        if let Ok(doc) = crate::encode::decode_document(bytes) {
-                            let id = DocId::pack(shard_no as u8, extent_idx as u32, slot);
-                            if let Some(t) = f(id, &doc) {
-                                out.push(t);
-                            }
-                        }
-                    }
-                }
-                out
-            })
-            .collect()
+        self.coordinator.parallel_scan(f)
+    }
+
+    /// Flush file-backed shards' resident tails to their extent files so a
+    /// reopen (a fresh [`Collection::new`] over the same directory) sees
+    /// the full chain. A no-op for memory backends.
+    pub fn sync(&self) -> Result<()> {
+        self.coordinator.sync()
+    }
+
+    /// Per-shard distribution report: backend kind, doc/extent counts,
+    /// routing policy, and flush traffic.
+    pub fn storage_report(&self) -> StorageReport {
+        self.coordinator.report(&self.name)
     }
 
     /// Group-by over a path: `(value, count)` in value order. Uses an index
@@ -338,22 +304,11 @@ impl Collection {
 
     /// Statistics in the shape of the paper's Tables I–II.
     pub fn stats(&self, namespace: &str) -> CollectionStats {
-        let mut num_extents = 0usize;
-        let mut last_extent_size = 0usize;
-        let mut data_bytes = 0usize;
-        // The "last" extent is the most recently allocated across all shards;
-        // we take the maximum-fill convention: report the byte size of the
-        // final extent of the last shard that has one.
-        for lock in &self.shards {
-            let shard = lock.read();
-            num_extents += shard.extents.len();
-            for e in &shard.extents {
-                data_bytes += e.used_bytes();
-            }
-            if let Some(last) = shard.extents.last() {
-                last_extent_size = last.capacity();
-            }
-        }
+        let num_extents = self.coordinator.extent_count();
+        let data_bytes = self.coordinator.used_bytes();
+        // The "last" extent convention: the byte size of the final extent
+        // of the last shard that has one.
+        let last_extent_size = self.coordinator.last_extent_capacity();
         let indexes = self.indexes.read();
         let total_index_size = indexes.iter().map(|i| i.size_bytes()).sum();
         let count = self.len();
@@ -370,11 +325,8 @@ impl Collection {
     }
 
     /// Access for persistence: snapshot extents per shard.
-    pub(crate) fn snapshot_extents(&self) -> Vec<Vec<Vec<u8>>> {
-        self.shards
-            .iter()
-            .map(|lock| lock.read().extents.iter().map(|e| e.to_bytes()).collect())
-            .collect()
+    pub(crate) fn snapshot_extents(&self) -> Result<Vec<Vec<Vec<u8>>>> {
+        self.coordinator.snapshot_extents()
     }
 
     /// Restore a collection from persisted extents and index specs.
@@ -392,15 +344,7 @@ impl Collection {
             )));
         }
         let col = Collection::new(name, config)?;
-        let mut total = 0u64;
-        for (shard_no, extents) in shard_extents.into_iter().enumerate() {
-            let mut shard = col.shards[shard_no].write();
-            for bytes in extents {
-                let e = Extent::from_bytes(&bytes)?;
-                total += e.live_count() as u64;
-                shard.extents.push(e);
-            }
-        }
+        let total = col.coordinator.restore_extents(shard_extents)?;
         col.count.store(total, Ordering::Relaxed);
         for spec in index_specs {
             col.create_index(spec)?;
@@ -419,7 +363,9 @@ impl std::fmt::Debug for Collection {
         f.debug_struct("Collection")
             .field("name", &self.name)
             .field("count", &self.len())
-            .field("shards", &self.shards.len())
+            .field("shards", &self.coordinator.shard_count())
+            .field("backend", &self.config.backend.kind())
+            .field("routing", &self.coordinator.routing().name())
             .finish()
     }
 }
@@ -428,9 +374,21 @@ impl std::fmt::Debug for Collection {
 mod tests {
     use super::*;
     use datatamer_model::doc;
+    use rayon::prelude::*;
 
     fn small() -> Collection {
-        Collection::new("test", CollectionConfig { extent_size: 256, shards: 4 }).unwrap()
+        Collection::new(
+            "test",
+            CollectionConfig { extent_size: 256, shards: 4, ..Default::default() },
+        )
+        .unwrap()
+    }
+
+    fn tempdir(tag: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("dt_collection_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
     }
 
     #[test]
@@ -538,8 +496,11 @@ mod tests {
 
     #[test]
     fn concurrent_inserts_are_consistent() {
-        let c =
-            Collection::new("conc", CollectionConfig { extent_size: 4096, shards: 8 }).unwrap();
+        let c = Collection::new(
+            "conc",
+            CollectionConfig { extent_size: 4096, shards: 8, ..Default::default() },
+        )
+        .unwrap();
         (0..8usize).into_par_iter().for_each(|t| {
             for i in 0..100i64 {
                 c.insert(&doc! {"t" => t as i64, "i" => i});
@@ -576,8 +537,132 @@ mod tests {
 
     #[test]
     fn bad_configs_rejected() {
-        assert!(Collection::new("x", CollectionConfig { extent_size: 0, shards: 1 }).is_err());
-        assert!(Collection::new("x", CollectionConfig { extent_size: 10, shards: 0 }).is_err());
-        assert!(Collection::new("x", CollectionConfig { extent_size: 10, shards: 257 }).is_err());
+        let cfg = |extent_size, shards| CollectionConfig {
+            extent_size,
+            shards,
+            ..Default::default()
+        };
+        assert!(Collection::new("x", cfg(0, 1)).is_err());
+        assert!(Collection::new("x", cfg(10, 0)).is_err());
+        assert!(Collection::new("x", cfg(10, 257)).is_err());
+    }
+
+    #[test]
+    fn path_hostile_names_rejected() {
+        for bad in ["", "a/b", "a\\b", "..", "a..b", ".", "evil/../../etc"] {
+            assert!(
+                Collection::new(bad, CollectionConfig::default()).is_err(),
+                "name {bad:?} must be rejected"
+            );
+        }
+        for good in ["instance", "global_records", "My.Coll-2", "x"] {
+            assert!(Collection::new(good, CollectionConfig::default()).is_ok(), "{good:?}");
+        }
+    }
+
+    #[test]
+    fn file_backend_collection_roundtrips_and_reopens() {
+        let dir = tempdir("file_roundtrip");
+        let config = CollectionConfig {
+            extent_size: 256,
+            shards: 3,
+            backend: BackendConfig::File { dir: dir.clone() },
+            ..Default::default()
+        };
+        let docs: Vec<Document> =
+            (0..40i64).map(|i| doc! {"i" => i, "pad" => "z".repeat(20)}).collect();
+        let ids = {
+            let col = Collection::new("shows", config.clone()).unwrap();
+            let ids = col.insert_many(&docs);
+            assert_eq!(col.len(), 40);
+            assert_eq!(col.get(ids[7]).as_ref(), Some(&docs[7]));
+            col.sync().unwrap();
+            ids
+        };
+        // Reopen over the same directory: same chain, same documents.
+        let reopened = Collection::new("shows", config).unwrap();
+        assert_eq!(reopened.len(), 40);
+        for (id, d) in ids.iter().zip(&docs) {
+            assert_eq!(reopened.get(*id).as_ref(), Some(d));
+        }
+        let report = reopened.storage_report();
+        assert_eq!(report.shards.len(), 3);
+        assert!(report.shards.iter().all(|s| s.backend == crate::backend::BackendKind::File));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn memory_and_file_collections_scan_identically() {
+        let dir = tempdir("mem_vs_file");
+        let docs: Vec<Document> =
+            (0..60i64).map(|i| doc! {"i" => i, "k" => format!("key{}", i % 7)}).collect();
+        for routing in [
+            RoutingPolicy::RoundRobin,
+            RoutingPolicy::HashKey { attr: "k".into() },
+            RoutingPolicy::Range { attr: "k".into() },
+        ] {
+            let mem = Collection::new(
+                "c",
+                CollectionConfig {
+                    extent_size: 512,
+                    shards: 4,
+                    routing: routing.clone(),
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+            let file = Collection::new(
+                "c",
+                CollectionConfig {
+                    extent_size: 512,
+                    shards: 4,
+                    backend: BackendConfig::File {
+                        dir: dir.join(routing.name()),
+                    },
+                    routing: routing.clone(),
+                },
+            )
+            .unwrap();
+            let mem_ids = mem.insert_many(&docs);
+            let file_ids = file.insert_many(&docs);
+            assert_eq!(mem_ids, file_ids, "{routing:?}: placement must match");
+            let mem_scan = mem.parallel_scan(|id, d| Some((id, format!("{d:?}"))));
+            let file_scan = file.parallel_scan(|id, d| Some((id, format!("{d:?}"))));
+            assert_eq!(mem_scan, file_scan, "{routing:?}: scans must be byte-identical");
+            assert_eq!(mem.stats("dt").count, file.stats("dt").count);
+            assert_eq!(mem.stats("dt").num_extents, file.stats("dt").num_extents);
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn hash_routing_co_locates_equal_keys_in_collection() {
+        let c = Collection::new(
+            "keyed",
+            CollectionConfig {
+                extent_size: 1024,
+                shards: 8,
+                routing: RoutingPolicy::HashKey { attr: "show".into() },
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let docs: Vec<Document> =
+            (0..32i64).map(|i| doc! {"show" => format!("s{}", i % 4), "i" => i}).collect();
+        let ids = c.insert_many(&docs);
+        for (i, a) in ids.iter().enumerate() {
+            for (j, b) in ids.iter().enumerate() {
+                if i % 4 == j % 4 {
+                    assert_eq!(a.shard(), b.shard(), "equal keys co-locate");
+                }
+            }
+        }
+        let report = c.storage_report();
+        assert_eq!(report.routing, "hash_key");
+        assert_eq!(report.docs(), 32);
+        assert!(
+            report.shards.iter().filter(|s| s.docs > 0).count() <= 4,
+            "at most one shard per distinct key: {report:?}"
+        );
     }
 }

@@ -1,0 +1,325 @@
+//! The shard coordinator: routing + scatter/gather over pluggable backends.
+//!
+//! [`ShardCoordinator`] owns one [`ShardBackend`] per shard and a
+//! [`Router`]. It is the layer `Collection` delegates to: single inserts
+//! route and append; batches scatter across shards (encode in parallel,
+//! route in input order, one lock acquisition per shard, shards appending
+//! concurrently) and gather `DocId`s back in input order; scans fan out one
+//! rayon task per shard and concatenate shard-major — so results are
+//! byte-identical at any thread count and under any backend mix.
+
+use rayon::prelude::*;
+
+use datatamer_model::{Document, Result};
+
+use crate::backend::{BackendKind, ShardBackend};
+use crate::collection::DocId;
+use crate::encode::encode_document;
+use crate::routing::{Router, RoutingPolicy};
+
+/// Per-shard shape of one collection — the unit of [`StorageReport`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardStorage {
+    /// Substrate the shard lives on.
+    pub backend: BackendKind,
+    /// Live documents on this shard.
+    pub docs: u64,
+    /// Extents in this shard's chain.
+    pub extents: usize,
+}
+
+/// How one collection's data is distributed: per-shard doc/extent counts,
+/// the routing policy, and flush traffic. Threaded into the pipeline's
+/// stage reports so distribution skew and backend I/O are visible per run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StorageReport {
+    /// The collection reported on.
+    pub collection: String,
+    /// Routing policy name (`round_robin` / `hash_key` / `range`).
+    pub routing: &'static str,
+    /// One entry per shard, in shard order.
+    pub shards: Vec<ShardStorage>,
+    /// Extent writes to stable storage (0 for all-memory collections).
+    pub flushes: u64,
+}
+
+impl StorageReport {
+    /// Total live documents across shards.
+    pub fn docs(&self) -> u64 {
+        self.shards.iter().map(|s| s.docs).sum()
+    }
+
+    /// Largest shard's doc count — `max / mean` reads as routing skew.
+    pub fn largest_shard_docs(&self) -> u64 {
+        self.shards.iter().map(|s| s.docs).max().unwrap_or(0)
+    }
+}
+
+/// Routing plus per-shard backends; see the module docs.
+pub struct ShardCoordinator {
+    backends: Vec<Box<dyn ShardBackend>>,
+    router: Router,
+}
+
+impl ShardCoordinator {
+    /// Coordinator over `backends` (one per shard, at most 256 — the
+    /// `DocId` shard field is 8 bits) with `routing` in force.
+    pub fn new(backends: Vec<Box<dyn ShardBackend>>, routing: RoutingPolicy) -> Self {
+        assert!(
+            !backends.is_empty() && backends.len() <= 256,
+            "shard count {} out of range 1..=256",
+            backends.len()
+        );
+        ShardCoordinator { backends, router: Router::new(routing) }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.backends.len()
+    }
+
+    /// The routing policy in force.
+    pub fn routing(&self) -> &RoutingPolicy {
+        self.router.policy()
+    }
+
+    /// Live documents across all shards.
+    pub fn len(&self) -> u64 {
+        self.backends.iter().map(|b| b.len()).sum()
+    }
+
+    /// True when every shard is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Route and append one document.
+    pub fn insert(&self, doc: &Document) -> Result<DocId> {
+        let shard = self.router.route_one(doc, self.backends.len());
+        let encoded = encode_document(doc);
+        let (extent, slot) = self.backends[shard].append(&encoded)?;
+        Ok(DocId::pack(shard as u8, extent, slot))
+    }
+
+    /// Scatter a batch across shards and gather ids in input order.
+    ///
+    /// Documents encode in parallel, the router assigns shards in input
+    /// order (round robin reserves its window with one atomic bump, so the
+    /// assignment matches repeated [`ShardCoordinator::insert`] calls),
+    /// and each shard's documents append under a single lock acquisition
+    /// while shards proceed concurrently.
+    pub fn insert_many(&self, docs: &[&Document]) -> Result<Vec<DocId>> {
+        if docs.is_empty() {
+            return Ok(Vec::new());
+        }
+        let encoded: Vec<Vec<u8>> = docs.par_iter().map(|d| encode_document(d)).collect();
+        let assignment = self.router.route_many(docs, self.backends.len());
+        let mut per_shard: Vec<Vec<usize>> = vec![Vec::new(); self.backends.len()];
+        for (i, &shard) in assignment.iter().enumerate() {
+            per_shard[shard].push(i);
+        }
+
+        let placed: Vec<Result<Vec<(usize, DocId)>>> = (0..self.backends.len())
+            .into_par_iter()
+            .map(|shard_no| {
+                let doc_indexes = &per_shard[shard_no];
+                if doc_indexes.is_empty() {
+                    return Ok(Vec::new());
+                }
+                let batch: Vec<&[u8]> =
+                    doc_indexes.iter().map(|&i| encoded[i].as_slice()).collect();
+                let spots = self.backends[shard_no].append_batch(&batch)?;
+                Ok(doc_indexes
+                    .iter()
+                    .zip(spots)
+                    .map(|(&i, (extent, slot))| {
+                        (i, DocId::pack(shard_no as u8, extent, slot))
+                    })
+                    .collect())
+            })
+            .collect();
+
+        let mut ids = vec![DocId(0); docs.len()];
+        for shard_result in placed {
+            for (i, id) in shard_result? {
+                ids[i] = id;
+            }
+        }
+        Ok(ids)
+    }
+
+    /// Point read: exactly one shard is touched.
+    pub fn get(&self, id: DocId) -> Option<Document> {
+        self.backends.get(id.shard() as usize)?.get(id.extent(), id.slot())
+    }
+
+    /// Tombstone a document, returning it when it was live.
+    pub fn delete(&self, id: DocId) -> Option<Document> {
+        self.backends.get(id.shard() as usize)?.delete(id.extent(), id.slot())
+    }
+
+    /// Sequentially visit every live document, shard-major.
+    pub fn for_each(&self, mut f: impl FnMut(DocId, &Document)) {
+        for (shard_no, backend) in self.backends.iter().enumerate() {
+            backend.visit(&mut |extent, slot, doc| {
+                f(DocId::pack(shard_no as u8, extent, slot), doc);
+            });
+        }
+    }
+
+    /// Scatter/gather scan: one rayon task per shard, outputs concatenated
+    /// shard-major then extent then slot — deterministic at any thread
+    /// count.
+    pub fn parallel_scan<T, F>(&self, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(DocId, &Document) -> Option<T> + Sync,
+    {
+        (0..self.backends.len())
+            .into_par_iter()
+            .flat_map(|shard_no| {
+                let mut out = Vec::new();
+                self.backends[shard_no].visit(&mut |extent, slot, doc| {
+                    let id = DocId::pack(shard_no as u8, extent, slot);
+                    if let Some(t) = f(id, doc) {
+                        out.push(t);
+                    }
+                });
+                out
+            })
+            .collect()
+    }
+
+    /// Total extents across shards.
+    pub fn extent_count(&self) -> usize {
+        self.backends.iter().map(|b| b.extent_count()).sum()
+    }
+
+    /// Total encoded-document bytes across shards.
+    pub fn used_bytes(&self) -> usize {
+        self.backends.iter().map(|b| b.used_bytes()).sum()
+    }
+
+    /// Capacity of the final extent of the last shard that has one (the
+    /// stats convention inherited from the pre-coordinator collection).
+    pub fn last_extent_capacity(&self) -> usize {
+        self.backends
+            .iter()
+            .rev()
+            .map(|b| b.last_extent_capacity())
+            .find(|&c| c > 0)
+            .unwrap_or(0)
+    }
+
+    /// Serialise every shard's chain (persist encoding), shard order.
+    pub fn snapshot_extents(&self) -> Result<Vec<Vec<Vec<u8>>>> {
+        self.backends.iter().map(|b| b.snapshot()).collect()
+    }
+
+    /// Replace every shard's chain from a snapshot; returns total live.
+    pub fn restore_extents(&self, shard_extents: Vec<Vec<Vec<u8>>>) -> Result<u64> {
+        let mut live = 0u64;
+        for (backend, extents) in self.backends.iter().zip(shard_extents) {
+            live += backend.restore(extents)?;
+        }
+        Ok(live)
+    }
+
+    /// Flush every backend's volatile tail to stable storage.
+    pub fn sync(&self) -> Result<()> {
+        for backend in &self.backends {
+            backend.sync()?;
+        }
+        Ok(())
+    }
+
+    /// The distribution report for this coordinator's collection.
+    pub fn report(&self, collection: &str) -> StorageReport {
+        StorageReport {
+            collection: collection.to_owned(),
+            routing: self.router.policy().name(),
+            shards: self
+                .backends
+                .iter()
+                .map(|b| ShardStorage {
+                    backend: b.kind(),
+                    docs: b.len(),
+                    extents: b.extent_count(),
+                })
+                .collect(),
+            flushes: self.backends.iter().map(|b| b.flushes()).sum(),
+        }
+    }
+}
+
+impl std::fmt::Debug for ShardCoordinator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardCoordinator")
+            .field("shards", &self.backends.len())
+            .field("routing", self.router.policy())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::MemoryBackend;
+    use datatamer_model::doc;
+
+    fn memory_coordinator(shards: usize, routing: RoutingPolicy) -> ShardCoordinator {
+        let backends: Vec<Box<dyn ShardBackend>> = (0..shards)
+            .map(|_| Box::new(MemoryBackend::new(512)) as Box<dyn ShardBackend>)
+            .collect();
+        ShardCoordinator::new(backends, routing)
+    }
+
+    #[test]
+    fn hash_routing_co_locates_and_scatter_matches_singles() {
+        let docs: Vec<_> = (0..40i64)
+            .map(|i| doc! {"show" => format!("show{}", i % 5), "i" => i})
+            .collect();
+        let refs: Vec<&Document> = docs.iter().collect();
+        let routing = RoutingPolicy::HashKey { attr: "show".into() };
+
+        let singles = memory_coordinator(4, routing.clone());
+        let one_by_one: Vec<DocId> =
+            refs.iter().map(|d| singles.insert(d).unwrap()).collect();
+        let batched = memory_coordinator(4, routing);
+        let ids = batched.insert_many(&refs).unwrap();
+        assert_eq!(one_by_one, ids, "keyed batches route like singles");
+
+        // Equal keys share a shard.
+        for (i, a) in ids.iter().enumerate() {
+            for (j, b) in ids.iter().enumerate() {
+                if i % 5 == j % 5 {
+                    assert_eq!(a.shard(), b.shard(), "docs {i} and {j} share a key");
+                }
+            }
+        }
+        assert_eq!(batched.len(), 40);
+    }
+
+    #[test]
+    fn report_shapes_the_distribution() {
+        let coordinator = memory_coordinator(3, RoutingPolicy::RoundRobin);
+        let docs: Vec<_> = (0..9i64).map(|i| doc! {"i" => i}).collect();
+        let refs: Vec<&Document> = docs.iter().collect();
+        coordinator.insert_many(&refs).unwrap();
+        let report = coordinator.report("things");
+        assert_eq!(report.collection, "things");
+        assert_eq!(report.routing, "round_robin");
+        assert_eq!(report.shards.len(), 3);
+        assert!(report.shards.iter().all(|s| s.docs == 3), "{report:?}");
+        assert!(report.shards.iter().all(|s| s.backend == BackendKind::Memory));
+        assert_eq!(report.docs(), 9);
+        assert_eq!(report.largest_shard_docs(), 3);
+        assert_eq!(report.flushes, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn zero_shards_panic() {
+        memory_coordinator(0, RoutingPolicy::RoundRobin);
+    }
+}

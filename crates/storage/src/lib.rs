@@ -10,27 +10,48 @@
 //!   allocating new extents exactly as the paper's 2 GB extents do (the
 //!   extent size is configurable so experiments can run at reduced scale
 //!   while preserving the count : extent ratios).
-//! * [`collection`] — sharded collections: inserts route to shards, each
-//!   shard owns a chain of extents behind its own lock.
+//! * [`backend`] — pluggable shard substrates behind the [`ShardBackend`]
+//!   trait: [`backend::MemoryBackend`] (in-process extents) and
+//!   [`backend::FileBackend`] (out-of-core: only the tail extent resident,
+//!   full extents flushed to one file each and re-loaded transiently).
+//! * [`routing`] — declarative shard routing ([`RoutingPolicy`]): round
+//!   robin, key-hash co-location, or byte-range partitioning — pure
+//!   functions of the document (or arrival order), so placement is
+//!   deterministic at any thread count.
+//! * [`coordinator`] — the [`ShardCoordinator`]: one backend per shard
+//!   plus a router, running rayon scatter/gather for batch inserts and
+//!   parallel scans, and reporting per-shard distribution
+//!   ([`StorageReport`]).
+//! * [`collection`] — sharded collections: a coordinator wrapped with
+//!   secondary indexes, stats, and the packed `(shard, extent, slot)`
+//!   [`DocId`] scheme.
 //! * [`index`] — ordered secondary indexes (optionally multikey) over dotted
 //!   paths, with byte-accurate size accounting.
 //! * [`query`] — filters, projections, sorts, index selection, and parallel
 //!   shard scans.
 //! * [`stats`] — the `db.<coll>.stats()` report of Tables I and II.
-//! * [`store`] — a namespace ("dt") holding collections.
+//! * [`store`] — a namespace ("dt") holding collections. Collection names
+//!   are validated at creation: path separators, `..`, and NUL are
+//!   rejected before a name can become an on-disk directory.
 //! * [`persist`] — save/load a store to a directory of extent files.
 
+pub mod backend;
 pub mod collection;
+pub mod coordinator;
 pub mod encode;
 pub mod extent;
 pub mod index;
 pub mod persist;
 pub mod query;
+pub mod routing;
 pub mod stats;
 pub mod store;
 
+pub use backend::{BackendConfig, BackendKind, FileBackend, MemoryBackend, ShardBackend};
 pub use collection::{Collection, CollectionConfig, DocId};
+pub use coordinator::{ShardCoordinator, ShardStorage, StorageReport};
 pub use index::IndexSpec;
 pub use query::{Filter, Query, SortOrder};
+pub use routing::RoutingPolicy;
 pub use stats::CollectionStats;
 pub use store::Store;

@@ -85,7 +85,16 @@ fn read_manifest(path: &Path) -> Result<Manifest> {
         let path = read_string(&mut buf)?;
         specs.push(IndexSpec::new(name, path));
     }
-    Ok(Manifest { config: CollectionConfig { extent_size, shards }, shard_extent_counts, specs })
+    // The manifest predates the coordinator and stays format-stable: it
+    // records extent size and shard count only, so loaded collections come
+    // back on the default backend/routing (in-process, round robin) —
+    // callers wanting a file-backed reopen use the file backend's own
+    // directory adoption instead of this snapshot path.
+    Ok(Manifest {
+        config: CollectionConfig { extent_size, shards, ..Default::default() },
+        shard_extent_counts,
+        specs,
+    })
 }
 
 /// Save every collection of `store` under `dir` (created if absent).
@@ -101,7 +110,7 @@ pub fn save_store(store: &Store, dir: &Path) -> Result<()> {
 /// Save a single collection under `dir`.
 pub fn save_collection(col: &Collection, dir: &Path) -> Result<()> {
     fs::create_dir_all(dir)?;
-    let snapshots = col.snapshot_extents();
+    let snapshots = col.snapshot_extents()?;
     let counts: Vec<usize> = snapshots.iter().map(Vec::len).collect();
     write_manifest(&dir.join("manifest"), col.config(), &counts, &col.index_specs())?;
     for (shard_no, extents) in snapshots.iter().enumerate() {
@@ -171,7 +180,7 @@ mod tests {
         let dir = tempdir("col");
         let col = Collection::new(
             "shows",
-            CollectionConfig { extent_size: 512, shards: 3 },
+            CollectionConfig { extent_size: 512, shards: 3, ..Default::default() },
         )
         .unwrap();
         for i in 0..30i64 {

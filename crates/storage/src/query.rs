@@ -286,7 +286,7 @@ mod tests {
     use datatamer_model::doc;
 
     fn seed() -> Collection {
-        let c = Collection::new("shows", CollectionConfig { extent_size: 4096, shards: 4 })
+        let c = Collection::new("shows", CollectionConfig { extent_size: 4096, shards: 4, ..Default::default() })
             .unwrap();
         let rows = [
             ("Matilda", 27i64, "musical"),

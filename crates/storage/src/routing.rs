@@ -1,0 +1,189 @@
+//! Declarative shard-routing policies for the coordinator.
+//!
+//! Routing decides which shard an incoming document lands on. The historic
+//! behaviour — a round-robin counter hard-coded inside `Collection` — is
+//! now one policy among several:
+//!
+//! * [`RoutingPolicy::RoundRobin`] — even spread, no data locality; the
+//!   default and byte-compatible with the pre-coordinator router.
+//! * [`RoutingPolicy::HashKey`] — hash of one attribute's text, so records
+//!   sharing a key co-locate on one shard (blocking locality: a later
+//!   per-shard consolidation pass sees whole buckets without shuffling).
+//! * [`RoutingPolicy::Range`] — byte-range partitioning of the key space,
+//!   keeping lexicographic neighbours on the same or adjacent shards
+//!   (range scans touch few shards).
+//!
+//! Hash and range routing are pure functions of the document, so placement
+//! is deterministic at any thread count and across batch boundaries.
+//! Round-robin depends on arrival order only: a batch reserves its window
+//! with one atomic bump, which makes `insert_many` route exactly like the
+//! same sequence of single inserts.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use datatamer_model::Document;
+use rayon::prelude::*;
+
+/// How the coordinator assigns documents to shards.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub enum RoutingPolicy {
+    /// Arrival-order round robin (the historic default).
+    #[default]
+    RoundRobin,
+    /// FNV-1a hash of `attr`'s text rendering, modulo the shard count.
+    /// Records with equal keys always share a shard; documents lacking the
+    /// attribute hash the empty string (deterministically shard-stable).
+    HashKey {
+        /// Dotted document path supplying the routing key.
+        attr: String,
+    },
+    /// Partition the key space by the first byte of `attr`'s text: shard
+    /// `⌊first_byte · shards / 256⌋`. Keyless or empty-keyed documents go
+    /// to shard 0.
+    Range {
+        /// Dotted document path supplying the routing key.
+        attr: String,
+    },
+}
+
+impl RoutingPolicy {
+    /// Short stable name for reports and bench ids.
+    pub fn name(&self) -> &'static str {
+        match self {
+            RoutingPolicy::RoundRobin => "round_robin",
+            RoutingPolicy::HashKey { .. } => "hash_key",
+            RoutingPolicy::Range { .. } => "range",
+        }
+    }
+}
+
+/// FNV-1a over the key bytes — stable across platforms and runs (unlike
+/// `RandomState`), which is what keeps hash routing byte-deterministic.
+/// Same constants as `datatamer-sim`'s `FnvHasher` (the token interner's
+/// hash); duplicated rather than imported because this crate sits below
+/// `datatamer-sim` in the workspace graph — keep the two in sync.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Text rendering of the routing key, empty when absent.
+fn key_text(doc: &Document, attr: &str) -> String {
+    doc.get_path(attr).map(|v| v.to_text()).unwrap_or_default()
+}
+
+/// The routing engine: a policy plus the round-robin cursor.
+#[derive(Debug)]
+pub struct Router {
+    policy: RoutingPolicy,
+    next: AtomicU64,
+}
+
+impl Router {
+    /// Router for a policy, cursor at zero.
+    pub fn new(policy: RoutingPolicy) -> Self {
+        Router { policy, next: AtomicU64::new(0) }
+    }
+
+    /// The policy in force.
+    pub fn policy(&self) -> &RoutingPolicy {
+        &self.policy
+    }
+
+    /// Shard for one document.
+    pub fn route_one(&self, doc: &Document, shards: usize) -> usize {
+        match &self.policy {
+            RoutingPolicy::RoundRobin => {
+                (self.next.fetch_add(1, Ordering::Relaxed) % shards as u64) as usize
+            }
+            RoutingPolicy::HashKey { attr } => {
+                (fnv1a(key_text(doc, attr).as_bytes()) % shards as u64) as usize
+            }
+            RoutingPolicy::Range { attr } => range_shard(&key_text(doc, attr), shards),
+        }
+    }
+
+    /// Shards for a batch, in input order. Round robin reserves the whole
+    /// window with one atomic bump so the assignment matches the same
+    /// documents arriving one by one; the keyed policies are pure per
+    /// document, so their key extraction + hash fans out across the rayon
+    /// team (output stays positional — determinism is unaffected).
+    pub fn route_many(&self, docs: &[&Document], shards: usize) -> Vec<usize> {
+        match &self.policy {
+            RoutingPolicy::RoundRobin => {
+                let base = self.next.fetch_add(docs.len() as u64, Ordering::Relaxed);
+                (0..docs.len())
+                    .map(|i| ((base + i as u64) % shards as u64) as usize)
+                    .collect()
+            }
+            _ => docs.par_iter().map(|d| self.route_one(d, shards)).collect(),
+        }
+    }
+}
+
+fn range_shard(key: &str, shards: usize) -> usize {
+    match key.as_bytes().first() {
+        Some(&b) => (b as usize * shards) >> 8,
+        None => 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datatamer_model::doc;
+
+    #[test]
+    fn round_robin_cycles_and_batches_match_singles() {
+        let docs: Vec<_> = (0..7i64).map(|i| doc! {"i" => i}).collect();
+        let refs: Vec<&Document> = docs.iter().collect();
+        let single = Router::new(RoutingPolicy::RoundRobin);
+        let one_by_one: Vec<usize> = refs.iter().map(|d| single.route_one(d, 3)).collect();
+        let batched = Router::new(RoutingPolicy::RoundRobin).route_many(&refs, 3);
+        assert_eq!(one_by_one, batched);
+        assert_eq!(batched, vec![0, 1, 2, 0, 1, 2, 0]);
+    }
+
+    #[test]
+    fn hash_key_co_locates_equal_keys() {
+        let router = Router::new(RoutingPolicy::HashKey { attr: "show".into() });
+        let a = doc! {"show" => "Matilda", "price" => 27i64};
+        let b = doc! {"show" => "Matilda", "price" => 45i64};
+        let c = doc! {"show" => "Wicked"};
+        let (sa, sb) = (router.route_one(&a, 8), router.route_one(&b, 8));
+        assert_eq!(sa, sb, "same key must co-locate");
+        assert!(router.route_one(&c, 8) < 8);
+        // Keyless documents are stable too (they hash the empty string).
+        let missing = doc! {"other" => 1i64};
+        assert_eq!(router.route_one(&missing, 8), router.route_one(&missing, 8));
+    }
+
+    #[test]
+    fn range_partitions_by_leading_byte() {
+        let router = Router::new(RoutingPolicy::Range { attr: "k".into() });
+        assert_eq!(router.route_one(&doc! {"k" => "aardvark"}, 4), (b'a' as usize * 4) >> 8);
+        assert_eq!(router.route_one(&doc! {"k" => "zebra"}, 4), (b'z' as usize * 4) >> 8);
+        assert!(
+            router.route_one(&doc! {"k" => "apple"}, 4)
+                <= router.route_one(&doc! {"k" => "zoo"}, 4),
+            "ranges are ordered"
+        );
+        assert_eq!(router.route_one(&doc! {"other" => 1i64}, 4), 0, "keyless to shard 0");
+        // Shard index always in range, even for the highest byte.
+        assert!(range_shard("\u{7f}", 256) < 256);
+    }
+
+    #[test]
+    fn keyed_routing_ignores_the_cursor() {
+        let router = Router::new(RoutingPolicy::HashKey { attr: "k".into() });
+        let d = doc! {"k" => "stable"};
+        let first = router.route_one(&d, 5);
+        for _ in 0..10 {
+            assert_eq!(router.route_one(&d, 5), first, "no hidden arrival-order state");
+        }
+    }
+}

@@ -27,7 +27,12 @@ impl Store {
         &self.namespace
     }
 
-    /// Create a collection; errors when the name is taken.
+    /// Create a collection; errors when the name is taken or unsafe.
+    ///
+    /// Names become on-disk directory names (the persist layout and the
+    /// file backend both interpolate them into paths), so names containing
+    /// path separators, `..`, or NUL are rejected here — before they can
+    /// ever reach a filesystem call.
     pub fn create_collection(
         &self,
         name: impl Into<String>,
@@ -55,7 +60,8 @@ impl Store {
     /// inserts, the other gets the inserted handle.
     ///
     /// Panics if `config` is invalid (zero extent size / bad shard count)
-    /// and the collection does not already exist.
+    /// or the name is path-hostile, and the collection does not already
+    /// exist.
     pub fn collection_or_create(&self, name: &str, config: CollectionConfig) -> Arc<Collection> {
         if let Some(c) = self.collection(name) {
             return c;
@@ -134,6 +140,22 @@ mod tests {
         assert_eq!(stats.count, 1);
         assert!(store.stats("missing").is_none());
         assert_eq!(store.all_stats().len(), 1);
+    }
+
+    #[test]
+    fn path_hostile_names_never_become_collections() {
+        // These names would previously have been interpolated unchecked
+        // into `<dir>/<collection>/` by the persist layer.
+        let store = Store::new("dt");
+        for bad in ["../escape", "nested/dir", "back\\slash", "..", "", "nul\0byte"] {
+            assert!(
+                store.create_collection(bad, CollectionConfig::default()).is_err(),
+                "{bad:?} must be rejected"
+            );
+        }
+        assert!(store.collection_names().is_empty(), "nothing was created");
+        // Benign punctuation still works.
+        assert!(store.create_collection("shows.2026-v1", CollectionConfig::default()).is_ok());
     }
 
     #[test]

@@ -66,7 +66,7 @@ proptest! {
     fn insert_then_get_returns_same_document(docs in prop::collection::vec(document(), 1..20)) {
         let col = Collection::new(
             "p",
-            CollectionConfig { extent_size: 512, shards: 3 },
+            CollectionConfig { extent_size: 512, shards: 3, ..Default::default() },
         ).unwrap();
         let ids: Vec<_> = docs.iter().map(|d| col.insert(d)).collect();
         for (id, doc) in ids.iter().zip(&docs) {

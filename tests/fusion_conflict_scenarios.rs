@@ -155,6 +155,17 @@ fn conflict_corpus_resolves_as_pinned() {
             "scenario {}",
             s.name
         );
+        // The default resolver is MajorityVote, which always quantifies its
+        // decision — so every scenario's entity carries a confidence, and a
+        // valid one.
+        let confidence = fused[0]
+            .confidence
+            .unwrap_or_else(|| panic!("{}: majority-voted entity must carry confidence", s.name));
+        assert!(
+            (0.0..=1.0).contains(&confidence),
+            "{}: confidence {confidence} out of range",
+            s.name
+        );
     }
 }
 

@@ -5,10 +5,12 @@
 //! The rayon shim honours `ThreadPool::install` thread-locally, so each
 //! closure below runs the entire pipeline at its pool's width.
 
+use datatamer::core::config::StorageConfig;
 use datatamer::core::fusion::{
     BlockedErConfig, GroupingStrategy, RegistryConfig, ResolverSpec,
 };
 use datatamer::core::{DataTamer, DataTamerConfig, PipelinePlan};
+use datatamer::storage::{BackendConfig, RoutingPolicy};
 use datatamer::corpus::ftables::{self, FtablesConfig};
 use datatamer::corpus::webtext::{WebTextConfig, WebTextCorpus};
 use datatamer::text::DomainParser;
@@ -27,6 +29,17 @@ fn run_pipeline_fingerprint(
     resolvers: Option<RegistryConfig>,
     grouping: Option<GroupingStrategy>,
 ) -> (String, Vec<String>) {
+    run_pipeline_fingerprint_on(resolvers, grouping, StorageConfig::default())
+}
+
+/// [`run_pipeline_fingerprint`] with the storage backend/routing under the
+/// caller's control (the shard-coordinator equivalence tests point it at a
+/// file backend).
+fn run_pipeline_fingerprint_on(
+    resolvers: Option<RegistryConfig>,
+    grouping: Option<GroupingStrategy>,
+    storage: StorageConfig,
+) -> (String, Vec<String>) {
     let corpus = WebTextCorpus::generate(&WebTextConfig {
         num_fragments: 400,
         background_mentions: 4,
@@ -37,6 +50,7 @@ fn run_pipeline_fingerprint(
     let mut dt = DataTamer::new(DataTamerConfig {
         extent_size: 64 * 1024,
         shards: 4,
+        storage,
         ..Default::default()
     });
     let mut plan = PipelinePlan::new();
@@ -179,6 +193,62 @@ fn lsh_blocking_is_byte_identical_across_runs_and_thread_counts() {
     assert_eq!(serial, wide, "thread count must not change the output");
     assert!(!serial.is_empty());
     assert!(serial.windows(2).all(|w| w[0] < w[1]), "sorted, deduplicated, self-pair-free");
+}
+
+#[test]
+fn file_backed_pipeline_matches_memory_at_any_thread_count() {
+    // The whole staged pipeline on a file-backed, hash-routed store must
+    // fuse byte-identically to the in-memory default — and stay
+    // byte-identical across pool widths. Collection stats (counts,
+    // extents, data sizes) are backend-independent by construction, so
+    // they participate in the comparison too.
+    let storage = |tag: &str| StorageConfig {
+        backend: BackendConfig::File {
+            dir: std::env::temp_dir()
+                .join(format!("dt_file_pipeline_{tag}_{}", std::process::id())),
+        },
+        routing: RoutingPolicy::HashKey { attr: "SHOW_NAME".into() },
+    };
+    let cleanup = |cfg: &StorageConfig| {
+        if let BackendConfig::File { dir } = &cfg.backend {
+            let _ = std::fs::remove_dir_all(dir);
+        }
+    };
+
+    let serial_cfg = storage("serial");
+    cleanup(&serial_cfg);
+    let serial_pool = ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+    let (serial_fused, serial_stats) = serial_pool
+        .install(|| run_pipeline_fingerprint_on(None, None, serial_cfg.clone()));
+
+    let wide_cfg = storage("wide");
+    cleanup(&wide_cfg);
+    let wide_pool = ThreadPoolBuilder::new().num_threads(8).build().unwrap();
+    let (wide_fused, wide_stats) =
+        wide_pool.install(|| run_pipeline_fingerprint_on(None, None, wide_cfg.clone()));
+
+    assert_eq!(
+        serial_fused, wide_fused,
+        "file-backed fusion must be byte-identical at any thread count"
+    );
+    assert_eq!(serial_stats, wide_stats, "collection stats must match");
+    assert!(!serial_fused.is_empty(), "the fingerprint must cover real output");
+
+    // Same routing on the memory backend: the backend must be invisible
+    // in every fused byte and every stat.
+    let memory_routing = StorageConfig {
+        backend: BackendConfig::Memory,
+        routing: RoutingPolicy::HashKey { attr: "SHOW_NAME".into() },
+    };
+    let (memory_fused, memory_stats) =
+        ThreadPoolBuilder::new().num_threads(1).build().unwrap().install(|| {
+            run_pipeline_fingerprint_on(None, None, memory_routing)
+        });
+    assert_eq!(serial_fused, memory_fused, "backend must not change fused output");
+    assert_eq!(serial_stats, memory_stats, "backend must not change stats");
+
+    cleanup(&serial_cfg);
+    cleanup(&wide_cfg);
 }
 
 #[test]

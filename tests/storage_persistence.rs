@@ -26,7 +26,7 @@ fn ingested_collections_roundtrip_through_disk() {
     gazetteer.add("Wicked", EntityType::Movie, 0.95);
     gazetteer.add("London", EntityType::City, 0.9);
     let ingestor = TextIngestor::new(DomainParser::with_gazetteer(gazetteer));
-    let config = CollectionConfig { extent_size: 8 * 1024, shards: 4 };
+    let config = CollectionConfig { extent_size: 8 * 1024, shards: 4, ..Default::default() };
     let fragments = [
         ("Matilda an award-winning import from London grossed 960,998", "news"),
         ("Wicked still sells out on Broadway nightly", "blog"),
@@ -69,7 +69,7 @@ fn ingested_collections_roundtrip_through_disk() {
 fn store_survives_partial_collection_sets() {
     let store = Store::new("dt");
     let col = store
-        .create_collection("only", CollectionConfig { extent_size: 4096, shards: 2 })
+        .create_collection("only", CollectionConfig { extent_size: 4096, shards: 2, ..Default::default() })
         .unwrap();
     for i in 0..10i64 {
         let mut d = datatamer::model::Document::new();
