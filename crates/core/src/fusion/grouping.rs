@@ -17,6 +17,7 @@
 
 use datatamer_entity::blocking::{Blocker, BlockingStrategy, OversizeFallback};
 use datatamer_entity::cluster::cluster_pairs;
+use datatamer_entity::incremental::IncrementalConsolidator;
 use datatamer_entity::pairsim::{PairScorer, RecordSimilarity};
 use datatamer_model::Record;
 use datatamer_text::normalize::canonical_name;
@@ -72,6 +73,13 @@ pub struct BlockedErConfig {
     pub scorer: ScorerSpec,
     /// Pairs scoring at or above this are duplicates.
     pub accept_threshold: f64,
+    /// Run consolidation through the resident-state
+    /// [`IncrementalConsolidator`] instead of the batch path. Inside one
+    /// staged run the two are byte-identical (the pin
+    /// `tests/incremental_equivalence.rs` holds at any thread count); the
+    /// difference is that [`crate::DataTamer::consolidate_delta`] can then
+    /// keep feeding the same resident state O(delta) batches.
+    pub incremental: bool,
 }
 
 impl Default for BlockedErConfig {
@@ -82,7 +90,24 @@ impl Default for BlockedErConfig {
             fallback: OversizeFallback::default(),
             scorer: ScorerSpec::default(),
             accept_threshold: 0.75,
+            incremental: false,
         }
+    }
+}
+
+impl BlockedErConfig {
+    /// The [`Blocker`] this configuration describes.
+    pub fn build_blocker(&self) -> Blocker {
+        Blocker::new(self.key_attr.clone(), self.strategy).with_fallback(self.fallback)
+    }
+
+    /// A fresh resident-state consolidator matching this configuration.
+    pub fn build_incremental(&self) -> IncrementalConsolidator {
+        IncrementalConsolidator::new(
+            self.build_blocker(),
+            self.scorer.build(),
+            self.accept_threshold,
+        )
     }
 }
 
@@ -146,24 +171,57 @@ fn blocked_groups(
     records: &[Record],
     config: &BlockedErConfig,
 ) -> (Vec<FusionGroup>, GroupingReport) {
-    let blocker = Blocker::new(config.key_attr.clone(), config.strategy)
-        .with_fallback(config.fallback);
-    let outcome = blocker.candidates_with_report(records);
+    if config.incremental {
+        // One-shot incremental run: the whole corpus as a single delta
+        // batch against fresh resident state. Same clusters, same counts
+        // (everything is new, so the delta candidate set is the full one).
+        let mut inc = config.build_incremental();
+        let delta = inc.ingest(records);
+        let groups = clusters_to_groups(records, inc.clusters().iter().cloned(), config);
+        let report = GroupingReport {
+            candidate_pairs: delta.candidate_pairs,
+            accepted_pairs: delta.accepted_pairs,
+            degraded_buckets: delta.degraded_buckets,
+        };
+        return (groups, report);
+    }
+    let blocker = config.build_blocker();
     let scorer = config.scorer.build();
     // Prepare the scoring context once — before the rayon fan-out — so
     // each record's features (interned attributes and tokens, parsed
     // numerics, lowercased text) are normalised exactly once no matter how
     // many candidate pairs blocking put it in; the parallel filter then
-    // scores allocation-free against the shared context.
+    // scores allocation-free against the shared context. The same context
+    // hands blocking its full-key sort axis (progressive fallback and
+    // sorted-neighborhood order), replacing what used to be a second
+    // render + lowercase pass over the raw records.
     let prepared = scorer.prepare(records);
+    let outcome = blocker.candidates_with_report_keyed(records, &|| {
+        prepared
+            .sort_keys(&config.key_attr)
+            .expect("a rules scoring context serves any attribute's sort keys")
+    });
     let accepted = prepared.accepted_pairs(&outcome.pairs, config.accept_threshold);
     let clusters = cluster_pairs(records.len(), &accepted);
+    let groups = clusters_to_groups(records, clusters.into_iter(), config);
+    let report = GroupingReport {
+        candidate_pairs: outcome.pairs.len(),
+        accepted_pairs: accepted.len(),
+        degraded_buckets: outcome.degraded_buckets,
+    };
+    (groups, report)
+}
 
-    // Keep the FusionGroup contract of the canonical-name path: records
-    // lacking the key attribute form no group (they never pair, so they
-    // can only be singletons here), and each group's key is the canonical
-    // form of its first member's key value.
-    let mut groups: Vec<FusionGroup> = Vec::with_capacity(clusters.len());
+/// Keep the FusionGroup contract of the canonical-name path: records
+/// lacking the key attribute form no group (they never pair, so they can
+/// only be singletons here), and each group's key is the canonical form of
+/// its first member's key value.
+pub(crate) fn clusters_to_groups(
+    records: &[Record],
+    clusters: impl Iterator<Item = Vec<usize>>,
+    config: &BlockedErConfig,
+) -> Vec<FusionGroup> {
+    let mut groups: Vec<FusionGroup> = Vec::new();
     for cluster in clusters {
         let Some(name) = records[cluster[0]].get_text(&config.key_attr) else { continue };
         let key = canonical_name(&name);
@@ -172,12 +230,7 @@ fn blocked_groups(
         }
         groups.push((key, cluster));
     }
-    let report = GroupingReport {
-        candidate_pairs: outcome.pairs.len(),
-        accepted_pairs: accepted.len(),
-        degraded_buckets: outcome.degraded_buckets,
-    };
-    (groups, report)
+    groups
 }
 
 #[cfg(test)]
@@ -253,6 +306,30 @@ mod tests {
         let strategy = GroupingStrategy::BlockedEr(BlockedErConfig::default());
         let (_, report) = strategy.groups_with_report(&records, 0.88);
         assert_eq!(report.degraded_buckets, 1, "the 'common' bucket blew the cap");
+    }
+
+    #[test]
+    fn incremental_flag_matches_the_batch_path() {
+        // One staged run through the resident-state consolidator must
+        // produce the same groups AND the same health counters as the
+        // batch path — the two are different engines over the same math.
+        let mut records = vec![
+            rec(0, "Walking Dead", "$27"),
+            rec(1, "Dead Walking", "$27"),
+            rec(2, "Completely Unrelated", "$99"),
+        ];
+        // Enough shared-token records to blow the bucket cap and exercise
+        // the degraded-window path on both sides.
+        records.extend((3..300).map(|i| rec(i, &format!("common unique{i}"), "$1")));
+        let batch = GroupingStrategy::BlockedEr(BlockedErConfig::default())
+            .groups_with_report(&records, 0.88);
+        let incremental = GroupingStrategy::BlockedEr(BlockedErConfig {
+            incremental: true,
+            ..Default::default()
+        })
+        .groups_with_report(&records, 0.88);
+        assert_eq!(incremental, batch);
+        assert!(batch.1.degraded_buckets >= 1, "the 'common' bucket must degrade");
     }
 
     #[test]

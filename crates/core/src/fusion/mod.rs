@@ -103,7 +103,7 @@ impl FusionPolicy {
 }
 
 /// One fused entity with provenance counts.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct FusedEntity {
     /// Canonical grouping key (lowercased, article-stripped show name).
     pub key: String,

@@ -43,6 +43,7 @@ pub use fusion::{
     PolicyResolver, ProvenancedValue, RegistryConfig, Resolved, ResolverRegistry, ResolverSpec,
     SourceReliability, ValueResolver,
 };
+pub use datatamer_entity::incremental::{DeltaReport, IncrementalConsolidator};
 pub use ingest::{IngestStats, TextIngestor};
 pub use pipeline::{DataTamer, PipelinePlan};
 pub use stage::{PipelineContext, PipelineStage, StageReport};

@@ -19,26 +19,30 @@
 //! batched shard inserts, group merging — are rayon-parallel with
 //! deterministic output at any thread count.
 
+use std::collections::HashMap;
 use std::sync::Arc;
 
 use datatamer_clean::CleaningReport;
-use datatamer_model::{doc, Record, Value};
+use datatamer_entity::incremental::{DeltaReport, IncrementalConsolidator};
+use datatamer_model::{doc, DtError, Record, Value};
 use datatamer_schema::integrate::EscalationResolver;
 use datatamer_schema::IntegrationReport;
 use datatamer_storage::{Collection, CollectionStats, Store};
 use datatamer_text::normalize::canonical_name;
 use datatamer_text::DomainParser;
+use rayon::prelude::*;
 
 use crate::catalog::Catalog;
 use crate::config::DataTamerConfig;
 use crate::fusion::{
-    merge_groups_with, FusedEntity, GroupingStrategy, RegistryConfig, ResolverRegistry,
+    merge_groups_with, resolve_group_with_confidence, BlockedErConfig, FusedEntity, FusionGroup,
+    GroupingReport, GroupingStrategy, RegistryConfig, ResolverRegistry,
 };
 use crate::ingest::IngestStats;
 use crate::query::{entity_type_histogram, top_discussed_award_winning, DiscussedShow};
 use crate::stage::{
-    run_stages, CleaningStage, EntityConsolidationStage, FusionStage, IngestStage,
-    PipelineContext, PipelineStage, SchemaIntegrationStage, TextIngestJob,
+    run_stages, stage_names, CleaningStage, EntityConsolidationStage, FusionStage, IngestStage,
+    PipelineContext, PipelineStage, SchemaIntegrationStage, StageReport, TextIngestJob,
 };
 
 /// Name of the collection holding integrated (mapped + cleaned) records.
@@ -95,15 +99,43 @@ impl<'a> PipelinePlan<'a> {
     }
 }
 
+/// Resident entity-resolution state carried between
+/// [`DataTamer::consolidate_delta`] calls: the incremental consolidator
+/// (blocking indices, scoring context, score memo, persistent union-find)
+/// plus a fused-entity cache keyed by stable cluster id (the cluster's
+/// smallest member index), so only dirty clusters re-resolve.
+struct ResidentEr {
+    consolidator: IncrementalConsolidator,
+    /// The blocked-ER configuration the consolidator was built from; a
+    /// change in the grouping-in-effect invalidates the whole state.
+    config: BlockedErConfig,
+    /// The resolver routing the cache was resolved under; a routing change
+    /// keeps the consolidator (clusters are routing-independent) but
+    /// invalidates the fused-entity cache.
+    resolvers: RegistryConfig,
+    /// `cluster id (smallest member) → fused entity` from the previous
+    /// delta, reused verbatim for clusters the ingest left untouched.
+    cache: HashMap<usize, FusedEntity>,
+    /// Context record counts at seed time — if `register_structured` /
+    /// `run` / `ingest_webtext` grew them since, the resident corpus is
+    /// stale and the next delta reseeds (replaying the delta batches).
+    seeded_structured: usize,
+    seeded_text: usize,
+    /// Every delta record ingested so far, in arrival order, so a reseed
+    /// can replay them on top of the refreshed base corpus.
+    delta_records: Vec<Record>,
+}
+
 /// The Data Tamer system: a [`PipelineContext`] plus stage assembly.
 pub struct DataTamer {
     ctx: PipelineContext,
+    resident_er: Option<ResidentEr>,
 }
 
 impl DataTamer {
     /// Build a system from a configuration.
     pub fn new(config: DataTamerConfig) -> Self {
-        DataTamer { ctx: PipelineContext::new(config) }
+        DataTamer { ctx: PipelineContext::new(config), resident_er: None }
     }
 
     /// Default-configured system.
@@ -273,6 +305,159 @@ impl DataTamer {
         let records = &self.ctx.text_show_records;
         let groups = self.group_in_effect(records);
         merge_groups_with(records, &groups, &self.resolver_registry())
+    }
+
+    /// Consolidate a delta batch against resident ER state — work scales
+    /// with the batch, not the corpus.
+    ///
+    /// Requires the grouping strategy in effect to be
+    /// [`GroupingStrategy::BlockedEr`] (the canonical-name scan has no
+    /// resident pairwise state to be incremental against); anything else is
+    /// a [`DtError::Config`].
+    ///
+    /// The first call seeds the resident state by ingesting the current
+    /// corpus (integrated structured records, then text show records); each
+    /// call then ingests `batch` through the
+    /// [`IncrementalConsolidator`]: the scoring context and blocking
+    /// indices extend in place, only buckets the batch touched are probed
+    /// (never old-vs-old), accepted pairs merge into the persistent
+    /// union-find, and fused entities re-resolve **only for dirty
+    /// clusters** — untouched clusters reuse the cached composite
+    /// verbatim. The context's `fusion_groups` / `fused` are replaced with
+    /// the updated view, and consolidation + fusion stage runs are logged
+    /// with [`StageReport::EntityConsolidation::delta`] carrying the
+    /// [`DeltaReport`].
+    ///
+    /// Correctness pin (held by `tests/incremental_equivalence.rs` at any
+    /// thread count): after any sequence of delta batches, `ctx.fused` is
+    /// byte-identical to a from-scratch full run over the concatenated
+    /// corpus.
+    ///
+    /// Interleaving with the batch entry points stays consistent: if
+    /// `register_structured` / `ingest_webtext` / `run` grew the base
+    /// corpus since seeding, the next delta reseeds from the refreshed
+    /// corpus and replays all prior delta batches (an O(corpus) catch-up,
+    /// after which ingest is O(delta) again). A resolver-routing change
+    /// invalidates only the fused-entity cache, not the consolidator.
+    pub fn consolidate_delta(&mut self, batch: &[Record]) -> datatamer_model::Result<DeltaReport> {
+        let config = match &self.ctx.grouping {
+            GroupingStrategy::BlockedEr(config) => config.clone(),
+            GroupingStrategy::CanonicalName => {
+                return Err(DtError::Config(
+                    "consolidate_delta requires GroupingStrategy::BlockedEr; the \
+                     canonical-name scan has no resident ER state to be incremental against"
+                        .to_owned(),
+                ))
+            }
+        };
+
+        // (Re)seed when there is no resident state, the blocked-ER config
+        // changed, or the base corpus grew behind our back.
+        let stale = match &self.resident_er {
+            Some(r) => {
+                r.config != config
+                    || r.seeded_structured != self.ctx.structured_records.len()
+                    || r.seeded_text != self.ctx.text_show_records.len()
+            }
+            None => true,
+        };
+        if stale {
+            let delta_records =
+                self.resident_er.take().map(|r| r.delta_records).unwrap_or_default();
+            let mut consolidator = config.build_incremental();
+            let mut corpus = Vec::with_capacity(
+                self.ctx.structured_records.len() + self.ctx.text_show_records.len(),
+            );
+            corpus.extend(self.ctx.structured_records.iter().cloned());
+            corpus.extend(self.ctx.text_show_records.iter().cloned());
+            if !corpus.is_empty() {
+                consolidator.ingest(&corpus);
+            }
+            if !delta_records.is_empty() {
+                consolidator.ingest(&delta_records);
+            }
+            self.resident_er = Some(ResidentEr {
+                consolidator,
+                config: config.clone(),
+                resolvers: self.ctx.fusion_resolvers.clone(),
+                cache: HashMap::new(),
+                seeded_structured: self.ctx.structured_records.len(),
+                seeded_text: self.ctx.text_show_records.len(),
+                delta_records,
+            });
+        }
+        let registry = self.ctx.fusion_resolvers.build();
+        let resident = self.resident_er.as_mut().expect("seeded above");
+        if resident.resolvers != self.ctx.fusion_resolvers {
+            // Clusters are routing-independent; only the composites are
+            // stale under a new routing.
+            resident.cache.clear();
+            resident.resolvers = self.ctx.fusion_resolvers.clone();
+        }
+
+        let delta = resident.consolidator.ingest(batch);
+        resident.delta_records.extend(batch.iter().cloned());
+
+        // Rebuild the group list (same contract as the batch path: keyless
+        // or canonically-empty clusters form no group) and fuse — clean
+        // clusters reuse their cached composite, dirty ones re-resolve in
+        // parallel.
+        let records = resident.consolidator.records();
+        let mut groups: Vec<FusionGroup> = Vec::new();
+        let mut reusable: Vec<Option<FusedEntity>> = Vec::new();
+        for (cluster, &dirty) in
+            resident.consolidator.clusters().iter().zip(resident.consolidator.dirty())
+        {
+            let Some(name) = records[cluster[0]].get_text(&config.key_attr) else { continue };
+            let key = canonical_name(&name);
+            if key.is_empty() {
+                continue;
+            }
+            let hit = if dirty { None } else { resident.cache.get(&cluster[0]).cloned() };
+            reusable.push(hit);
+            groups.push((key, cluster.clone()));
+        }
+        let fused: Vec<FusedEntity> = (0..groups.len())
+            .into_par_iter()
+            .map(|gi| {
+                if let Some(entity) = &reusable[gi] {
+                    return entity.clone();
+                }
+                let (key, members) = &groups[gi];
+                let refs: Vec<&Record> = members.iter().map(|&i| &records[i]).collect();
+                let (record, confidence) = resolve_group_with_confidence(&refs, &registry);
+                FusedEntity { key: key.clone(), record, member_count: members.len(), confidence }
+            })
+            .collect();
+        resident.cache =
+            groups.iter().zip(fused.iter()).map(|((_, m), e)| (m[0], e.clone())).collect();
+
+        // Log the delta as consolidation + fusion stage runs (delta-scope
+        // pair counts, corpus-scope group counts) and install the updated
+        // view, exactly as a staged run would.
+        let multi = groups.iter().filter(|(_, m)| m.len() > 1).count();
+        let largest = groups.iter().map(|(_, m)| m.len()).max().unwrap_or(0);
+        self.ctx.push_run(
+            stage_names::ENTITY_CONSOLIDATION,
+            StageReport::EntityConsolidation {
+                records: delta.total_records,
+                groups: groups.len(),
+                multi_member_groups: multi,
+                largest_group: largest,
+                blocking: GroupingReport {
+                    candidate_pairs: delta.candidate_pairs,
+                    accepted_pairs: delta.accepted_pairs,
+                    degraded_buckets: delta.degraded_buckets,
+                },
+                delta: Some(delta),
+            },
+        );
+        let members = fused.iter().map(|f| f.member_count).sum();
+        self.ctx
+            .push_run(stage_names::FUSION, StageReport::Fusion { entities: fused.len(), members });
+        self.ctx.fusion_groups = groups;
+        self.ctx.fused = fused;
+        Ok(delta)
     }
 
     /// Look up one show in a fused entity set by (canonicalised) name.
@@ -700,6 +885,109 @@ mod tests {
             ctx.fusion_groups
         );
         assert_eq!(ctx.fusion_groups[0].1, vec![0, 1]);
+    }
+
+    #[test]
+    fn consolidate_delta_requires_blocked_er_grouping() {
+        let mut dt = DataTamer::new(small_config());
+        let err = dt.consolidate_delta(&[]).unwrap_err();
+        assert!(matches!(err, datatamer_model::DtError::Config(_)), "{err:?}");
+    }
+
+    /// A record already in canonical shape: schema mapping and cleaning are
+    /// identities for it, so raw delta batches and staged registration
+    /// produce byte-identical corpus records.
+    fn show(id: u64, name: &str, price: &str) -> Record {
+        Record::from_pairs(
+            SourceId(0),
+            RecordId(id),
+            vec![(SHOW_NAME, Value::from(name)), (CHEAPEST_PRICE, Value::from(price))],
+        )
+    }
+
+    fn fingerprints(fused: &[FusedEntity]) -> Vec<String> {
+        fused
+            .iter()
+            .map(|f| format!("{}|{}|{:?}|{:?}", f.key, f.member_count, f.confidence, f.record))
+            .collect()
+    }
+
+    #[test]
+    fn consolidate_delta_matches_full_rebuild_and_reuses_clean_clusters() {
+        let mut config = small_config();
+        config.grouping = GroupingStrategy::BlockedEr(crate::fusion::BlockedErConfig::default());
+
+        // Token-unique names: every record blocks alone, so the corpus
+        // settles into one cluster per distinct name and a delta can only
+        // dirty the cluster it duplicates.
+        let prefix: Vec<Record> =
+            (0..20).map(|i| show(i, &format!("Unique{i} Show{i}"), "$10")).collect();
+        let batch1 = vec![show(100, "Unique3 Show3", "$10"), show(101, "Brand New", "$55")];
+        let batch2 = vec![show(200, "Unique7 Show7", "$10")];
+
+        let mut inc = DataTamer::new(config.clone());
+        inc.run(PipelinePlan::new().structured("s1", &prefix)).unwrap();
+        let runs_before = inc.context().runs().len();
+        let d1 = inc.consolidate_delta(&batch1).unwrap();
+        let d2 = inc.consolidate_delta(&batch2).unwrap();
+
+        // Delta accounting: the second batch touched one bucket-cluster,
+        // everything else carried over (clusters AND fused entities).
+        assert_eq!(d1.batch_records, 2);
+        assert_eq!(d2.total_records, 23);
+        assert!(d2.dirty_clusters >= 1, "{d2:?}");
+        assert!(d2.reused_clusters >= 19, "{d2:?}");
+        assert!(d2.reused_context_fraction > 0.9, "{d2:?}");
+
+        // Each delta logs consolidation + fusion runs, with the report.
+        assert_eq!(inc.context().runs().len(), runs_before + 4);
+        match inc.context().report_of(stage_names::ENTITY_CONSOLIDATION).unwrap() {
+            StageReport::EntityConsolidation { delta, records, .. } => {
+                assert_eq!(*delta, Some(d2));
+                assert_eq!(*records, 23);
+            }
+            other => panic!("wrong report variant: {other:?}"),
+        }
+
+        // The pin: identical fused output to a from-scratch run over the
+        // concatenated corpus.
+        let mut all = prefix.clone();
+        all.extend(batch1);
+        all.extend(batch2);
+        let mut full = DataTamer::new(config);
+        full.run(PipelinePlan::new().structured("s1", &all)).unwrap();
+        assert_eq!(fingerprints(&inc.context().fused), fingerprints(&full.context().fused));
+        assert_eq!(inc.context().fusion_groups, full.context().fusion_groups);
+    }
+
+    #[test]
+    fn consolidate_delta_reseeds_after_the_base_corpus_grows() {
+        let mut config = small_config();
+        config.grouping = GroupingStrategy::BlockedEr(crate::fusion::BlockedErConfig::default());
+
+        let s1: Vec<Record> =
+            (0..6).map(|i| show(i, &format!("Alphashow{i} One{i}"), "$10")).collect();
+        let s2: Vec<Record> =
+            (0..4).map(|i| show(50 + i, &format!("Betashow{i} Two{i}"), "$20")).collect();
+        let batch = vec![show(100, "Alphashow2 One2", "$10")];
+
+        let mut inc = DataTamer::new(config.clone());
+        inc.run(PipelinePlan::new().structured("s1", &s1)).unwrap();
+        inc.consolidate_delta(&batch).unwrap();
+        // A new structured source arrives mid-stream: the resident corpus
+        // is stale, so the next delta reseeds and replays the prior batch.
+        inc.register_structured("s2", &s2);
+        let batch2 = vec![show(101, "Betashow1 Two1", "$20")];
+        let d = inc.consolidate_delta(&batch2).unwrap();
+        assert_eq!(d.total_records, 12, "s1 + s2 + both deltas");
+
+        let mut all = s1.clone();
+        all.extend(s2);
+        all.extend(batch);
+        all.extend(batch2);
+        let mut full = DataTamer::new(config);
+        full.run(PipelinePlan::new().structured("s1", &all)).unwrap();
+        assert_eq!(fingerprints(&inc.context().fused), fingerprints(&full.context().fused));
     }
 
     #[test]

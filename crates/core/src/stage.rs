@@ -127,6 +127,11 @@ pub enum StageReport {
         /// nonzero `degraded_buckets` means some buckets ran windowed
         /// progressive expansion instead of exhaustive comparison.
         blocking: GroupingReport,
+        /// Delta-ingest accounting when this consolidation ran through the
+        /// resident-state incremental path
+        /// ([`crate::DataTamer::consolidate_delta`]); `None` for full
+        /// batch runs.
+        delta: Option<datatamer_entity::incremental::DeltaReport>,
     },
     /// [`stage_names::FUSION`].
     Fusion {
@@ -237,6 +242,13 @@ impl PipelineContext {
     /// How many times a stage has run.
     pub fn run_count(&self, stage: &str) -> usize {
         self.runs.iter().filter(|r| r.stage == stage).count()
+    }
+
+    /// Record a stage execution performed outside [`run_stages`] — the
+    /// delta-ingest path runs consolidation + fusion against resident
+    /// state but still logs them like any staged run.
+    pub(crate) fn push_run(&mut self, stage: &'static str, report: StageReport) {
+        self.runs.push(StageRun { stage, report });
     }
 }
 
@@ -634,6 +646,7 @@ impl PipelineStage for EntityConsolidationStage {
             multi_member_groups: multi,
             largest_group: largest,
             blocking,
+            delta: None,
         };
         ctx.fusion_input = input;
         ctx.fusion_groups = groups;

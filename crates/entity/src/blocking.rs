@@ -119,7 +119,7 @@ impl OversizeFallback {
 /// `base · ⌈log₂(bucket / cap)⌉` clamped into `[base, max]` (see
 /// [`OversizeFallback::ProgressiveAdaptive`]). Only called for
 /// `bucket > cap`, where the multiplier is at least 1.
-fn adaptive_window(base: usize, max: usize, bucket: usize, cap: usize) -> usize {
+pub(crate) fn adaptive_window(base: usize, max: usize, bucket: usize, cap: usize) -> usize {
     let base = base.max(2);
     let ratio = bucket as f64 / cap.max(1) as f64;
     let doublings = ratio.log2().ceil().max(1.0) as usize;
@@ -188,11 +188,31 @@ impl Blocker {
     /// bucket-based strategies (`Token`, `Soundex`) can degrade; the
     /// windowed and LSH strategies always report zero.
     pub fn candidates_with_report(&self, records: &[Record]) -> BlockingOutcome {
+        self.candidates_with_report_keyed(records, &|| self.sort_keys(records))
+    }
+
+    /// [`Blocker::candidates_with_report`] with the full-key sort axis
+    /// supplied by the caller instead of re-derived from the raw records.
+    /// The `BlockedEr` path already holds every record's lowercased key
+    /// text inside its prepared `ScoringContext`, so threading it through
+    /// here removes a second rendering + lowercasing pass over the corpus.
+    ///
+    /// `sort_keys` is a thunk because only the sorted-neighborhood strategy
+    /// and the progressive oversize fallbacks read the axis — the common
+    /// no-degradation bucket path never invokes it. It must return one
+    /// entry per record, byte-identical to
+    /// `record.get_text(key_attr).map(|k| k.to_lowercase())`; the candidate
+    /// output is then byte-identical to the unkeyed form.
+    pub fn candidates_with_report_keyed(
+        &self,
+        records: &[Record],
+        sort_keys: &(dyn Fn() -> Vec<Option<String>> + Sync),
+    ) -> BlockingOutcome {
         match self.strategy {
-            BlockingStrategy::Token => self.token_blocks(records),
-            BlockingStrategy::Soundex => self.soundex_blocks(records),
+            BlockingStrategy::Token => self.token_blocks(records, sort_keys),
+            BlockingStrategy::Soundex => self.soundex_blocks(records, sort_keys),
             BlockingStrategy::SortedNeighborhood { window } => BlockingOutcome {
-                pairs: self.sorted_neighborhood(records, window),
+                pairs: sorted_neighborhood_pairs(&sort_keys(), window),
                 degraded_buckets: 0,
             },
             BlockingStrategy::MinHashLsh { bands, rows } => BlockingOutcome {
@@ -212,7 +232,11 @@ impl Blocker {
         records.iter().map(|r| self.key_of(r).map(|k| k.to_lowercase())).collect()
     }
 
-    fn token_blocks(&self, records: &[Record]) -> BlockingOutcome {
+    fn token_blocks(
+        &self,
+        records: &[Record],
+        sort_keys: &(dyn Fn() -> Vec<Option<String>> + Sync),
+    ) -> BlockingOutcome {
         // Buckets are keyed by interned token id and stored in a dense
         // vector: one streaming tokenisation pass per record, token
         // equality reduced to `u32`, no per-record `Vec<String>` and no
@@ -240,10 +264,14 @@ impl Blocker {
                 }
             }
         }
-        self.pairs_from_buckets(buckets, records)
+        self.pairs_from_buckets(buckets, sort_keys)
     }
 
-    fn soundex_blocks(&self, records: &[Record]) -> BlockingOutcome {
+    fn soundex_blocks(
+        &self,
+        records: &[Record],
+        sort_keys: &(dyn Fn() -> Vec<Option<String>> + Sync),
+    ) -> BlockingOutcome {
         let mut buckets: HashMap<String, Vec<usize>> = HashMap::new();
         for (i, r) in records.iter().enumerate() {
             if let Some(key) = self.key_of(r) {
@@ -253,32 +281,7 @@ impl Blocker {
                 }
             }
         }
-        self.pairs_from_buckets(buckets.into_values(), records)
-    }
-
-    fn sorted_neighborhood(&self, records: &[Record], window: usize) -> Vec<(usize, usize)> {
-        let window = window.max(2);
-        let mut keyed: Vec<(String, usize)> = records
-            .iter()
-            .enumerate()
-            .filter_map(|(i, r)| self.key_of(r).map(|k| (k.to_lowercase(), i)))
-            .collect();
-        keyed.sort();
-        // Window expansion is independent per anchor index — rayon it.
-        let mut out: Vec<(usize, usize)> = (0..keyed.len())
-            .into_par_iter()
-            .flat_map(|i| {
-                let mut local = Vec::with_capacity(window - 1);
-                for j in (i + 1)..(i + window).min(keyed.len()) {
-                    let (a, b) = (keyed[i].1, keyed[j].1);
-                    local.push((a.min(b), a.max(b)));
-                }
-                local
-            })
-            .collect();
-        out.sort_unstable();
-        out.dedup();
-        out
+        self.pairs_from_buckets(buckets.into_values(), sort_keys)
     }
 
     fn lsh_blocks(&self, records: &[Record], bands: usize, rows: usize) -> Vec<(usize, usize)> {
@@ -319,21 +322,21 @@ impl Blocker {
     fn pairs_from_buckets<I: IntoIterator<Item = Vec<usize>>>(
         &self,
         buckets: I,
-        records: &[Record],
+        sort_keys: &(dyn Fn() -> Vec<Option<String>> + Sync),
     ) -> BlockingOutcome {
         let cap = self.bucket_cap;
         let buckets: Vec<Vec<usize>> = buckets.into_iter().collect();
         let degraded_buckets = buckets.iter().filter(|m| m.len() > cap).count();
         // The full-key sort axis is only read by the progressive arm, so
-        // the O(n) key clone + lowercase pass is skipped entirely on the
-        // common no-degradation path.
+        // the thunk (an O(n) key clone + lowercase pass on the unkeyed
+        // path) is never invoked on the common no-degradation path.
         let sort_keys: Vec<Option<String>> = if degraded_buckets > 0
             && matches!(
                 self.fallback,
                 OversizeFallback::Progressive { .. }
                     | OversizeFallback::ProgressiveAdaptive { .. }
             ) {
-            self.sort_keys(records)
+            sort_keys()
         } else {
             Vec::new()
         };
@@ -375,21 +378,54 @@ impl Blocker {
     }
 }
 
+/// Sorted-neighborhood expansion over a prepared key axis: sort the keyed
+/// records by `(key, index)` and emit every pair within `window` of each
+/// other in that order. Records with no key (`None`) never pair. Shared by
+/// the batch strategy and the incremental consolidator (which re-windows
+/// the *current* axis per delta batch).
+pub fn sorted_neighborhood_pairs(
+    keys: &[Option<String>],
+    window: usize,
+) -> Vec<(usize, usize)> {
+    let window = window.max(2);
+    let mut keyed: Vec<(&str, usize)> = keys
+        .iter()
+        .enumerate()
+        .filter_map(|(i, k)| k.as_deref().map(|k| (k, i)))
+        .collect();
+    keyed.sort();
+    // Window expansion is independent per anchor index — rayon it.
+    let mut out: Vec<(usize, usize)> = (0..keyed.len())
+        .into_par_iter()
+        .flat_map(|i| {
+            let mut local = Vec::with_capacity(window - 1);
+            for j in (i + 1)..(i + window).min(keyed.len()) {
+                let (a, b) = (keyed[i].1, keyed[j].1);
+                local.push((a.min(b), a.max(b)));
+            }
+            local
+        })
+        .collect();
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
 /// Pack an unordered index pair into one word, smaller index high — packed
 /// `u64` order is exactly `(min, max)` tuple order.
 #[inline]
-fn pack_pair(a: usize, b: usize) -> u64 {
+pub(crate) fn pack_pair(a: usize, b: usize) -> u64 {
     debug_assert!(a != b && a <= u32::MAX as usize && b <= u32::MAX as usize);
     let (lo, hi) = (a.min(b), a.max(b));
     ((lo as u64) << 32) | hi as u64
 }
 
 #[inline]
-fn unpack_pair(p: u64) -> (usize, usize) {
+pub(crate) fn unpack_pair(p: u64) -> (usize, usize) {
     ((p >> 32) as usize, (p & u32::MAX as u64) as usize)
 }
 
-fn quadratic_pairs(members: &[usize]) -> Vec<u64> {
+pub(crate) fn quadratic_pairs(members: &[usize]) -> Vec<u64> {
     let mut local = Vec::with_capacity(members.len().saturating_sub(1) * members.len() / 2);
     for i in 0..members.len() {
         for j in (i + 1)..members.len() {

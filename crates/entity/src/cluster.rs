@@ -62,6 +62,19 @@ impl UnionFind {
         self.find(a) == self.find(b)
     }
 
+    /// Grow to `n` elements, appending fresh singletons and leaving every
+    /// existing set untouched — the persistence primitive for incremental
+    /// consolidation, where a delta batch extends the element universe
+    /// without invalidating the unions accumulated over earlier batches.
+    /// Shrinking is not supported; `n` at or below the current length is a
+    /// no-op.
+    pub fn grow(&mut self, n: usize) {
+        while self.parent.len() < n {
+            self.parent.push(self.parent.len());
+            self.rank.push(0);
+        }
+    }
+
     /// Materialise clusters: index lists grouped by representative, each
     /// cluster's members sorted ascending, clusters ordered by smallest
     /// member.
@@ -125,6 +138,26 @@ mod tests {
         let mut uf = UnionFind::new(2);
         assert!(!uf.union(1, 1), "self-union is a no-op");
         assert!(!uf.is_empty() && uf.len() == 2);
+    }
+
+    #[test]
+    fn grow_preserves_existing_sets() {
+        let mut uf = UnionFind::new(3);
+        uf.union(0, 1);
+        uf.grow(5);
+        assert_eq!(uf.len(), 5);
+        assert!(uf.connected(0, 1), "grow must not disturb existing unions");
+        assert!(!uf.connected(2, 3));
+        uf.union(3, 4);
+        assert_eq!(uf.clusters(), vec![vec![0, 1], vec![2], vec![3, 4]]);
+        uf.grow(2);
+        assert_eq!(uf.len(), 5, "grow never shrinks");
+
+        // Growing then unioning reproduces the from-scratch clusters.
+        let mut scratch = UnionFind::new(5);
+        scratch.union(0, 1);
+        scratch.union(3, 4);
+        assert_eq!(uf.clusters(), scratch.clusters());
     }
 
     #[test]

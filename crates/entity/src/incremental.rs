@@ -1,0 +1,760 @@
+//! Incremental consolidation: resident blocking indices + delta ER.
+//!
+//! Every batch consolidation run re-blocks and re-scores the whole corpus,
+//! so steady-state ingest cost grows with corpus size. This module keeps
+//! the expensive state **resident between runs** — the prepared
+//! [`ScoringContext`], the blocking indices (interned token-id buckets,
+//! Soundex buckets, LSH band tables, the sorted-neighborhood key axis), a
+//! memo of every pair score ever computed, and a persistent [`UnionFind`]
+//! — so ingesting a delta batch costs O(delta), not O(corpus):
+//!
+//! 1. the batch extends the scoring context in place
+//!    ([`ScoringContext::extend`]: interners and arenas grow append-only,
+//!    existing ids and features untouched);
+//! 2. candidate generation probes only the buckets/bands the batch's own
+//!    records touch — new-vs-new and new-vs-old pairs, never old-vs-old;
+//! 3. accepted pairs merge into the persistent union-find, and only
+//!    **dirty** clusters (membership changed this batch) need their fused
+//!    entities re-resolved downstream.
+//!
+//! ## Why the result is byte-identical to a full run
+//!
+//! The correctness pin — for any split of a corpus into prefix + delta
+//! batches, the final clusters equal a from-scratch run over the
+//! concatenation at any thread count — rests on three structural facts:
+//!
+//! * **Scores never change.** The context grows append-only with dense
+//!   first-seen ids, so a record's prepared features (and therefore any
+//!   memoized pair score) are bit-identical under every later extension.
+//! * **Core candidates are monotone.** Bucket membership is insertion
+//!   order, so the quadratic core over a bucket's first `cap` members only
+//!   gains pairs as the bucket grows; LSH co-bucketing never retracts.
+//!   These pairs go into an append-only *core ledger*.
+//! * **Window candidates are retractable but re-derivable.** Progressive
+//!   windows over a sorted axis can drop a pair when an insertion pushes
+//!   two members apart — but the distance between two fixed members in a
+//!   sorted order is non-decreasing under insertion, so every old-old pair
+//!   inside the *current* window was inside the window (or the quadratic
+//!   core) of some earlier batch and its score is already memoized. Each
+//!   batch therefore regenerates the window pair set of just the touched
+//!   buckets (and the global sorted-neighborhood axis), scores only the
+//!   pairs the memo lacks, and *replaces* the per-bucket accepted-window
+//!   sets. The total accepted set is the core ledger ∪ the window sets:
+//!   exactly the accepted set a full run computes. When a replacement
+//!   retracts a previously accepted pair, the union-find is rebuilt from
+//!   the ledger (rare); otherwise the new pairs union in place.
+//!
+//! The batch pipeline stays the oracle: `tests/incremental_equivalence.rs`
+//! pins incremental-vs-full byte equality over random corpora, random
+//! batch splits, serial and 8-thread pools.
+
+use std::collections::HashMap;
+
+use datatamer_model::Record;
+use datatamer_sim::{for_each_token, soundex, tokenize, MinHashLsh, MinHasher, TokenInterner};
+use rayon::prelude::*;
+
+use crate::blocking::{
+    adaptive_window, pack_pair, sorted_neighborhood_pairs, unpack_pair, Blocker,
+    BlockingStrategy, OversizeFallback,
+};
+use crate::cluster::UnionFind;
+use crate::pairsim::{PairScorer, ScoringContext};
+
+/// What one delta batch cost and touched — the observable proof that
+/// ingest work scaled with the batch, not the corpus.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct DeltaReport {
+    /// Records in this batch.
+    pub batch_records: usize,
+    /// Corpus size after the batch.
+    pub total_records: usize,
+    /// Blocking buckets / band tables / sort axes this batch probed
+    /// (buckets gaining a member; LSH band insertions; 1 for the global
+    /// sorted-neighborhood axis).
+    pub probed_buckets: usize,
+    /// Distinct candidate pairs examined this batch (new core pairs plus
+    /// the regenerated windows of touched buckets).
+    pub candidate_pairs: usize,
+    /// Pairs actually scored this batch — candidates the memo lacked.
+    /// The gap to `candidate_pairs` is work the resident state saved.
+    pub scored_pairs: usize,
+    /// Total accepted pairs across the whole corpus after the batch.
+    pub accepted_pairs: usize,
+    /// Clusters whose membership changed this batch (fused entities must
+    /// be re-resolved for exactly these).
+    pub dirty_clusters: usize,
+    /// Clusters carried over unchanged (fused entities reusable as-is).
+    pub reused_clusters: usize,
+    /// Fraction of the scoring context that predated this batch and was
+    /// reused rather than re-prepared: `old_records / total_records`.
+    pub reused_context_fraction: f64,
+    /// Buckets currently over the cap (same meaning as
+    /// [`crate::BlockingOutcome::degraded_buckets`]).
+    pub degraded_buckets: usize,
+}
+
+/// Entity resolution with resident state: feed record batches with
+/// [`IncrementalConsolidator::ingest`], read the clusters (and which ones
+/// changed) after each. Configuration mirrors the batch path — same
+/// [`Blocker`], same [`PairScorer`], same threshold — and the final
+/// clusters are byte-identical to one batch run over the concatenation.
+#[derive(Debug, Clone)]
+pub struct IncrementalConsolidator {
+    blocker: Blocker,
+    threshold: f64,
+
+    /// The corpus so far, in ingest order (cluster members index into it).
+    records: Vec<Record>,
+    /// Prepared scoring features, grown in place per batch.
+    ctx: ScoringContext,
+    /// Lowercased blocking keys per record — the progressive /
+    /// sorted-neighborhood sort axis, extended from the context per batch.
+    sort_keys: Vec<Option<String>>,
+
+    // Resident blocking indices (only the configured strategy's are used).
+    token_ids: TokenInterner,
+    token_buckets: Vec<Vec<usize>>,
+    soundex_buckets: HashMap<String, Vec<usize>>,
+    lsh: Option<(MinHasher, MinHashLsh<usize>)>,
+
+    /// Every pair score ever computed, keyed by packed `(i, j)` — valid
+    /// forever because context growth never changes a prepared feature.
+    scores: HashMap<u64, f64>,
+    /// Monotone accepted pairs (quadratic cores, LSH co-bucketing):
+    /// sorted, deduplicated, append-only across batches.
+    core_accepted: Vec<u64>,
+    /// Accepted pairs of each oversized token bucket's current window
+    /// (replaced wholesale when the bucket is touched).
+    window_token: HashMap<usize, Vec<u64>>,
+    /// Same for Soundex buckets.
+    window_soundex: HashMap<String, Vec<u64>>,
+    /// Same for the global sorted-neighborhood window.
+    window_sn: Vec<u64>,
+    /// Union of ledger + window sets after the last batch (sorted,
+    /// deduplicated) — the superset check against its successor decides
+    /// whether the union-find can grow in place.
+    accepted: Vec<u64>,
+
+    uf: UnionFind,
+    clusters: Vec<Vec<usize>>,
+    dirty: Vec<bool>,
+    last_report: DeltaReport,
+}
+
+impl IncrementalConsolidator {
+    /// An empty consolidator; `threshold` is the pair-acceptance score
+    /// bound, as in the batch path.
+    pub fn new(blocker: Blocker, scorer: PairScorer, threshold: f64) -> Self {
+        let ctx = scorer.prepare(&[]);
+        let lsh = match blocker.strategy {
+            BlockingStrategy::MinHashLsh { bands, rows } => Some((
+                MinHasher::new(bands * rows, 0x1357_9bdf),
+                MinHashLsh::new(bands, rows),
+            )),
+            _ => None,
+        };
+        IncrementalConsolidator {
+            blocker,
+            threshold,
+            records: Vec::new(),
+            ctx,
+            sort_keys: Vec::new(),
+            token_ids: TokenInterner::new(),
+            token_buckets: Vec::new(),
+            soundex_buckets: HashMap::new(),
+            lsh,
+            scores: HashMap::new(),
+            core_accepted: Vec::new(),
+            window_token: HashMap::new(),
+            window_soundex: HashMap::new(),
+            window_sn: Vec::new(),
+            accepted: Vec::new(),
+            uf: UnionFind::new(0),
+            clusters: Vec::new(),
+            dirty: Vec::new(),
+            last_report: DeltaReport::default(),
+        }
+    }
+
+    /// Corpus records in ingest order.
+    pub fn records(&self) -> &[Record] {
+        &self.records
+    }
+
+    /// Number of records ingested so far.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True before the first batch.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// The resident scoring context (grows with every batch).
+    pub fn context(&self) -> &ScoringContext {
+        &self.ctx
+    }
+
+    /// Clusters after the last batch: members sorted ascending, clusters
+    /// ordered by smallest member — identical shape (and content) to
+    /// [`crate::cluster::cluster_pairs`] over a full run's accepted pairs.
+    /// A cluster's stable id is its smallest member index.
+    pub fn clusters(&self) -> &[Vec<usize>] {
+        &self.clusters
+    }
+
+    /// Parallel to [`IncrementalConsolidator::clusters`]: true when that
+    /// cluster's membership changed in the last batch (its fused entity
+    /// must be re-resolved; clean clusters can reuse the previous one).
+    pub fn dirty(&self) -> &[bool] {
+        &self.dirty
+    }
+
+    /// The last batch's [`DeltaReport`].
+    pub fn last_report(&self) -> DeltaReport {
+        self.last_report
+    }
+
+    /// Accepted duplicate pairs across the whole corpus, `(i, j)` with
+    /// `i < j`, sorted, deduplicated.
+    pub fn accepted_pairs(&self) -> Vec<(usize, usize)> {
+        self.accepted.iter().copied().map(unpack_pair).collect()
+    }
+
+    /// Ingest a batch: extend the resident state, resolve the delta, and
+    /// report what it cost. O(delta) candidate work for the bucket and LSH
+    /// strategies (the global sorted-neighborhood strategy re-windows its
+    /// axis, which is O(corpus) enumeration but still O(delta) scoring).
+    pub fn ingest(&mut self, batch: &[Record]) -> DeltaReport {
+        let old_n = self.records.len();
+        self.records.extend_from_slice(batch);
+        let n = self.records.len();
+
+        // 1. Grow the scoring context and the sort axis in place.
+        self.ctx.extend(batch);
+        let tail = self
+            .ctx
+            .sort_keys_from(&self.blocker.key_attr, old_n)
+            .unwrap_or_else(|| {
+                // Classifier context keyed on a different attribute:
+                // derive the axis from the raw records instead.
+                batch
+                    .iter()
+                    .map(|r| r.get_text(&self.blocker.key_attr).map(|k| k.to_lowercase()))
+                    .collect()
+            });
+        self.sort_keys.extend(tail);
+        debug_assert_eq!(self.sort_keys.len(), n);
+
+        // 2. Probe the blocking indices with the new records only.
+        let mut probed_buckets = 0usize;
+        let mut new_core: Vec<u64> = Vec::new();
+        let mut window_updates: Vec<(WindowSlot, Vec<u64>)> = Vec::new();
+        match self.blocker.strategy {
+            BlockingStrategy::Token => {
+                // first new position per touched bucket, this batch.
+                let mut touched: HashMap<usize, usize> = HashMap::new();
+                let mut ids: Vec<u32> = Vec::new();
+                for i in old_n..n {
+                    if let Some(key) = self.records[i].get_text(&self.blocker.key_attr) {
+                        ids.clear();
+                        for_each_token(&key, |tok| ids.push(self.token_ids.intern(tok)));
+                        ids.sort_unstable();
+                        ids.dedup();
+                        for &id in &ids {
+                            let id = id as usize;
+                            while self.token_buckets.len() <= id {
+                                self.token_buckets.push(Vec::new());
+                            }
+                            touched.entry(id).or_insert(self.token_buckets[id].len());
+                            self.token_buckets[id].push(i);
+                        }
+                    }
+                }
+                probed_buckets = touched.len();
+                let mut touched: Vec<(usize, usize)> = touched.into_iter().collect();
+                touched.sort_unstable();
+                for (id, first_new) in touched {
+                    let members = &self.token_buckets[id];
+                    self.bucket_delta(
+                        members,
+                        first_new,
+                        &mut new_core,
+                        &mut window_updates,
+                        WindowSlot::Token(id),
+                    );
+                }
+            }
+            BlockingStrategy::Soundex => {
+                let mut touched: HashMap<String, usize> = HashMap::new();
+                for i in old_n..n {
+                    if let Some(key) = self.records[i].get_text(&self.blocker.key_attr) {
+                        let first_word = key.split_whitespace().next().unwrap_or("");
+                        if let Some(code) = soundex(first_word) {
+                            let bucket = self.soundex_buckets.entry(code.clone()).or_default();
+                            touched.entry(code).or_insert(bucket.len());
+                            bucket.push(i);
+                        }
+                    }
+                }
+                probed_buckets = touched.len();
+                let mut touched: Vec<(String, usize)> = touched.into_iter().collect();
+                touched.sort_unstable();
+                for (code, first_new) in touched {
+                    let members = &self.soundex_buckets[&code];
+                    self.bucket_delta(
+                        members,
+                        first_new,
+                        &mut new_core,
+                        &mut window_updates,
+                        WindowSlot::Soundex(code.clone()),
+                    );
+                }
+            }
+            BlockingStrategy::SortedNeighborhood { window } => {
+                // One global retractable window: regenerate over the
+                // current axis. Old-old pairs are memoized (the sorted
+                // distance between fixed members never shrinks), so only
+                // batch-involving pairs get scored below.
+                probed_buckets = 1;
+                let pairs = sorted_neighborhood_pairs(&self.sort_keys, window);
+                window_updates.push((
+                    WindowSlot::Sn,
+                    pairs.into_iter().map(|(a, b)| pack_pair(a, b)).collect(),
+                ));
+            }
+            BlockingStrategy::MinHashLsh { bands, .. } => {
+                // Query-then-insert per new record, in index order: record
+                // j meets every co-bucketed i < j exactly once, so the
+                // union over batches is the full run's candidate set.
+                let (hasher, lsh) =
+                    self.lsh.as_mut().expect("LSH state exists for the LSH strategy");
+                for i in old_n..n {
+                    if let Some(key) = self.records[i].get_text(&self.blocker.key_attr) {
+                        let sig = hasher.signature(&tokenize(&key));
+                        let mut mates = lsh.candidates(&sig);
+                        if lsh.insert(i, &sig) {
+                            probed_buckets += bands;
+                            mates.sort_unstable();
+                            new_core.extend(mates.into_iter().map(|m| pack_pair(m, i)));
+                        }
+                    }
+                }
+            }
+        }
+        new_core.sort_unstable();
+        new_core.dedup();
+
+        // 3. Score what the memo lacks (pure per-pair work → rayon), then
+        //    commit sequentially so the memo stays deterministic.
+        let mut to_score: Vec<u64> = new_core
+            .iter()
+            .chain(window_updates.iter().flat_map(|(_, pairs)| pairs.iter()))
+            .copied()
+            .filter(|p| !self.scores.contains_key(p))
+            .collect();
+        to_score.sort_unstable();
+        to_score.dedup();
+        let scored: Vec<(u64, f64)> = to_score
+            .par_iter()
+            .map(|&p| {
+                let (i, j) = unpack_pair(p);
+                (p, self.ctx.score_pair(i, j))
+            })
+            .collect();
+        let scored_pairs = scored.len();
+        self.scores.extend(scored);
+
+        let candidate_pairs = {
+            let mut all: Vec<u64> = new_core
+                .iter()
+                .chain(window_updates.iter().flat_map(|(_, pairs)| pairs.iter()))
+                .copied()
+                .collect();
+            all.sort_unstable();
+            all.dedup();
+            all.len()
+        };
+
+        // 4. Fold accepted pairs into the ledger and the window sets.
+        let threshold = self.threshold;
+        let accept = |scores: &HashMap<u64, f64>, p: &u64| scores[p] >= threshold;
+        self.core_accepted.extend(new_core.iter().filter(|p| accept(&self.scores, p)));
+        self.core_accepted.sort_unstable();
+        self.core_accepted.dedup();
+        for (slot, pairs) in window_updates {
+            let kept: Vec<u64> =
+                pairs.into_iter().filter(|p| accept(&self.scores, p)).collect();
+            match slot {
+                WindowSlot::Token(id) => {
+                    self.window_token.insert(id, kept);
+                }
+                WindowSlot::Soundex(code) => {
+                    self.window_soundex.insert(code, kept);
+                }
+                WindowSlot::Sn => self.window_sn = kept,
+            }
+        }
+        let mut accepted: Vec<u64> = self
+            .core_accepted
+            .iter()
+            .chain(self.window_token.values().flatten())
+            .chain(self.window_soundex.values().flatten())
+            .chain(self.window_sn.iter())
+            .copied()
+            .collect();
+        accepted.sort_unstable();
+        accepted.dedup();
+
+        // 5. Union-find: grow in place when the accepted set only grew;
+        //    rebuild from the ledger + window sets when a window
+        //    replacement retracted a pair (rare — an insertion pushed two
+        //    previously-adjacent members apart).
+        self.uf.grow(n);
+        if is_sorted_superset(&accepted, &self.accepted) {
+            let mut old = self.accepted.iter().peekable();
+            for &p in &accepted {
+                if old.peek() == Some(&&p) {
+                    old.next();
+                    continue;
+                }
+                let (a, b) = unpack_pair(p);
+                self.uf.union(a, b);
+            }
+        } else {
+            self.uf = UnionFind::new(n);
+            for &p in &accepted {
+                let (a, b) = unpack_pair(p);
+                self.uf.union(a, b);
+            }
+        }
+        self.accepted = accepted;
+
+        // 6. Re-materialise clusters; mark dirty where membership changed
+        //    (stable id = smallest member).
+        let prev: HashMap<usize, Vec<usize>> =
+            self.clusters.drain(..).map(|c| (c[0], c)).collect();
+        self.clusters = self.uf.clusters();
+        self.dirty = self
+            .clusters
+            .iter()
+            .map(|c| prev.get(&c[0]) != Some(c))
+            .collect();
+        let dirty_clusters = self.dirty.iter().filter(|d| **d).count();
+
+        self.last_report = DeltaReport {
+            batch_records: batch.len(),
+            total_records: n,
+            probed_buckets,
+            candidate_pairs,
+            scored_pairs,
+            accepted_pairs: self.accepted.len(),
+            dirty_clusters,
+            reused_clusters: self.clusters.len() - dirty_clusters,
+            reused_context_fraction: if n == 0 { 0.0 } else { old_n as f64 / n as f64 },
+            degraded_buckets: self.degraded_buckets(),
+        };
+        self.last_report
+    }
+
+    /// Delta candidates for one touched bucket: monotone quadratic-core
+    /// pairs for new members landing under the cap, plus (for the
+    /// progressive fallbacks) the bucket's full regenerated window set.
+    fn bucket_delta(
+        &self,
+        members: &[usize],
+        first_new: usize,
+        new_core: &mut Vec<u64>,
+        window_updates: &mut Vec<(WindowSlot, Vec<u64>)>,
+        slot: WindowSlot,
+    ) {
+        let cap = self.blocker.bucket_cap;
+        // Core: each new member within the first `cap` positions pairs
+        // with every earlier member — exactly the pairs the full run's
+        // quadratic core gains from this batch (membership is insertion
+        // order, so positions never shift).
+        for p in first_new..members.len().min(cap) {
+            for q in 0..p {
+                new_core.push(pack_pair(members[q], members[p]));
+            }
+        }
+        if members.len() <= cap {
+            return;
+        }
+        let window = match self.blocker.fallback {
+            OversizeFallback::Truncate => return,
+            OversizeFallback::Progressive { window } => window.max(2),
+            OversizeFallback::ProgressiveAdaptive { base, max } => {
+                adaptive_window(base, max, members.len(), cap)
+            }
+        };
+        let mut sorted = members.to_vec();
+        sorted.sort_unstable_by(|&a, &b| {
+            self.sort_keys[a].cmp(&self.sort_keys[b]).then(a.cmp(&b))
+        });
+        let mut pairs = Vec::with_capacity(sorted.len() * (window - 1));
+        for i in 0..sorted.len() {
+            for j in (i + 1)..(i + window).min(sorted.len()) {
+                pairs.push(pack_pair(sorted[i], sorted[j]));
+            }
+        }
+        pairs.sort_unstable();
+        pairs.dedup();
+        window_updates.push((slot, pairs));
+    }
+
+    fn degraded_buckets(&self) -> usize {
+        let cap = self.blocker.bucket_cap;
+        match self.blocker.strategy {
+            BlockingStrategy::Token => {
+                self.token_buckets.iter().filter(|m| m.len() > cap).count()
+            }
+            BlockingStrategy::Soundex => {
+                self.soundex_buckets.values().filter(|m| m.len() > cap).count()
+            }
+            _ => 0,
+        }
+    }
+}
+
+/// Which retractable-window set a regenerated pair list replaces.
+#[derive(Debug, Clone)]
+enum WindowSlot {
+    Token(usize),
+    Soundex(String),
+    Sn,
+}
+
+/// `a ⊇ b` for sorted, deduplicated slices, in one merge pass.
+fn is_sorted_superset(a: &[u64], b: &[u64]) -> bool {
+    let mut ia = a.iter();
+    'outer: for x in b {
+        for y in ia.by_ref() {
+            match y.cmp(x) {
+                std::cmp::Ordering::Less => continue,
+                std::cmp::Ordering::Equal => continue 'outer,
+                std::cmp::Ordering::Greater => return false,
+            }
+        }
+        return false;
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pairsim::RecordSimilarity;
+    use datatamer_model::{RecordId, SourceId, Value};
+
+    fn rec(i: u64, name: &str) -> Record {
+        Record::from_pairs(SourceId(0), RecordId(i), vec![("name", Value::from(name))])
+    }
+
+    fn corpus(names: &[&str]) -> Vec<Record> {
+        names.iter().enumerate().map(|(i, n)| rec(i as u64, n)).collect()
+    }
+
+    fn consolidator(strategy: BlockingStrategy) -> IncrementalConsolidator {
+        IncrementalConsolidator::new(
+            Blocker::new("name", strategy),
+            PairScorer::Rules(RecordSimilarity::default()),
+            0.85,
+        )
+    }
+
+    /// From-scratch oracle: block + score + cluster in one batch run.
+    fn full_run(strategy: BlockingStrategy, records: &[Record]) -> Vec<Vec<usize>> {
+        let blocker = Blocker::new("name", strategy);
+        let scorer = PairScorer::Rules(RecordSimilarity::default());
+        let ctx = scorer.prepare(records);
+        let outcome = blocker
+            .candidates_with_report_keyed(records, &|| ctx.sort_keys("name").unwrap());
+        let accepted = ctx.accepted_pairs(&outcome.pairs, 0.85);
+        crate::cluster::cluster_pairs(records.len(), &accepted)
+    }
+
+    fn names() -> Vec<String> {
+        // Mix of exact duplicates, near-duplicates, and singletons spread
+        // across several shared-token buckets.
+        (0..40)
+            .map(|i| match i % 8 {
+                0 => format!("matilda musical {}", i / 8),
+                1 => format!("Matilda Musical {}", i / 8),
+                2 => format!("wicked show {}", i / 8),
+                3 => format!("wicked show {}", i / 8),
+                4 => format!("annie broadway {}", i / 8),
+                5 => format!("unique title number {i}"),
+                6 => format!("lion king {}", i / 8),
+                7 => format!("the lion king {}", i / 8),
+                _ => unreachable!(),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn single_batch_matches_full_run_per_strategy() {
+        let names = names();
+        let refs: Vec<&str> = names.iter().map(String::as_str).collect();
+        let records = corpus(&refs);
+        for strategy in [
+            BlockingStrategy::Token,
+            BlockingStrategy::Soundex,
+            BlockingStrategy::SortedNeighborhood { window: 4 },
+            BlockingStrategy::MinHashLsh { bands: 8, rows: 4 },
+        ] {
+            let mut inc = consolidator(strategy);
+            inc.ingest(&records);
+            assert_eq!(
+                inc.clusters(),
+                full_run(strategy, &records).as_slice(),
+                "{strategy:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn split_batches_match_full_run_per_strategy() {
+        let names = names();
+        let refs: Vec<&str> = names.iter().map(String::as_str).collect();
+        let records = corpus(&refs);
+        for strategy in [
+            BlockingStrategy::Token,
+            BlockingStrategy::Soundex,
+            BlockingStrategy::SortedNeighborhood { window: 4 },
+            BlockingStrategy::MinHashLsh { bands: 8, rows: 4 },
+        ] {
+            for splits in [vec![10, 30, 40], vec![1, 2, 3, 40], vec![39, 40]] {
+                let mut inc = consolidator(strategy);
+                let mut start = 0;
+                for end in splits.clone() {
+                    inc.ingest(&records[start..end]);
+                    start = end;
+                }
+                assert_eq!(
+                    inc.clusters(),
+                    full_run(strategy, &records).as_slice(),
+                    "{strategy:?} {splits:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn oversized_bucket_windows_stay_equivalent_across_batches() {
+        // Everything shares the token "show" → one giant bucket over a
+        // tiny cap, exercising the retractable-window path: later batches
+        // insert records *between* earlier near-duplicates in the sorted
+        // axis, forcing window regeneration (and occasionally the
+        // union-find rebuild).
+        let names: Vec<String> = (0..60)
+            .map(|i| format!("show {:02} name{}", (i * 7) % 60, i % 3))
+            .collect();
+        let refs: Vec<&str> = names.iter().map(String::as_str).collect();
+        let records = corpus(&refs);
+        let strategy = BlockingStrategy::Token;
+        let blocker = Blocker::new("name", strategy).with_bucket_cap(8);
+        let full = {
+            let scorer = PairScorer::Rules(RecordSimilarity::default());
+            let ctx = scorer.prepare(&records);
+            let outcome = blocker
+                .candidates_with_report_keyed(&records, &|| ctx.sort_keys("name").unwrap());
+            let accepted = ctx.accepted_pairs(&outcome.pairs, 0.85);
+            crate::cluster::cluster_pairs(records.len(), &accepted)
+        };
+        for batch in [1, 7, 13, 60] {
+            let mut inc = IncrementalConsolidator::new(
+                blocker.clone(),
+                PairScorer::Rules(RecordSimilarity::default()),
+                0.85,
+            );
+            for chunk in records.chunks(batch) {
+                inc.ingest(chunk);
+            }
+            assert_eq!(inc.clusters(), full.as_slice(), "batch size {batch}");
+            assert!(inc.last_report().degraded_buckets >= 1);
+        }
+    }
+
+    #[test]
+    fn delta_probes_only_touched_buckets_and_reuses_scores() {
+        let names = names();
+        let refs: Vec<&str> = names.iter().map(String::as_str).collect();
+        let records = corpus(&refs);
+        let mut inc = consolidator(BlockingStrategy::Token);
+        let first = inc.ingest(&records[..38]);
+        assert!(first.scored_pairs > 0);
+        assert_eq!(first.reused_context_fraction, 0.0);
+        assert_eq!(first.dirty_clusters, inc.clusters().len());
+
+        let delta = inc.ingest(&records[38..]);
+        assert_eq!(delta.batch_records, 2);
+        assert_eq!(delta.total_records, 40);
+        assert!(
+            delta.probed_buckets < first.probed_buckets,
+            "a 2-record delta must touch fewer buckets than the 38-record load \
+             ({} vs {})",
+            delta.probed_buckets,
+            first.probed_buckets
+        );
+        assert!(
+            delta.scored_pairs < first.scored_pairs,
+            "old-vs-old pairs must never be re-scored"
+        );
+        assert!(delta.reused_context_fraction > 0.9);
+        assert!(
+            delta.reused_clusters > 0,
+            "untouched clusters must be recognised as clean"
+        );
+    }
+
+    #[test]
+    fn dirty_flags_track_membership_changes_exactly() {
+        let records = corpus(&["matilda musical", "wicked broadway", "annie show"]);
+        let mut inc = consolidator(BlockingStrategy::Token);
+        inc.ingest(&records);
+        let before: Vec<Vec<usize>> = inc.clusters().to_vec();
+        assert!(inc.dirty().iter().all(|d| *d), "first batch: everything new");
+
+        // A near-duplicate of "matilda musical" joins cluster 0; the
+        // other clusters must come back clean.
+        inc.ingest(&[rec(3, "Matilda Musical")]);
+        let after = inc.clusters();
+        assert!(after[0].contains(&3), "{after:?}");
+        for (c, d) in after.iter().zip(inc.dirty()) {
+            let changed = !before.contains(c);
+            assert_eq!(*d, changed, "cluster {c:?}");
+        }
+        assert!(inc.dirty().iter().filter(|d| **d).count() < after.len());
+    }
+
+    #[test]
+    fn empty_and_keyless_batches_are_harmless() {
+        let mut inc = consolidator(BlockingStrategy::Token);
+        let report = inc.ingest(&[]);
+        assert_eq!(report.total_records, 0);
+        assert_eq!(report.reused_context_fraction, 0.0);
+        assert!(inc.clusters().is_empty());
+
+        let keyless = Record::from_pairs(
+            SourceId(0),
+            RecordId(7),
+            vec![("other", Value::from("x"))],
+        );
+        let report = inc.ingest(&[keyless]);
+        assert_eq!(report.candidate_pairs, 0);
+        assert_eq!(inc.clusters(), &[vec![0]]);
+    }
+
+    #[test]
+    fn sorted_superset_check() {
+        assert!(is_sorted_superset(&[1, 2, 3], &[1, 3]));
+        assert!(is_sorted_superset(&[1, 2, 3], &[]));
+        assert!(is_sorted_superset(&[], &[]));
+        assert!(!is_sorted_superset(&[1, 2, 3], &[4]));
+        assert!(!is_sorted_superset(&[2, 3], &[1, 2]));
+        assert!(!is_sorted_superset(&[], &[1]));
+    }
+}

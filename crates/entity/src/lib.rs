@@ -20,10 +20,15 @@
 //! * [`cluster`] — union-find clustering of accepted pairs.
 //! * [`consolidate`] — composite-record merge with conflict resolution.
 //! * [`pipeline`] — the end-to-end consolidation pipeline with statistics.
+//! * [`incremental`] — delta ER with resident blocking indices, scoring
+//!   context, score memo, and persistent union-find: ingest scales with
+//!   the batch, not the corpus, while clusters stay byte-identical to a
+//!   from-scratch run.
 
 pub mod blocking;
 pub mod cluster;
 pub mod consolidate;
+pub mod incremental;
 pub mod pairsim;
 pub mod pipeline;
 
@@ -32,6 +37,7 @@ pub use blocking::{
     ADAPTIVE_WINDOW_MAX, BUCKET_CAP, PROGRESSIVE_WINDOW,
 };
 pub use cluster::UnionFind;
+pub use incremental::{DeltaReport, IncrementalConsolidator};
 pub use consolidate::{merge_cluster, merge_composite, ConflictPolicy, MergePolicy};
 pub use pairsim::{
     accepted_pairs, accepted_pairs_prepared, score_pairs, score_pairs_prepared, PairScorer,

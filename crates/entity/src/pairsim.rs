@@ -28,13 +28,22 @@
 //! evaluation order); interning changes equality *lookups*, never a float.
 //! `tests/prepared_equivalence.rs` pins this property, and the
 //! serial-vs-parallel byte-equivalence suite rides on it.
+//!
+//! The context is **growable**: [`ScoringContext::extend`] appends a batch
+//! of new records in place — interners, arenas, and weights extend without
+//! touching existing entries (token/attr ids are first-seen dense, so
+//! growth preserves them), making `prepare(A)` + `extend(B)` structurally
+//! identical to `prepare(A∥B)`. This is what lets the incremental
+//! consolidator ([`crate::incremental`]) keep one context resident across
+//! delta batches instead of re-preparing the corpus per run.
 
-use datatamer_ml::DedupClassifier;
+use datatamer_ml::{DedupClassifier, PairFeatures, PreparedForm};
 use datatamer_model::{Record, Value};
 use datatamer_sim as sim;
 use rayon::prelude::*;
 
 /// How a pair of records is scored.
+#[derive(Debug, Clone)]
 pub enum PairScorer {
     /// Rule-based weighted attribute similarity with an accept threshold.
     Rules(RecordSimilarity),
@@ -64,23 +73,23 @@ impl PairScorer {
 
     /// Build a [`ScoringContext`] for `records`: one normalisation pass
     /// (each record visited exactly once), after which any number of pairs
-    /// score without re-deriving features.
-    pub fn prepare<'a>(&'a self, records: &[Record]) -> ScoringContext<'a> {
+    /// score without re-deriving features. The context is self-contained
+    /// (the classifier variant stores a clone of the model), so it can
+    /// outlive the scorer and stay resident across incremental runs.
+    pub fn prepare(&self, records: &[Record]) -> ScoringContext {
         let inner = match self {
-            PairScorer::Rules(rs) => Prepared::Rules(PreparedRules::build(rs, records)),
-            PairScorer::Classifier { key_attr, model } => {
-                let keys: Vec<Option<String>> =
-                    records.iter().map(|r| r.get_text(key_attr)).collect();
-                let stats = PrepareStats {
-                    records: records.len(),
-                    values: keys.iter().filter(|k| k.is_some()).count(),
-                    distinct_attrs: 1,
-                    distinct_tokens: 0,
-                };
-                Prepared::Classifier { model, keys, stats }
-            }
+            PairScorer::Rules(rs) => Prepared::Rules(PreparedRules::empty(rs)),
+            PairScorer::Classifier { key_attr, model } => Prepared::Classifier {
+                model: model.clone(),
+                key_attr: key_attr.clone(),
+                keys: Vec::new(),
+                forms: Vec::new(),
+                stats: PrepareStats { distinct_attrs: 1, ..PrepareStats::default() },
+            },
         };
-        ScoringContext { inner }
+        let mut ctx = ScoringContext { inner };
+        ctx.extend(records);
+        ctx
     }
 }
 
@@ -182,8 +191,18 @@ struct PreparedField {
 }
 
 /// Prepared features for the rules scorer: every per-value normalisation
-/// the naive path recomputes per pair, hoisted into flat arenas.
+/// the naive path recomputes per pair, hoisted into flat arenas. The
+/// interners stay live so [`PreparedRules::extend`] can keep assigning
+/// consistent first-seen ids to later batches.
+#[derive(Debug, Clone)]
 struct PreparedRules {
+    /// The scorer configuration, kept so extension can weight attributes
+    /// first seen in a later batch.
+    rs: RecordSimilarity,
+    /// Attribute-name interner (ids index [`PreparedRules::weights`]).
+    attr_ids: sim::TokenInterner,
+    /// Value-token interner (ids fill the token arena).
+    tokens: sim::TokenInterner,
     /// Attribute weight by interned attribute id — replaces the per-pair
     /// linear scan of `RecordSimilarity::weight_of` with one indexed load.
     weights: Vec<f64>,
@@ -195,46 +214,56 @@ struct PreparedRules {
 }
 
 impl PreparedRules {
-    fn build(rs: &RecordSimilarity, records: &[Record]) -> Self {
-        let mut attr_ids = sim::TokenInterner::new();
-        let mut tokens = sim::TokenInterner::new();
-        let mut weights: Vec<f64> = Vec::new();
-        let mut prepared_records = Vec::with_capacity(records.len());
-        let mut fields: Vec<PreparedField> = Vec::new();
-        let mut token_arena: Vec<u32> = Vec::new();
-        let mut text_arena = String::new();
-        let mut tok_buf: Vec<u32> = Vec::new();
-        let mut values = 0usize;
+    fn empty(rs: &RecordSimilarity) -> Self {
+        PreparedRules {
+            rs: rs.clone(),
+            attr_ids: sim::TokenInterner::new(),
+            tokens: sim::TokenInterner::new(),
+            weights: Vec::new(),
+            records: Vec::new(),
+            fields: Vec::new(),
+            token_arena: Vec::new(),
+            text_arena: String::new(),
+            stats: PrepareStats::default(),
+        }
+    }
 
-        for r in records {
+    /// Append a batch: every structure grows strictly by appending (the
+    /// interners assign dense first-seen ids over the concatenated
+    /// stream), so the result is structurally identical to building from
+    /// the concatenation in one pass — the invariant the incremental
+    /// equivalence suite pins.
+    fn extend(&mut self, new_records: &[Record]) {
+        let mut tok_buf: Vec<u32> = Vec::new();
+        for r in new_records {
             debug_assert!(
-                fields.len() <= u32::MAX as usize
-                    && token_arena.len() <= u32::MAX as usize
-                    && text_arena.len() <= u32::MAX as usize,
+                self.fields.len() <= u32::MAX as usize
+                    && self.token_arena.len() <= u32::MAX as usize
+                    && self.text_arena.len() <= u32::MAX as usize,
                 "prepared arenas exceed u32 offsets — shard the records first"
             );
-            let field_start = fields.len() as u32;
+            let field_start = self.fields.len() as u32;
             for (attr, v) in r.iter() {
                 if v.is_null() {
                     continue;
                 }
-                let attr_id = attr_ids.intern_str(attr);
-                if attr_id as usize == weights.len() {
-                    weights.push(rs.weight_of(attr));
+                let attr_id = self.attr_ids.intern_str(attr);
+                if attr_id as usize == self.weights.len() {
+                    self.weights.push(self.rs.weight_of(attr));
                 }
                 let float = v.as_float();
                 let text = v.to_text();
                 let numericish = parse_numericish(&text);
                 let lower = text.to_lowercase();
                 tok_buf.clear();
-                sim::for_each_token(&lower, |tok| tok_buf.push(tokens.intern(tok)));
+                sim::for_each_token(&lower, |tok| tok_buf.push(self.tokens.intern(tok)));
                 tok_buf.sort_unstable();
                 tok_buf.dedup();
-                let tok_start = token_arena.len() as u32;
-                token_arena.extend_from_slice(&tok_buf);
-                let lo_start = text_arena.len() as u32;
-                text_arena.push_str(&lower);
-                fields.push(PreparedField {
+                let tok_start = self.token_arena.len() as u32;
+                self.token_arena.extend_from_slice(&tok_buf);
+                let lo_start = self.text_arena.len() as u32;
+                self.text_arena.push_str(&lower);
+                self.fields.push(PreparedField {
                     attr: attr_id,
                     float,
                     numericish,
@@ -243,20 +272,16 @@ impl PreparedRules {
                     tok_start,
                     tok_len: tok_buf.len() as u32,
                 });
-                values += 1;
+                self.stats.values += 1;
             }
-            prepared_records.push(PreparedRecord {
+            self.records.push(PreparedRecord {
                 field_start,
-                field_len: fields.len() as u32 - field_start,
+                field_len: self.fields.len() as u32 - field_start,
             });
         }
-        let stats = PrepareStats {
-            records: records.len(),
-            values,
-            distinct_attrs: attr_ids.len(),
-            distinct_tokens: tokens.len(),
-        };
-        PreparedRules { weights, records: prepared_records, fields, token_arena, text_arena, stats }
+        self.stats.records = self.records.len();
+        self.stats.distinct_attrs = self.attr_ids.len();
+        self.stats.distinct_tokens = self.tokens.len();
     }
 
     fn fields_of(&self, i: usize) -> &[PreparedField] {
@@ -316,25 +341,37 @@ impl PreparedRules {
     }
 }
 
-enum Prepared<'a> {
+#[derive(Debug, Clone)]
+enum Prepared {
     Rules(PreparedRules),
     Classifier {
-        model: &'a DedupClassifier,
+        /// Owned model clone, so the context is self-contained and can
+        /// stay resident between runs.
+        model: DedupClassifier,
+        /// The attribute the classifier reads.
+        key_attr: String,
         /// Key-attribute text per record, hoisted out of the pair loop
-        /// (the naive path re-allocates both strings per pair).
+        /// (the naive path re-allocates both strings per pair); also the
+        /// source of blocking sort keys on this path.
         keys: Vec<Option<String>>,
+        /// Per-record classifier features ([`PairFeatures::prepare`]):
+        /// canonical form, token/ngram sets, Soundex, prefix — so pair
+        /// scoring stops re-deriving the `get_text` features per pair.
+        forms: Vec<Option<PreparedForm>>,
         stats: PrepareStats,
     },
 }
 
 /// Per-run scoring context built by [`PairScorer::prepare`]: normalised
 /// features for every record, computed once, shared (immutably, hence
-/// freely across threads) by every pair scored afterwards.
-pub struct ScoringContext<'a> {
-    inner: Prepared<'a>,
+/// freely across threads) by every pair scored afterwards. Growable in
+/// place via [`ScoringContext::extend`] for incremental runs.
+#[derive(Debug, Clone)]
+pub struct ScoringContext {
+    inner: Prepared,
 }
 
-impl ScoringContext<'_> {
+impl ScoringContext {
     /// Number of prepared records (pair indexes must stay below this).
     pub fn len(&self) -> usize {
         match &self.inner {
@@ -356,14 +393,76 @@ impl ScoringContext<'_> {
         }
     }
 
+    /// Append a batch of records to the context in place. Existing
+    /// prepared features are untouched and every id already handed out is
+    /// preserved (interners are append-only, first-seen dense), so
+    /// `prepare(A)` followed by `extend(B)` scores bit-identically to
+    /// `prepare(A∥B)` — the contract incremental consolidation rests on.
+    pub fn extend(&mut self, new_records: &[Record]) {
+        match &mut self.inner {
+            Prepared::Rules(r) => r.extend(new_records),
+            Prepared::Classifier { key_attr, keys, forms, stats, .. } => {
+                for r in new_records {
+                    let key = r.get_text(key_attr);
+                    if key.is_some() {
+                        stats.values += 1;
+                    }
+                    forms.push(key.as_deref().map(PairFeatures::prepare));
+                    keys.push(key);
+                }
+                stats.records = keys.len();
+            }
+        }
+    }
+
+    /// The blocking sort axis for `attr` — each record's lowercased value,
+    /// byte-identical to `Record::get_text(attr).to_lowercase()` but read
+    /// from the prepared text arena instead of re-rendering and
+    /// re-lowercasing every record. `None` when this context cannot derive
+    /// the axis (a classifier context asked about anything but its key
+    /// attribute); callers then fall back to the raw records.
+    pub fn sort_keys(&self, attr: &str) -> Option<Vec<Option<String>>> {
+        self.sort_keys_from(attr, 0)
+    }
+
+    /// [`ScoringContext::sort_keys`] restricted to records `start..len` —
+    /// the incremental consolidator calls this with the previous corpus
+    /// length after an [`ScoringContext::extend`], so growing its resident
+    /// sort axis costs O(delta), not O(corpus).
+    pub fn sort_keys_from(&self, attr: &str, start: usize) -> Option<Vec<Option<String>>> {
+        match &self.inner {
+            Prepared::Rules(r) => {
+                let id = r.attr_ids.get(attr);
+                Some(
+                    (start..r.records.len())
+                        .map(|i| {
+                            let id = id?;
+                            r.fields_of(i)
+                                .iter()
+                                .find(|f| f.attr == id)
+                                .map(|f| r.lower_of(f).to_owned())
+                        })
+                        .collect(),
+                )
+            }
+            Prepared::Classifier { key_attr, keys, .. } => (attr == key_attr).then(|| {
+                keys[start.min(keys.len())..]
+                    .iter()
+                    .map(|k| k.as_ref().map(|s| s.to_lowercase()))
+                    .collect()
+            }),
+        }
+    }
+
     /// Score one prepared pair in `[0, 1]` — bit-identical to
     /// [`PairScorer::score`] on the same records, allocation-free on the
-    /// rules path.
+    /// rules path and free of per-pair feature re-derivation on the
+    /// classifier path (cached [`PreparedForm`]s).
     pub fn score_pair(&self, i: usize, j: usize) -> f64 {
         match &self.inner {
             Prepared::Rules(r) => r.score_pair(i, j),
-            Prepared::Classifier { model, keys, .. } => match (&keys[i], &keys[j]) {
-                (Some(x), Some(y)) => model.proba(x, y),
+            Prepared::Classifier { model, forms, .. } => match (&forms[i], &forms[j]) {
+                (Some(x), Some(y)) => model.proba_prepared(x, y),
                 _ => 0.0,
             },
         }
@@ -392,7 +491,7 @@ impl ScoringContext<'_> {
 
 /// Score candidate pairs against a prepared context, preserving pair order
 /// (free-function form of [`ScoringContext::score_pairs`]).
-pub fn score_pairs_prepared(ctx: &ScoringContext<'_>, pairs: &[(usize, usize)]) -> Vec<f64> {
+pub fn score_pairs_prepared(ctx: &ScoringContext, pairs: &[(usize, usize)]) -> Vec<f64> {
     ctx.score_pairs(pairs)
 }
 
@@ -400,7 +499,7 @@ pub fn score_pairs_prepared(ctx: &ScoringContext<'_>, pairs: &[(usize, usize)]) 
 /// fused parallel pass (free-function form of
 /// [`ScoringContext::accepted_pairs`]).
 pub fn accepted_pairs_prepared(
-    ctx: &ScoringContext<'_>,
+    ctx: &ScoringContext,
     pairs: &[(usize, usize)],
     threshold: f64,
 ) -> Vec<(usize, usize)> {

@@ -97,7 +97,7 @@ impl MinHasher {
 /// Items whose signatures agree on *all* rows of at least one band become
 /// candidate pairs. With `b` bands of `r` rows the match probability is
 /// `1 - (1 - s^r)^b` for Jaccard similarity `s`.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct MinHashLsh<K> {
     bands: usize,
     rows: usize,

@@ -4,8 +4,8 @@
 use proptest::prelude::*;
 
 use datatamer_sim::{
-    bounded_levenshtein, jaccard, jaro, jaro_winkler, levenshtein, levenshtein_similarity,
-    ngram_similarity, soundex, tokenize, MinHasher,
+    bounded_levenshtein, jaccard, jaccard_sorted, jaro, jaro_winkler, levenshtein,
+    levenshtein_similarity, ngram_similarity, soundex, tokenize, MinHasher, TokenInterner,
 };
 
 fn word() -> impl Strategy<Value = String> {
@@ -94,6 +94,48 @@ proptest! {
         let other = hasher.signature(&["zzzqqq"]);
         let est = sig.estimate_jaccard(&other);
         prop_assert!((0.0..=1.0).contains(&est));
+    }
+
+    #[test]
+    fn interner_growth_preserves_ids(
+        // A narrow alphabet so the two batches collide heavily — the
+        // interesting case is batch B re-interning batch A's tokens.
+        batch_a in prop::collection::vec("[a-c]{1,3}", 0..20),
+        batch_b in prop::collection::vec("[a-c]{1,3}", 0..20),
+    ) {
+        // Incremental ER's resident state depends on interning being
+        // append-only: interning A then growing with B must assign exactly
+        // the ids a single pass over A∥B would, so features prepared
+        // before a growth step stay bit-identical after it.
+        let mut grown = TokenInterner::new();
+        let ids_a: Vec<u32> = batch_a.iter().map(|t| grown.intern_str(t)).collect();
+        let ids_b: Vec<u32> = batch_b.iter().map(|t| grown.intern_str(t)).collect();
+
+        let mut oneshot = TokenInterner::new();
+        let all_ids: Vec<u32> =
+            batch_a.iter().chain(&batch_b).map(|t| oneshot.intern_str(t)).collect();
+
+        let grown_ids: Vec<u32> = ids_a.iter().chain(&ids_b).copied().collect();
+        prop_assert_eq!(&grown_ids, &all_ids, "two-phase interning reassigned an id");
+        prop_assert_eq!(grown.len(), oneshot.len());
+        for t in batch_a.iter().chain(&batch_b) {
+            prop_assert_eq!(grown.get(t), oneshot.get(t), "lookup diverged for {}", t);
+        }
+
+        // Downstream set similarity over the interned ids is therefore
+        // unchanged by *when* the interner grew.
+        let as_set = |ids: &[u32]| {
+            let mut v = ids.to_vec();
+            v.sort_unstable();
+            v.dedup();
+            v
+        };
+        let j_grown = jaccard_sorted(&as_set(&ids_a), &as_set(&ids_b));
+        let j_oneshot = jaccard_sorted(
+            &as_set(&all_ids[..batch_a.len()]),
+            &as_set(&all_ids[batch_a.len()..]),
+        );
+        prop_assert_eq!(j_grown.to_bits(), j_oneshot.to_bits());
     }
 
     #[test]

@@ -290,6 +290,64 @@
 //! assert_eq!(fused.len(), 1, "one consolidated entity");
 //! assert_eq!(fused[0].member_count, 2);
 //! ```
+//!
+//! ## Incremental consolidation: ingest O(delta), not O(corpus)
+//!
+//! Re-running blocked ER from scratch for every arriving batch re-prepares
+//! every record, re-blocks every bucket, and re-scores every candidate
+//! pair — O(corpus) work for an O(delta) change.
+//! [`core::DataTamer::consolidate_delta`] keeps the expensive state
+//! *resident* instead ([`entity::IncrementalConsolidator`]): the scoring
+//! context and blocking indices extend in place (token/attribute interning
+//! is append-only, so features prepared before a growth step stay
+//! bit-identical after it), only buckets the batch touched are probed —
+//! new-vs-new and new-vs-old, never old-vs-old — every score lands in a
+//! memo that stays valid forever, accepted pairs merge into a persistent
+//! union-find with stable cluster ids, and fused entities re-resolve only
+//! for clusters the batch dirtied. The correctness pin
+//! (`tests/incremental_equivalence.rs`): **any** prefix + delta split
+//! produces byte-identical fused output to a from-scratch run over the
+//! concatenation, at any thread count. Each delta returns a
+//! [`core::DeltaReport`] — probed buckets, scored vs memo-served pairs,
+//! dirty vs reused clusters — and the same report is threaded into the
+//! logged `EntityConsolidation` stage run:
+//!
+//! ```
+//! use datatamer::core::fusion::{BlockedErConfig, GroupingStrategy};
+//! use datatamer::core::{DataTamer, DataTamerConfig, PipelinePlan};
+//! use datatamer::model::{Record, RecordId, SourceId, Value};
+//!
+//! fn show(id: u64, name: &str, price: &str) -> Record {
+//!     Record::from_pairs(
+//!         SourceId(0),
+//!         RecordId(id),
+//!         vec![("SHOW_NAME", Value::from(name)), ("CHEAPEST_PRICE", Value::from(price))],
+//!     )
+//! }
+//!
+//! // Consolidation runs through the resident-state incremental engine.
+//! let mut dt = DataTamer::new(DataTamerConfig {
+//!     grouping: GroupingStrategy::BlockedEr(BlockedErConfig {
+//!         incremental: true,
+//!         ..Default::default()
+//!     }),
+//!     ..Default::default()
+//! });
+//! let corpus: Vec<Record> =
+//!     (0..40).map(|i| show(i, &format!("Unique{i} Show{i}"), "$10")).collect();
+//! dt.run(PipelinePlan::new().structured("listings", &corpus)).expect("seed run");
+//!
+//! // A one-record delta: probes only the buckets it touches, dirties only
+//! // the cluster it duplicates, reuses every other fused entity verbatim.
+//! let delta = dt.consolidate_delta(&[show(100, "Unique7 Show7", "$10")]).expect("delta");
+//! assert_eq!(delta.batch_records, 1);
+//! assert_eq!(delta.total_records, 41);
+//! assert_eq!(delta.dirty_clusters, 1);
+//! assert_eq!(delta.reused_clusters, 39);
+//! assert!(delta.reused_context_fraction > 0.97);
+//! let merged = DataTamer::lookup(&dt.context().fused, "Unique7 Show7").expect("merged");
+//! assert_eq!(merged.member_count, 2);
+//! ```
 
 pub use datatamer_clean as clean;
 pub use datatamer_core as core;

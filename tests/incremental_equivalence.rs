@@ -1,0 +1,170 @@
+//! The incremental-consolidation correctness pin: splitting a corpus into
+//! any prefix + any sequence of delta batches and feeding it through
+//! [`DataTamer::consolidate_delta`] must produce byte-identical fused
+//! entities and cluster membership to a from-scratch full run over the
+//! concatenated corpus — at any thread count.
+//!
+//! The resident state this guards: the scoring context and blocking
+//! indices extend in place, only touched buckets are probed (never
+//! old-vs-old), accepted pairs merge into a persistent union-find, and
+//! fused entities re-resolve only for dirty clusters.
+
+use datatamer::core::fusion::{BlockedErConfig, GroupingStrategy, CHEAPEST_PRICE, SHOW_NAME};
+use datatamer::core::{DataTamer, DataTamerConfig, DeltaReport, PipelinePlan};
+use datatamer::model::{Record, RecordId, SourceId, Value};
+use proptest::prelude::*;
+use rayon::ThreadPoolBuilder;
+
+/// A record already in canonical shape (upper-case global attributes,
+/// clean-stable values): schema mapping and cleaning are identities for
+/// it, so raw delta batches and staged registration yield byte-identical
+/// corpus records — the precondition for comparing the two paths.
+fn show(id: u64, name: &str, price: &str) -> Record {
+    Record::from_pairs(
+        SourceId(0),
+        RecordId(id),
+        vec![(SHOW_NAME, Value::from(name)), (CHEAPEST_PRICE, Value::from(price))],
+    )
+}
+
+fn config() -> DataTamerConfig {
+    DataTamerConfig {
+        extent_size: 64 * 1024,
+        shards: 2,
+        grouping: GroupingStrategy::BlockedEr(BlockedErConfig {
+            incremental: true,
+            ..Default::default()
+        }),
+        ..Default::default()
+    }
+}
+
+/// Every observable consolidation output, flattened to comparable blobs:
+/// the fused composites (key, member count, confidence, full record) and
+/// the cluster membership behind them.
+fn fingerprint(dt: &DataTamer) -> (String, String) {
+    let fused: String = dt
+        .context()
+        .fused
+        .iter()
+        .map(|f| format!("{}|{}|{:?}|{:?}\n", f.key, f.member_count, f.confidence, f.record))
+        .collect();
+    (fused, format!("{:?}", dt.context().fusion_groups))
+}
+
+/// Seed with `prefix` through the staged pipeline, then ingest each batch
+/// through the resident-state delta path.
+fn incremental_run(
+    prefix: &[Record],
+    batches: &[&[Record]],
+) -> ((String, String), Vec<DeltaReport>) {
+    let mut dt = DataTamer::new(config());
+    let mut plan = PipelinePlan::new();
+    if !prefix.is_empty() {
+        plan = plan.structured("s1", prefix);
+    }
+    dt.run(plan).expect("staged seed run");
+    let reports: Vec<DeltaReport> =
+        batches.iter().map(|b| dt.consolidate_delta(b).expect("delta ingest")).collect();
+    (fingerprint(&dt), reports)
+}
+
+/// From-scratch run over the whole corpus as one structured source.
+fn full_run(corpus: &[Record]) -> (String, String) {
+    let mut dt = DataTamer::new(config());
+    let mut plan = PipelinePlan::new();
+    if !corpus.is_empty() {
+        plan = plan.structured("s1", corpus);
+    }
+    dt.run(plan).expect("full run");
+    fingerprint(&dt)
+}
+
+/// Random corpora with real consolidation structure: a handful of entity
+/// groups, each spawning exact duplicates, word-order swaps, typo
+/// variants, and cross-group-token variants, at slightly varying prices —
+/// so runs contain merges, near-misses, and singletons.
+fn corpus_strategy() -> impl Strategy<Value = Vec<Record>> {
+    prop::collection::vec((0u64..8, 0u8..4, 0u8..3), 0..60).prop_map(|specs| {
+        specs
+            .into_iter()
+            .enumerate()
+            .map(|(i, (g, variant, p))| {
+                let name = match variant {
+                    0 => format!("Group{g} Title{g}"),
+                    1 => format!("Title{g} Group{g}"),
+                    2 => format!("Group{g} Titl{g}"),
+                    _ => format!("Common Group{g} Title{g}"),
+                };
+                show(i as u64, &name, &format!("${}", 10 + u64::from(p)))
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn any_prefix_delta_split_matches_a_full_rebuild(
+        corpus in corpus_strategy(),
+        cut_bytes in prop::collection::vec(any::<u8>(), 1..5),
+    ) {
+        // Map the raw cut bytes onto sorted positions in the corpus; the
+        // segments between them are the prefix and 1..=5 delta batches
+        // (empty segments included — an empty delta must be a no-op).
+        let mut cuts: Vec<usize> = cut_bytes
+            .iter()
+            .map(|&b| (usize::from(b) * corpus.len()) / 256)
+            .collect();
+        cuts.sort_unstable();
+        let prefix = &corpus[..cuts[0]];
+        let mut batches: Vec<&[Record]> = Vec::new();
+        for w in cuts.windows(2) {
+            batches.push(&corpus[w[0]..w[1]]);
+        }
+        batches.push(&corpus[*cuts.last().unwrap()..]);
+
+        let serial = ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        let wide = ThreadPoolBuilder::new().num_threads(8).build().unwrap();
+
+        let full_serial = serial.install(|| full_run(&corpus));
+        let (inc_serial, reports_serial) =
+            serial.install(|| incremental_run(prefix, &batches));
+        prop_assert_eq!(
+            &inc_serial, &full_serial,
+            "incremental (serial) diverged from the full rebuild"
+        );
+
+        let full_wide = wide.install(|| full_run(&corpus));
+        let (inc_wide, reports_wide) = wide.install(|| incremental_run(prefix, &batches));
+        prop_assert_eq!(&full_wide, &full_serial, "full rebuild is thread-count dependent");
+        prop_assert_eq!(&inc_wide, &full_serial, "incremental (wide) diverged");
+        prop_assert_eq!(reports_wide, reports_serial, "delta reports are thread-count dependent");
+    }
+}
+
+#[test]
+fn only_dirty_clusters_reresolve() {
+    // Token-unique names: each record blocks alone, so the corpus settles
+    // into one cluster per distinct name — a delta duplicating one name
+    // must dirty exactly that cluster and reuse every other.
+    let corpus: Vec<Record> =
+        (0..30).map(|i| show(i, &format!("Unique{i} Show{i}"), "$10")).collect();
+    let mut dt = DataTamer::new(config());
+    dt.run(PipelinePlan::new().structured("s1", &corpus)).expect("seed run");
+    let seed = dt.consolidate_delta(&[]).expect("seeding no-op delta");
+    assert_eq!(seed.total_records, 30);
+
+    let d = dt.consolidate_delta(&[show(100, "Unique7 Show7", "$10")]).expect("delta");
+    assert_eq!(d.dirty_clusters, 1, "{d:?}");
+    assert_eq!(d.reused_clusters, 29, "{d:?}");
+    assert_eq!(d.accepted_pairs, 1, "{d:?}");
+    assert!(d.scored_pairs <= 2, "a one-record delta must not rescore the corpus: {d:?}");
+    assert!(d.reused_context_fraction > 0.96, "{d:?}");
+
+    // And the merged view agrees with a rebuild over the concatenation.
+    let mut all = corpus.clone();
+    all.push(show(100, "Unique7 Show7", "$10"));
+    assert_eq!(fingerprint(&dt), full_run(&all));
+}
