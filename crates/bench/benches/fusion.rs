@@ -107,14 +107,14 @@ fn bench_lookup(c: &mut Criterion) {
 fn bench_topk(c: &mut Criterion) {
     let sys = system();
     c.bench_function("topk_discussed_award_winning", |b| {
-        b.iter(|| black_box(sys.dt.top_discussed(10)).len())
+        b.iter(|| black_box(sys.dt.top_discussed(10)).unwrap().len())
     });
 }
 
 fn bench_histogram(c: &mut Criterion) {
     let sys = system();
     c.bench_function("entity_type_histogram", |b| {
-        b.iter(|| black_box(sys.dt.entity_histogram()).len())
+        b.iter(|| black_box(sys.dt.entity_histogram()).unwrap().len())
     });
 }
 

@@ -27,6 +27,7 @@ use datatamer_entity::cluster::cluster_pairs;
 use datatamer_entity::incremental::IncrementalConsolidator;
 use datatamer_entity::pairsim::{PairScorer, RecordSimilarity};
 use datatamer_model::{Record, RecordId, SourceId, Value};
+use datatamer_storage::DeltaLog;
 
 const THRESHOLD: f64 = 0.75;
 
@@ -108,5 +109,73 @@ fn bench_delta_vs_rebuild(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_delta_vs_rebuild);
+/// The price of evicting the score memo: delta ingest over resident
+/// state whose memo is unbounded vs capped vs zero. An evicted score
+/// recomputes when next needed, so the cells read as "recompute cost
+/// bought back per byte of residency" — `memo_hits` in the delta report
+/// is the other side of the same coin.
+fn bench_eviction_budgets(c: &mut Criterion) {
+    let mut group = c.benchmark_group("incremental_eviction");
+    group.sample_size(10);
+    let corpus_n = 887usize;
+    let corpus = records(0..corpus_n);
+    let delta = records(corpus_n..corpus_n + 128);
+    for (label, memo_budget) in
+        [("memo_unbounded", None), ("memo_512", Some(512usize)), ("memo_0", Some(0))]
+    {
+        let mut base = IncrementalConsolidator::new(blocker(), scorer(), THRESHOLD)
+            .with_memo_budget(memo_budget);
+        base.ingest(&corpus);
+        group.throughput(Throughput::Elements(delta.len() as u64));
+        group.bench_with_input(BenchmarkId::new(label, corpus_n), &delta, |b, delta| {
+            b.iter(|| {
+                let mut inc = base.clone();
+                black_box(inc.ingest(delta))
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Restart cost: replaying a session's logged delta batches through a
+/// fresh consolidator vs re-consolidating the concatenated corpus from
+/// scratch. Replay reads the checksummed frames and ingests them as one
+/// batch — the same work a reopened `DataTamer` does before its first
+/// delta.
+fn bench_replay_vs_reseed(c: &mut Criterion) {
+    let mut group = c.benchmark_group("incremental_replay");
+    group.sample_size(10);
+    let corpus_n = 887usize;
+    let corpus = records(0..corpus_n);
+    let deltas = records(corpus_n..corpus_n + 128);
+    let dir = std::env::temp_dir().join(format!("dt_bench_replay_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("delta.log");
+    let _ = std::fs::remove_file(&path);
+    {
+        let mut log = DeltaLog::open(&path).unwrap();
+        for batch in deltas.chunks(32) {
+            log.append(batch).unwrap();
+        }
+    }
+    group.bench_function("log_replay", |b| {
+        b.iter(|| {
+            let log = DeltaLog::open(&path).unwrap();
+            let replayed = log.replay_records().unwrap();
+            let mut inc = IncrementalConsolidator::new(blocker(), scorer(), THRESHOLD);
+            inc.ingest(&corpus);
+            inc.ingest(&replayed);
+            black_box(inc.len())
+        })
+    });
+    group.bench_function("full_reseed", |b| {
+        let mut all = corpus.clone();
+        all.extend(deltas.iter().cloned());
+        b.iter(|| black_box(full_rebuild(&all)))
+    });
+    group.finish();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+criterion_group!(benches, bench_delta_vs_rebuild, bench_eviction_budgets, bench_replay_vs_reseed);
 criterion_main!(benches);

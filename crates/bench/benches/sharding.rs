@@ -47,8 +47,8 @@ fn backend_configs() -> Vec<(&'static str, BackendConfig)> {
 /// One full coordinator round: build, batch-insert, scan back.
 fn ingest_and_scan(config: &CollectionConfig, docs: &[Document]) -> usize {
     let col = Collection::new("bench", config.clone()).unwrap();
-    col.insert_many(docs);
-    col.parallel_scan(|_, d| d.get("price").cloned()).len()
+    col.insert_many(docs).unwrap();
+    col.parallel_scan(|_, d| d.get("price").cloned()).unwrap().len()
 }
 
 fn bench_backend_routing_shards(c: &mut Criterion) {

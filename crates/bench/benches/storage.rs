@@ -30,7 +30,7 @@ fn seeded_collection(n: i64, indexed: bool) -> Collection {
         c.create_index(IndexSpec::new("by_type", "type")).unwrap();
     }
     for i in 0..n {
-        c.insert(&sample_doc(i));
+        c.insert(&sample_doc(i)).unwrap();
     }
     c
 }
@@ -59,7 +59,7 @@ fn bench_point_read(c: &mut Criterion) {
     let col = seeded_collection(10_000, false);
     let ids: Vec<_> = {
         let mut v = Vec::new();
-        col.for_each(|id, _| v.push(id));
+        col.for_each(|id, _| v.push(id)).unwrap();
         v
     };
     c.bench_function("storage_point_read", |b| {
@@ -76,8 +76,8 @@ fn bench_query_index_vs_scan(c: &mut Criterion) {
     let scan_col = seeded_collection(10_000, false);
     let idx_col = seeded_collection(10_000, true);
     let q = Query::filtered(Filter::Eq("type".into(), Value::from("Movie")));
-    group.bench_function("full_scan", |b| b.iter(|| black_box(q.execute(&scan_col)).len()));
-    group.bench_function("indexed", |b| b.iter(|| black_box(q.execute(&idx_col)).len()));
+    group.bench_function("full_scan", |b| b.iter(|| black_box(q.execute(&scan_col)).unwrap().len()));
+    group.bench_function("indexed", |b| b.iter(|| black_box(q.execute(&idx_col)).unwrap().len()));
     group.finish();
 }
 
@@ -95,6 +95,7 @@ fn bench_parallel_scan(c: &mut Criterion) {
     c.bench_function("storage_parallel_scan_20k", |b| {
         b.iter(|| {
             black_box(col.parallel_scan(|_, d| d.get("chars").and_then(Value::as_int)))
+                .unwrap()
                 .len()
         })
     });

@@ -80,7 +80,7 @@ pub struct TypeRow {
 
 /// T3 — Table III: entity counts by type, measured share vs paper share.
 pub fn t3_type_histogram(sys: &ScaledSystem) -> Vec<TypeRow> {
-    let measured = sys.dt.entity_histogram();
+    let measured = sys.dt.entity_histogram().expect("in-memory store");
     let total: u64 = measured.iter().map(|(_, n)| n).sum();
     let paper_total: u64 = EntityType::ALL.iter().map(|t| t.paper_count()).sum();
     measured
@@ -101,7 +101,7 @@ pub fn t3_type_histogram(sys: &ScaledSystem) -> Vec<TypeRow> {
 /// T4 — Table IV: top-10 most discussed award-winning movies/shows, plus the
 /// paper's list for side-by-side comparison.
 pub fn t4_top10(sys: &ScaledSystem) -> (Vec<DiscussedShow>, [&'static str; 10]) {
-    (sys.dt.top_discussed(10), names::TABLE_IV_SHOWS)
+    (sys.dt.top_discussed(10).expect("in-memory store"), names::TABLE_IV_SHOWS)
 }
 
 /// A rendered demo-query result: ordered `(attribute, value)` rows.
@@ -402,7 +402,7 @@ pub fn m2_text_preprocess_throughput(sys_config: crate::HarnessConfig) -> Throug
         .map(|f| (f.text.as_str(), f.kind.label()))
         .collect();
     let start = Instant::now();
-    let stats = dt.ingest_webtext(parser, frags);
+    let stats = dt.ingest_webtext(parser, frags).expect("in-memory store");
     let elapsed = start.elapsed();
     ThroughputPoint {
         fragments: stats.fragments_seen,
@@ -439,7 +439,7 @@ pub fn f1_pipeline_stages(config: crate::HarnessConfig) -> StageTimings {
     });
     let t1 = Instant::now();
     for s in &sources {
-        dt.register_structured(&s.name, &s.records);
+        dt.register_structured(&s.name, &s.records).expect("in-memory store");
     }
     let structured_integration = t1.elapsed();
 
@@ -450,7 +450,7 @@ pub fn f1_pipeline_stages(config: crate::HarnessConfig) -> StageTimings {
         .map(|f| (f.text.as_str(), f.kind.label()))
         .collect();
     let t2 = Instant::now();
-    dt.ingest_webtext(parser, frags);
+    dt.ingest_webtext(parser, frags).expect("in-memory store");
     let text_ingest = t2.elapsed();
 
     let t3 = Instant::now();

@@ -117,7 +117,7 @@ impl ScaledSystem {
             ..Default::default()
         });
         for s in &sources {
-            dt.register_structured(&s.name, &s.records);
+            dt.register_structured(&s.name, &s.records).expect("in-memory store");
         }
         let parser = DomainParser::with_gazetteer(corpus.gazetteer.clone());
         let frags: Vec<(&str, &str)> = corpus
@@ -125,7 +125,7 @@ impl ScaledSystem {
             .iter()
             .map(|f| (f.text.as_str(), f.kind.label()))
             .collect();
-        dt.ingest_webtext(parser, frags);
+        dt.ingest_webtext(parser, frags).expect("in-memory store");
         ScaledSystem { config, corpus, sources, dt }
     }
 
@@ -144,7 +144,7 @@ impl ScaledSystem {
             .iter()
             .map(|f| (f.text.as_str(), f.kind.label()))
             .collect();
-        dt.ingest_webtext(parser, frags);
+        dt.ingest_webtext(parser, frags).expect("in-memory store");
         ScaledSystem { config, corpus, sources, dt }
     }
 }

@@ -1,9 +1,34 @@
 //! System configuration.
 
+use std::path::PathBuf;
+
 use datatamer_schema::IntegrationConfig;
 use datatamer_storage::{BackendConfig, CollectionConfig, RoutingPolicy};
 
 use crate::fusion::{GroupingStrategy, RegistryConfig};
+
+/// Persistence of the resident consolidation session: every accepted delta
+/// batch appends to a checksummed log
+/// ([`datatamer_storage::DeltaLog`]), so a restarted
+/// [`crate::DataTamer`] over the same path replays the batches instead of
+/// losing them — fused output stays byte-identical across a kill/restart
+/// at any batch boundary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeltaLogConfig {
+    /// Log file path (created on first use).
+    pub path: PathBuf,
+    /// Compact the log to a single frame once it holds more than this
+    /// many frames, bounding replay cost on restart. 0 compacts after
+    /// every append.
+    pub compact_after_frames: usize,
+}
+
+impl DeltaLogConfig {
+    /// A log at `path` compacting once replay would cross 64 frames.
+    pub fn at(path: impl Into<PathBuf>) -> Self {
+        DeltaLogConfig { path: path.into(), compact_after_frames: 64 }
+    }
+}
 
 /// Where collections live and how documents route to shards — the
 /// system-level face of the storage crate's shard coordinator. The default
@@ -53,6 +78,16 @@ pub struct DataTamerConfig {
     pub fusion_resolvers: RegistryConfig,
     /// Whether the ML text cleaner filters fragments before parsing.
     pub clean_text: bool,
+    /// Cap on the resident fused-entity cache
+    /// [`crate::DataTamer::consolidate_delta`] keeps between deltas, in
+    /// entities (`None` = unbounded). Eviction is LRU; a missing entry
+    /// re-resolves deterministically, so any budget — including 0 —
+    /// preserves byte-identical fused output.
+    pub fused_cache_budget: Option<usize>,
+    /// Append accepted delta batches to a persistent log so a restarted
+    /// system replays them (see [`DeltaLogConfig`]). `None` keeps the
+    /// session memory-only.
+    pub delta_log: Option<DeltaLogConfig>,
 }
 
 impl Default for DataTamerConfig {
@@ -67,6 +102,8 @@ impl Default for DataTamerConfig {
             grouping: GroupingStrategy::CanonicalName,
             fusion_resolvers: RegistryConfig::broadway(),
             clean_text: true,
+            fused_cache_budget: None,
+            delta_log: None,
         }
     }
 }

@@ -80,6 +80,16 @@ pub struct BlockedErConfig {
     /// difference is that [`crate::DataTamer::consolidate_delta`] can then
     /// keep feeding the same resident state O(delta) batches.
     pub incremental: bool,
+    /// Cap on the resident score memo, in entries (`None` = unbounded).
+    /// Any value — including 0 — preserves byte-identical clusters; an
+    /// evicted score simply recomputes when next needed (see
+    /// [`IncrementalConsolidator::with_memo_budget`]).
+    pub memo_budget: Option<usize>,
+    /// Cap on the resident accepted-window pairs across all slots
+    /// (`None` = unbounded). Evicted slots regenerate wholesale on the
+    /// next delta, so any value — including 0 — preserves byte-identical
+    /// clusters (see [`IncrementalConsolidator::with_window_budget`]).
+    pub window_budget: Option<usize>,
 }
 
 impl Default for BlockedErConfig {
@@ -91,6 +101,8 @@ impl Default for BlockedErConfig {
             scorer: ScorerSpec::default(),
             accept_threshold: 0.75,
             incremental: false,
+            memo_budget: None,
+            window_budget: None,
         }
     }
 }
@@ -108,6 +120,8 @@ impl BlockedErConfig {
             self.scorer.build(),
             self.accept_threshold,
         )
+        .with_memo_budget(self.memo_budget)
+        .with_window_budget(self.window_budget)
     }
 }
 

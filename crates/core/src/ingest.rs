@@ -10,7 +10,7 @@
 use std::sync::Arc;
 
 use datatamer_clean::TextCleaner;
-use datatamer_model::{doc, Document, Record, RecordId, SourceId, Value};
+use datatamer_model::{doc, Document, Record, RecordId, Result, SourceId, Value};
 use datatamer_storage::{Collection, IndexSpec, Store};
 use datatamer_text::{DomainParser, EntityType};
 
@@ -58,14 +58,13 @@ impl TextIngestor {
         &self,
         store: &Store,
         config: datatamer_storage::CollectionConfig,
-    ) -> (Arc<Collection>, Arc<Collection>) {
-        let instance = store.collection_or_create(INSTANCE_COLLECTION, config.clone());
+    ) -> Result<(Arc<Collection>, Arc<Collection>)> {
+        let instance = store.collection_or_create(INSTANCE_COLLECTION, config.clone())?;
         if instance.index_count() == 0 {
             instance
-                .create_index(IndexSpec::new("by_entity_canonical", "entities.canonical"))
-                .expect("fresh collection");
+                .create_index(IndexSpec::new("by_entity_canonical", "entities.canonical"))?;
         }
-        let entity = store.collection_or_create(ENTITY_COLLECTION, config);
+        let entity = store.collection_or_create(ENTITY_COLLECTION, config)?;
         if entity.index_count() == 0 {
             for (name, path) in [
                 ("by_type", "type"),
@@ -77,10 +76,10 @@ impl TextIngestor {
                 ("by_chars", "chars"),
                 ("by_context", "context"),
             ] {
-                entity.create_index(IndexSpec::new(name, path)).expect("fresh collection");
+                entity.create_index(IndexSpec::new(name, path))?;
             }
         }
-        (instance, entity)
+        Ok((instance, entity))
     }
 
     /// Ingest fragments (with per-fragment source labels) into `store`,
@@ -92,11 +91,11 @@ impl TextIngestor {
         config: datatamer_storage::CollectionConfig,
         text_source: SourceId,
         fragments: I,
-    ) -> (IngestStats, Vec<Record>)
+    ) -> Result<(IngestStats, Vec<Record>)>
     where
         I: IntoIterator<Item = (&'a str, &'a str)>, // (fragment, source label)
     {
-        let (instance_col, entity_col) = self.ensure_collections(store, config);
+        let (instance_col, entity_col) = self.ensure_collections(store, config)?;
         let mut stats = IngestStats::default();
         let mut show_records = Vec::new();
         let mut next_record = 0u64;
@@ -111,7 +110,7 @@ impl TextIngestor {
             let parsed = self.parser.parse(fragment);
             let mut instance_doc = parsed.to_instance_doc();
             instance_doc.set("source", Value::from(label));
-            let instance_id = instance_col.insert(&instance_doc);
+            let instance_id = instance_col.insert(&instance_doc)?;
             stats.instances += 1;
 
             for (mention, mut entity_doc) in
@@ -120,7 +119,7 @@ impl TextIngestor {
                 entity_doc.set("fragment_ref", Value::Int(instance_id.0 as i64));
                 entity_doc.set("source", Value::from(label));
                 entity_doc.set("chars", Value::from(mention.text.len()));
-                entity_col.insert(&entity_doc);
+                entity_col.insert(&entity_doc)?;
                 stats.entities += 1;
 
                 // Movie mentions become fusion-ready show records.
@@ -134,7 +133,7 @@ impl TextIngestor {
             }
         }
         stats.show_records = show_records.len();
-        (stats, show_records)
+        Ok((stats, show_records))
     }
 }
 
@@ -177,11 +176,11 @@ mod tests {
     fn collections_get_paper_index_counts() {
         let store = Store::new("dt");
         let ing = ingestor();
-        let (instance, entity) = ing.ensure_collections(&store, cfg());
+        let (instance, entity) = ing.ensure_collections(&store, cfg()).unwrap();
         assert_eq!(instance.index_count(), 1, "Table I: nindexes=1");
         assert_eq!(entity.index_count(), 8, "Table II: nindexes=8");
         // Idempotent.
-        let (i2, e2) = ing.ensure_collections(&store, cfg());
+        let (i2, e2) = ing.ensure_collections(&store, cfg()).unwrap();
         assert_eq!(i2.index_count(), 1);
         assert_eq!(e2.index_count(), 8);
     }
@@ -194,7 +193,7 @@ mod tests {
             ("Matilda an import from London grossed 960,998", "news"),
             ("Wicked still sells out nightly", "blog"),
         ];
-        let (stats, shows) = ing.ingest(&store, cfg(), SourceId(7), fragments);
+        let (stats, shows) = ing.ingest(&store, cfg(), SourceId(7), fragments).unwrap();
         assert_eq!(stats.fragments_seen, 2);
         assert_eq!(stats.fragments_dropped, 0);
         assert_eq!(stats.instances, 2);
@@ -224,7 +223,7 @@ mod tests {
             ("Matilda grossed well at the theatre during previews", "news"),
             ("click here to subscribe accept cookies buy now free shipping", "spam"),
         ];
-        let (stats, _) = ing.ingest(&store, cfg(), SourceId(0), fragments);
+        let (stats, _) = ing.ingest(&store, cfg(), SourceId(0), fragments).unwrap();
         assert_eq!(stats.fragments_dropped, 1);
         assert_eq!(stats.instances, 1);
     }
@@ -237,7 +236,7 @@ mod tests {
         let ing = TextIngestor::without_cleaner(DomainParser::with_gazetteer(g));
         let fragments =
             [("click here to subscribe accept cookies buy now free shipping", "spam")];
-        let (stats, _) = ing.ingest(&store, cfg(), SourceId(0), fragments);
+        let (stats, _) = ing.ingest(&store, cfg(), SourceId(0), fragments).unwrap();
         assert_eq!(stats.fragments_dropped, 0);
         assert_eq!(stats.instances, 1);
     }

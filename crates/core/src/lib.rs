@@ -36,7 +36,7 @@ pub mod query;
 pub mod stage;
 
 pub use catalog::{Catalog, SourceInfo, SourceKind};
-pub use config::{DataTamerConfig, StorageConfig};
+pub use config::{DataTamerConfig, DeltaLogConfig, StorageConfig};
 pub use expert_bridge::ExpertPanelResolver;
 pub use fusion::{
     fuse_records, fuse_records_with, FusionPolicy, LatestWins, MajorityVote, MultiTruth,

@@ -27,7 +27,7 @@ use datatamer_entity::incremental::{DeltaReport, IncrementalConsolidator};
 use datatamer_model::{doc, DtError, Record, Value};
 use datatamer_schema::integrate::EscalationResolver;
 use datatamer_schema::IntegrationReport;
-use datatamer_storage::{Collection, CollectionStats, Store};
+use datatamer_storage::{Collection, CollectionStats, DeltaLog, Store};
 use datatamer_text::normalize::canonical_name;
 use datatamer_text::DomainParser;
 use rayon::prelude::*;
@@ -113,17 +113,37 @@ struct ResidentEr {
     /// keeps the consolidator (clusters are routing-independent) but
     /// invalidates the fused-entity cache.
     resolvers: RegistryConfig,
-    /// `cluster id (smallest member) → fused entity` from the previous
-    /// delta, reused verbatim for clusters the ingest left untouched.
-    cache: HashMap<usize, FusedEntity>,
+    /// `cluster id (smallest member) → (fused entity, batch it was last
+    /// re-resolved in)` from the previous delta, reused verbatim for
+    /// clusters the ingest left untouched. Bounded by
+    /// [`DataTamerConfig::fused_cache_budget`]: least-recently-refreshed
+    /// entries evict first, and a miss only costs a deterministic
+    /// re-resolution.
+    cache: HashMap<usize, (FusedEntity, u64)>,
+    /// Monotone delta-batch counter — the clock behind the cache's
+    /// last-refreshed stamps.
+    batch_seq: u64,
     /// Context record counts at seed time — if `register_structured` /
     /// `run` / `ingest_webtext` grew them since, the resident corpus is
     /// stale and the next delta reseeds (replaying the delta batches).
     seeded_structured: usize,
     seeded_text: usize,
-    /// Every delta record ingested so far, in arrival order, so a reseed
-    /// can replay them on top of the refreshed base corpus.
+    /// Accepted delta batches the persistent log does *not* hold: all of
+    /// them when no log is configured, and every batch after the first
+    /// failed append when one is ([`ResidentEr::log_failed`]). A reseed
+    /// replays the log's batches first, then these, preserving arrival
+    /// order. With a healthy log this stays empty — the log *is* the
+    /// replay source, so the session no longer pins a second in-memory
+    /// copy of every delta record.
     delta_records: Vec<Record>,
+    /// The write-ahead delta log ([`crate::config::DeltaLogConfig`]):
+    /// each accepted batch is appended *before* it is consolidated, so a
+    /// restarted system replays exactly the accepted batches.
+    log: Option<DeltaLog>,
+    /// An append failed; the log is frozen (no further appends, but its
+    /// existing frames still replay) and batches fall back to
+    /// [`ResidentEr::delta_records`].
+    log_failed: bool,
 }
 
 /// The Data Tamer system: a [`PipelineContext`] plus stage assembly.
@@ -243,47 +263,53 @@ impl DataTamer {
         &mut self,
         name: &str,
         records: &[Record],
-    ) -> IntegrationReport {
+    ) -> datatamer_model::Result<IntegrationReport> {
         let mut resolver = datatamer_schema::integrate::AcceptBest;
         self.register_structured_with(name, records, &mut resolver)
     }
 
     /// Register and integrate a structured source, routing escalations
     /// through `resolver` (e.g. an expert panel). Runs the ingest →
-    /// schema integration → cleaning stage prefix for this source.
+    /// schema integration → cleaning stage prefix for this source; a
+    /// storage failure while persisting the curated records surfaces here
+    /// instead of panicking.
     pub fn register_structured_with(
         &mut self,
         name: &str,
         records: &[Record],
         resolver: &mut dyn EscalationResolver,
-    ) -> IntegrationReport {
+    ) -> datatamer_model::Result<IntegrationReport> {
         let mut stages: Vec<Box<dyn PipelineStage + '_>> = vec![
             Box::new(IngestStage::new(vec![(name.to_owned(), records.to_vec())], None)),
             Box::new(SchemaIntegrationStage::with_resolver(resolver)),
             Box::new(CleaningStage),
         ];
-        run_stages(&mut self.ctx, &mut stages)
-            .expect("structured registration stages are infallible");
+        run_stages(&mut self.ctx, &mut stages)?;
         let (_, report) = self
             .ctx
             .integration_reports
             .last()
             .expect("schema integration stage records a report");
-        report.clone()
+        Ok(report.clone())
     }
 
     /// Ingest web-text fragments through the domain parser into the
     /// `instance` / `entity` collections and collect fusion show records
-    /// (the ingest stage alone).
-    pub fn ingest_webtext<'a, I>(&mut self, parser: DomainParser, fragments: I) -> IngestStats
+    /// (the ingest stage alone). Storage failures while writing the
+    /// collections surface here instead of panicking.
+    pub fn ingest_webtext<'a, I>(
+        &mut self,
+        parser: DomainParser,
+        fragments: I,
+    ) -> datatamer_model::Result<IngestStats>
     where
         I: IntoIterator<Item = (&'a str, &'a str)>,
     {
         let job = TextIngestJob { parser, fragments: fragments.into_iter().collect() };
         let mut stages: Vec<Box<dyn PipelineStage + '_>> =
             vec![Box::new(IngestStage::new(Vec::new(), Some(job)))];
-        run_stages(&mut self.ctx, &mut stages).expect("text ingest stage is infallible");
-        self.ctx.text_stats.clone()
+        run_stages(&mut self.ctx, &mut stages)?;
+        Ok(self.ctx.text_stats.clone())
     }
 
     /// Fuse structured + text show records into composite entities through
@@ -362,8 +388,19 @@ impl DataTamer {
             None => true,
         };
         if stale {
-            let delta_records =
-                self.resident_er.take().map(|r| r.delta_records).unwrap_or_default();
+            let (delta_records, mut log, log_failed) = match self.resident_er.take() {
+                Some(r) => (r.delta_records, r.log, r.log_failed),
+                None => (Vec::new(), None, false),
+            };
+            // First seed of this process: adopt the configured log. A log
+            // left by an earlier process holds that session's accepted
+            // batches — they replay below, on top of the rebuilt base
+            // corpus, instead of being lost to the restart.
+            if log.is_none() {
+                if let Some(log_config) = &self.ctx.config().delta_log {
+                    log = Some(DeltaLog::open(&log_config.path)?);
+                }
+            }
             let mut consolidator = config.build_incremental();
             let mut corpus = Vec::with_capacity(
                 self.ctx.structured_records.len() + self.ctx.text_show_records.len(),
@@ -373,20 +410,32 @@ impl DataTamer {
             if !corpus.is_empty() {
                 consolidator.ingest(&corpus);
             }
-            if !delta_records.is_empty() {
-                consolidator.ingest(&delta_records);
+            // Replay, in arrival order: the log's persisted batches, then
+            // whatever never reached the log. Replay never re-appends.
+            let mut replay: Vec<Record> = match &log {
+                Some(log) => log.replay_records()?,
+                None => Vec::new(),
+            };
+            replay.extend(delta_records.iter().cloned());
+            if !replay.is_empty() {
+                consolidator.ingest(&replay);
             }
             self.resident_er = Some(ResidentEr {
                 consolidator,
                 config: config.clone(),
                 resolvers: self.ctx.fusion_resolvers.clone(),
                 cache: HashMap::new(),
+                batch_seq: 0,
                 seeded_structured: self.ctx.structured_records.len(),
                 seeded_text: self.ctx.text_show_records.len(),
                 delta_records,
+                log,
+                log_failed,
             });
         }
         let registry = self.ctx.fusion_resolvers.build();
+        let fused_cache_budget = self.ctx.config().fused_cache_budget;
+        let compact_after = self.ctx.config().delta_log.as_ref().map(|c| c.compact_after_frames);
         let resident = self.resident_er.as_mut().expect("seeded above");
         if resident.resolvers != self.ctx.fusion_resolvers {
             // Clusters are routing-independent; only the composites are
@@ -395,8 +444,35 @@ impl DataTamer {
             resident.resolvers = self.ctx.fusion_resolvers.clone();
         }
 
-        let delta = resident.consolidator.ingest(batch);
-        resident.delta_records.extend(batch.iter().cloned());
+        // Write-ahead: persist the accepted batch before consolidating it,
+        // so a crash between the two replays the batch instead of losing
+        // it. An append failure freezes the log (its existing frames still
+        // replay) and routes this and later batches to the in-memory
+        // fallback; the session stays consistent and the error surfaces
+        // after the batch is fully consolidated — do not re-submit it.
+        let mut log_error: Option<DtError> = None;
+        if !batch.is_empty() {
+            if let Some(log) = resident.log.as_mut().filter(|_| !resident.log_failed) {
+                match log.append(batch) {
+                    Ok(()) => {
+                        if log.frames() > compact_after.unwrap_or(usize::MAX) {
+                            // Compaction failure leaves the multi-frame log
+                            // valid on disk; report it, keep appending.
+                            log_error = log.compact().err();
+                        }
+                    }
+                    Err(e) => {
+                        resident.log_failed = true;
+                        log_error = Some(e);
+                    }
+                }
+            }
+        }
+
+        let mut delta = resident.consolidator.ingest(batch);
+        if resident.log.is_none() || resident.log_failed {
+            resident.delta_records.extend(batch.iter().cloned());
+        }
 
         // Rebuild the group list (same contract as the batch path: keyless
         // or canonically-empty clusters form no group) and fuse — clean
@@ -413,7 +489,11 @@ impl DataTamer {
             if key.is_empty() {
                 continue;
             }
-            let hit = if dirty { None } else { resident.cache.get(&cluster[0]).cloned() };
+            let hit = if dirty {
+                None
+            } else {
+                resident.cache.get(&cluster[0]).map(|(e, _)| e.clone())
+            };
             reusable.push(hit);
             groups.push((key, cluster.clone()));
         }
@@ -429,8 +509,41 @@ impl DataTamer {
                 FusedEntity { key: key.clone(), record, member_count: members.len(), confidence }
             })
             .collect();
-        resident.cache =
-            groups.iter().zip(fused.iter()).map(|((_, m), e)| (m[0], e.clone())).collect();
+        // Rebuild the cache with refresh stamps: a re-resolved cluster is
+        // stamped with this batch, a reused one keeps the stamp of the
+        // batch that last resolved it. Under a budget the stalest stamps
+        // evict first (ties broken by cluster id, so eviction — like
+        // everything else on this path — is thread-count deterministic);
+        // an evicted clean cluster simply re-resolves on its next delta.
+        resident.batch_seq += 1;
+        let seq = resident.batch_seq;
+        let mut cache: HashMap<usize, (FusedEntity, u64)> = groups
+            .iter()
+            .zip(fused.iter())
+            .enumerate()
+            .map(|(gi, ((_, members), entity))| {
+                let stamp = match &reusable[gi] {
+                    Some(_) => resident.cache.get(&members[0]).map(|(_, s)| *s).unwrap_or(seq),
+                    None => seq,
+                };
+                (members[0], (entity.clone(), stamp))
+            })
+            .collect();
+        let mut fused_cache_evicted = 0;
+        if let Some(budget) = fused_cache_budget {
+            if cache.len() > budget {
+                let mut order: Vec<(u64, usize)> =
+                    cache.iter().map(|(k, (_, s))| (*s, *k)).collect();
+                order.sort_unstable();
+                for &(_, k) in order.iter().take(cache.len() - budget) {
+                    cache.remove(&k);
+                    fused_cache_evicted += 1;
+                }
+            }
+        }
+        delta.fused_cache_entries = cache.len();
+        delta.fused_cache_evicted = fused_cache_evicted;
+        resident.cache = cache;
 
         // Log the delta as consolidation + fusion stage runs (delta-scope
         // pair counts, corpus-scope group counts) and install the updated
@@ -457,7 +570,12 @@ impl DataTamer {
             .push_run(stage_names::FUSION, StageReport::Fusion { entities: fused.len(), members });
         self.ctx.fusion_groups = groups;
         self.ctx.fused = fused;
-        Ok(delta)
+        // The in-memory session is fully updated either way; a deferred
+        // log error now tells the caller persistence degraded.
+        match log_error {
+            Some(e) => Err(e),
+            None => Ok(delta),
+        }
     }
 
     /// Look up one show in a fused entity set by (canonicalised) name.
@@ -470,18 +588,21 @@ impl DataTamer {
     }
 
     /// Table IV: top-k most discussed award-winning shows from web text.
-    pub fn top_discussed(&self, k: usize) -> Vec<DiscussedShow> {
+    ///
+    /// Bulk reads surface storage errors instead of panicking — an
+    /// unreadable shard yields `Err`, never a partial answer.
+    pub fn top_discussed(&self, k: usize) -> datatamer_model::Result<Vec<DiscussedShow>> {
         match self.ctx.store.collection(crate::ingest::INSTANCE_COLLECTION) {
             Some(c) => top_discussed_award_winning(&c, k),
-            None => Vec::new(),
+            None => Ok(Vec::new()),
         }
     }
 
     /// Table III: entity counts by type.
-    pub fn entity_histogram(&self) -> Vec<(String, u64)> {
+    pub fn entity_histogram(&self) -> datatamer_model::Result<Vec<(String, u64)>> {
         match self.ctx.store.collection(crate::ingest::ENTITY_COLLECTION) {
             Some(c) => entity_type_histogram(&c),
-            None => Vec::new(),
+            None => Ok(Vec::new()),
         }
     }
 
@@ -550,9 +671,9 @@ mod tests {
     #[test]
     fn register_structured_maps_cleans_and_stores() {
         let mut dt = DataTamer::new(small_config());
-        let r1 = dt.register_structured("s1", &structured_rows(0, "show_name", "cheapest_price"));
+        let r1 = dt.register_structured("s1", &structured_rows(0, "show_name", "cheapest_price")).unwrap();
         assert_eq!(r1.new_attributes(), 2);
-        let r2 = dt.register_structured("s2", &structured_rows(1, "title", "cost"));
+        let r2 = dt.register_structured("s2", &structured_rows(1, "title", "cost")).unwrap();
         assert_eq!(dt.global_schema().len(), 2, "{:?}", dt.global_schema().attribute_names());
         assert!(r2.auto_accepted() + r2.human_interventions() == 2);
 
@@ -572,7 +693,7 @@ mod tests {
     #[test]
     fn webtext_ingest_and_table_v_vi_flow() {
         let mut dt = DataTamer::new(small_config());
-        dt.register_structured("ftable", &structured_rows(0, "show_name", "cheapest_price"));
+        dt.register_structured("ftable", &structured_rows(0, "show_name", "cheapest_price")).unwrap();
         let fragments = [
             (
                 "And Matilda an award-winning import from London, grossed 960,998, or 93 percent of the maximum.",
@@ -580,7 +701,7 @@ mod tests {
             ),
             ("Wicked still sells out nightly on Broadway", "blog"),
         ];
-        let stats = dt.ingest_webtext(parser(), fragments);
+        let stats = dt.ingest_webtext(parser(), fragments).unwrap();
         assert_eq!(stats.instances, 2);
         assert_eq!(stats.show_records, 2);
 
@@ -694,8 +815,8 @@ mod tests {
             .collect();
 
         let mut imperative = DataTamer::new(small_config());
-        imperative.register_structured("s1", &rows);
-        imperative.ingest_webtext(parser(), fragments);
+        imperative.register_structured("s1", &rows).unwrap();
+        imperative.ingest_webtext(parser(), fragments).unwrap();
         let via_fuse: Vec<String> = imperative
             .fuse()
             .iter()
@@ -708,8 +829,8 @@ mod tests {
     #[test]
     fn incremental_calls_append_stage_runs() {
         let mut dt = DataTamer::new(small_config());
-        dt.register_structured("s1", &structured_rows(0, "show_name", "cheapest_price"));
-        dt.ingest_webtext(parser(), [("Annie tickets on sale", "news")]);
+        dt.register_structured("s1", &structured_rows(0, "show_name", "cheapest_price")).unwrap();
+        dt.ingest_webtext(parser(), [("Annie tickets on sale", "news")]).unwrap();
         let ctx = dt.context();
         assert_eq!(ctx.run_count(stage_names::INGEST), 2, "one per entry point");
         assert_eq!(ctx.run_count(stage_names::SCHEMA_INTEGRATION), 1);
@@ -976,7 +1097,7 @@ mod tests {
         inc.consolidate_delta(&batch).unwrap();
         // A new structured source arrives mid-stream: the resident corpus
         // is stale, so the next delta reseeds and replays the prior batch.
-        inc.register_structured("s2", &s2);
+        inc.register_structured("s2", &s2).unwrap();
         let batch2 = vec![show(101, "Betashow1 Two1", "$20")];
         let d = inc.consolidate_delta(&batch2).unwrap();
         assert_eq!(d.total_records, 12, "s1 + s2 + both deltas");
@@ -1042,15 +1163,15 @@ mod tests {
     #[test]
     fn top_discussed_and_histogram_need_text() {
         let dt = DataTamer::new(small_config());
-        assert!(dt.top_discussed(5).is_empty());
-        assert!(dt.entity_histogram().is_empty());
+        assert!(dt.top_discussed(5).unwrap().is_empty());
+        assert!(dt.entity_histogram().unwrap().is_empty());
         assert!(dt.collection_stats("instance").is_none());
     }
 
     #[test]
     fn collection_stats_shape() {
         let mut dt = DataTamer::new(small_config());
-        dt.ingest_webtext(parser(), [("Matilda at the theatre tonight", "news")]);
+        dt.ingest_webtext(parser(), [("Matilda at the theatre tonight", "news")]).unwrap();
         let stats = dt.collection_stats("instance").unwrap();
         assert_eq!(stats.ns, "dt.instance");
         assert_eq!(stats.count, 1);

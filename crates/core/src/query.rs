@@ -2,7 +2,7 @@
 
 use std::collections::HashMap;
 
-use datatamer_model::Value;
+use datatamer_model::{Result, Value};
 use datatamer_storage::Collection;
 
 /// Discussion statistics for one show derived from WEBINSTANCE.
@@ -22,7 +22,10 @@ pub struct DiscussedShow {
 /// A show counts as award-winning when at least one fragment mentioning it
 /// contains the phrase "award-winning" (the paper's own feed text carries
 /// the phrase: "Matilda an award-winning import from London").
-pub fn top_discussed_award_winning(instance: &Collection, k: usize) -> Vec<DiscussedShow> {
+pub fn top_discussed_award_winning(
+    instance: &Collection,
+    k: usize,
+) -> Result<Vec<DiscussedShow>> {
     let mut counts: HashMap<String, DiscussedShow> = HashMap::new();
     // Scan instances; each doc contributes one mention per distinct show.
     let rows: Vec<(Vec<(String, String)>, bool)> = instance.parallel_scan(|_, doc| {
@@ -47,7 +50,7 @@ pub fn top_discussed_award_winning(instance: &Collection, k: usize) -> Vec<Discu
             }
         }
         (!shows.is_empty()).then_some((shows, award))
-    });
+    })?;
     let mut surface_votes: HashMap<String, HashMap<String, u64>> = HashMap::new();
     for (shows, award) in rows {
         for (canonical, surface) in shows {
@@ -79,17 +82,17 @@ pub fn top_discussed_award_winning(instance: &Collection, k: usize) -> Vec<Discu
         counts.into_values().filter(|s| s.award_winning).collect();
     ranked.sort_by(|a, b| b.mentions.cmp(&a.mentions).then_with(|| a.title.cmp(&b.title)));
     ranked.truncate(k);
-    ranked
+    Ok(ranked)
 }
 
 /// Count entity documents per type (Table III), descending.
-pub fn entity_type_histogram(entity: &Collection) -> Vec<(String, u64)> {
-    let mut counts = entity.count_by("type");
+pub fn entity_type_histogram(entity: &Collection) -> Result<Vec<(String, u64)>> {
+    let mut counts = entity.count_by("type")?;
     counts.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.total_cmp(&b.0)));
-    counts
+    Ok(counts
         .into_iter()
         .map(|(v, n)| (v.to_text(), n))
-        .collect()
+        .collect())
 }
 
 #[cfg(test)]
@@ -116,7 +119,8 @@ mod tests {
             c.insert(&doc! {
                 "fragment" => *text,
                 "entities" => Value::Array(entities)
-            });
+            })
+            .unwrap();
         }
         c
     }
@@ -129,7 +133,7 @@ mod tests {
             ("Wicked sells out", &["Wicked"]),
             ("award-winning Goodfellas retrospective", &["Goodfellas"]),
         ]);
-        let top = top_discussed_award_winning(&c, 10);
+        let top = top_discussed_award_winning(&c, 10).unwrap();
         assert_eq!(top.len(), 2, "Wicked is never called award-winning: {top:?}");
         assert_eq!(top[0].title, "Matilda");
         assert_eq!(top[0].mentions, 2);
@@ -143,7 +147,7 @@ mod tests {
             "award-winning Matilda and Matilda again",
             &["Matilda", "Matilda"],
         )]);
-        let top = top_discussed_award_winning(&c, 10);
+        let top = top_discussed_award_winning(&c, 10).unwrap();
         assert_eq!(top[0].mentions, 1, "duplicate mentions in one fragment count once");
     }
 
@@ -154,17 +158,17 @@ mod tests {
             ("award-winning B", &["B"]),
             ("award-winning C", &["C"]),
         ]);
-        assert_eq!(top_discussed_award_winning(&c, 2).len(), 2);
-        assert!(top_discussed_award_winning(&c, 0).is_empty());
+        assert_eq!(top_discussed_award_winning(&c, 2).unwrap().len(), 2);
+        assert!(top_discussed_award_winning(&c, 0).unwrap().is_empty());
     }
 
     #[test]
     fn histogram_orders_descending() {
         let c = Collection::new("entity", CollectionConfig::default()).unwrap();
         for ty in ["Person", "Person", "Person", "City", "Movie", "Movie"] {
-            c.insert(&doc! {"type" => ty});
+            c.insert(&doc! {"type" => ty}).unwrap();
         }
-        let h = entity_type_histogram(&c);
+        let h = entity_type_histogram(&c).unwrap();
         assert_eq!(
             h,
             vec![

@@ -332,7 +332,7 @@ impl PipelineStage for IngestStage<'_> {
                 ctx.config.collection_config(),
                 source_id,
                 job.fragments,
-            );
+            )?;
             ctx.catalog.set_record_count(source_id, stats.instances);
             ctx.text_show_records.extend(shows);
             ctx.text_stats = stats.clone();
@@ -552,11 +552,11 @@ impl PipelineStage for CleaningStage {
         if !jobs.is_empty() {
             let col = ctx
                 .store
-                .collection_or_create(GLOBAL_RECORDS_COLLECTION, ctx.config.collection_config());
+                .collection_or_create(GLOBAL_RECORDS_COLLECTION, ctx.config.collection_config())?;
             for (_, cleaned) in jobs {
                 let docs: Vec<datatamer_model::Document> =
                     cleaned.par_iter().map(record_to_doc).collect();
-                col.insert_many(docs.iter());
+                col.insert_many(docs.iter())?;
                 ctx.structured_records.extend(cleaned);
             }
             storage = Some(col.storage_report());

@@ -44,6 +44,22 @@
 //!   retracts a previously accepted pair, the union-find is rebuilt from
 //!   the ledger (rare); otherwise the new pairs union in place.
 //!
+//! ## Bounded residency
+//!
+//! The resident state is budgetable. The score memo is a **pure cache**:
+//! any pair re-scores bit-identically (append-only context), so entries
+//! can be dropped wholesale without affecting results — only future
+//! re-scoring cost. [`IncrementalConsolidator::with_memo_budget`] caps it
+//! with a generational policy (this batch's candidates are the hot set;
+//! everything colder goes first). Window sets are *not* pure cache — they
+//! feed the accepted union every batch — but they are **re-derivable**
+//! from the resident bucket members and sort axis, so
+//! [`IncrementalConsolidator::with_window_budget`] evicts whole slots
+//! (largest first) and marks them for wholesale regeneration on the next
+//! ingest. Both budgets preserve byte-identity at any setting, including
+//! zero; the [`DeltaReport`] occupancy and eviction counters expose the
+//! cost shift.
+//!
 //! The batch pipeline stays the oracle: `tests/incremental_equivalence.rs`
 //! pins incremental-vs-full byte equality over random corpora, random
 //! batch splits, serial and 8-thread pools.
@@ -92,6 +108,26 @@ pub struct DeltaReport {
     /// Buckets currently over the cap (same meaning as
     /// [`crate::BlockingOutcome::degraded_buckets`]).
     pub degraded_buckets: usize,
+    /// Pair scores resident in the memo after this batch's eviction pass.
+    pub memo_entries: usize,
+    /// Memoized scores dropped at this batch's commit under the memo
+    /// budget. Dropping is always sound — a dropped pair re-scores
+    /// bit-identically — it only costs future re-scoring.
+    pub memo_evicted: usize,
+    /// Candidate pairs this batch answered from the memo instead of
+    /// scoring (`candidate_pairs - scored_pairs`).
+    pub memo_hits: usize,
+    /// Accepted window pairs resident across all retractable-window slots
+    /// after this batch's eviction pass.
+    pub window_entries: usize,
+    /// Window pairs dropped at this batch's commit under the window
+    /// budget; their slots regenerate wholesale on the next ingest.
+    pub window_evicted: usize,
+    /// Fused entities resident in the pipeline's per-cluster cache.
+    /// Filled by the pipeline layer; always 0 from the consolidator.
+    pub fused_cache_entries: usize,
+    /// Fused entities the pipeline cache evicted this batch (ditto).
+    pub fused_cache_evicted: usize,
 }
 
 /// Entity resolution with resident state: feed record batches with
@@ -118,9 +154,13 @@ pub struct IncrementalConsolidator {
     soundex_buckets: HashMap<String, Vec<usize>>,
     lsh: Option<(MinHasher, MinHashLsh<usize>)>,
 
-    /// Every pair score ever computed, keyed by packed `(i, j)` — valid
-    /// forever because context growth never changes a prepared feature.
+    /// Memoized pair scores, keyed by packed `(i, j)` — valid forever
+    /// because context growth never changes a prepared feature, but
+    /// droppable at will (pure cache): entries beyond `memo_budget` are
+    /// evicted at each batch commit.
     scores: HashMap<u64, f64>,
+    /// Cap on resident memo entries (`None` = unbounded).
+    memo_budget: Option<usize>,
     /// Monotone accepted pairs (quadratic cores, LSH co-bucketing):
     /// sorted, deduplicated, append-only across batches.
     core_accepted: Vec<u64>,
@@ -131,6 +171,13 @@ pub struct IncrementalConsolidator {
     window_soundex: HashMap<String, Vec<u64>>,
     /// Same for the global sorted-neighborhood window.
     window_sn: Vec<u64>,
+    /// Cap on resident window pairs across all slots (`None` = unbounded).
+    window_budget: Option<usize>,
+    /// Token-bucket window slots evicted at the last commit, awaiting
+    /// wholesale regeneration on the next ingest (sorted).
+    evicted_token: Vec<usize>,
+    /// Soundex window slots evicted at the last commit (sorted).
+    evicted_soundex: Vec<String>,
     /// Union of ledger + window sets after the last batch (sorted,
     /// deduplicated) — the superset check against its successor decides
     /// whether the union-find can grow in place.
@@ -165,16 +212,42 @@ impl IncrementalConsolidator {
             soundex_buckets: HashMap::new(),
             lsh,
             scores: HashMap::new(),
+            memo_budget: None,
             core_accepted: Vec::new(),
             window_token: HashMap::new(),
             window_soundex: HashMap::new(),
             window_sn: Vec::new(),
+            window_budget: None,
+            evicted_token: Vec::new(),
+            evicted_soundex: Vec::new(),
             accepted: Vec::new(),
             uf: UnionFind::new(0),
             clusters: Vec::new(),
             dirty: Vec::new(),
             last_report: DeltaReport::default(),
         }
+    }
+
+    /// Cap the score memo at `budget` resident entries (`None` =
+    /// unbounded). Eviction is generational, at each batch commit: the
+    /// batch's own candidates are the hot set, everything colder goes
+    /// first, and whatever still exceeds the budget is trimmed
+    /// deterministically (smallest packed pair first). Any budget —
+    /// including 0 — preserves byte-identical clusters; evicted pairs
+    /// simply re-score when next needed.
+    pub fn with_memo_budget(mut self, budget: Option<usize>) -> Self {
+        self.memo_budget = budget;
+        self
+    }
+
+    /// Cap the resident accepted-window pairs at `budget` across all
+    /// slots (`None` = unbounded). Whole slots are evicted largest-first
+    /// at each batch commit and regenerated wholesale on the next ingest
+    /// from the resident bucket members and sort axis, so any budget —
+    /// including 0 — preserves byte-identical clusters.
+    pub fn with_window_budget(mut self, budget: Option<usize>) -> Self {
+        self.window_budget = budget;
+        self
     }
 
     /// Corpus records in ingest order.
@@ -273,6 +346,12 @@ impl IncrementalConsolidator {
                         }
                     }
                 }
+                // Fold in slots evicted at the last commit: with
+                // `first_new` past the end they contribute no core pairs,
+                // only the wholesale window regeneration they owe.
+                for id in std::mem::take(&mut self.evicted_token) {
+                    touched.entry(id).or_insert_with(|| self.token_buckets[id].len());
+                }
                 probed_buckets = touched.len();
                 let mut touched: Vec<(usize, usize)> = touched.into_iter().collect();
                 touched.sort_unstable();
@@ -298,6 +377,10 @@ impl IncrementalConsolidator {
                             bucket.push(i);
                         }
                     }
+                }
+                for code in std::mem::take(&mut self.evicted_soundex) {
+                    let end = self.soundex_buckets[&code].len();
+                    touched.entry(code).or_insert(end);
                 }
                 probed_buckets = touched.len();
                 let mut touched: Vec<(String, usize)> = touched.into_iter().collect();
@@ -349,14 +432,19 @@ impl IncrementalConsolidator {
 
         // 3. Score what the memo lacks (pure per-pair work → rayon), then
         //    commit sequentially so the memo stays deterministic.
-        let mut to_score: Vec<u64> = new_core
+        let mut candidates: Vec<u64> = new_core
             .iter()
             .chain(window_updates.iter().flat_map(|(_, pairs)| pairs.iter()))
             .copied()
+            .collect();
+        candidates.sort_unstable();
+        candidates.dedup();
+        let candidate_pairs = candidates.len();
+        let to_score: Vec<u64> = candidates
+            .iter()
+            .copied()
             .filter(|p| !self.scores.contains_key(p))
             .collect();
-        to_score.sort_unstable();
-        to_score.dedup();
         let scored: Vec<(u64, f64)> = to_score
             .par_iter()
             .map(|&p| {
@@ -366,17 +454,6 @@ impl IncrementalConsolidator {
             .collect();
         let scored_pairs = scored.len();
         self.scores.extend(scored);
-
-        let candidate_pairs = {
-            let mut all: Vec<u64> = new_core
-                .iter()
-                .chain(window_updates.iter().flat_map(|(_, pairs)| pairs.iter()))
-                .copied()
-                .collect();
-            all.sort_unstable();
-            all.dedup();
-            all.len()
-        };
 
         // 4. Fold accepted pairs into the ledger and the window sets.
         let threshold = self.threshold;
@@ -444,6 +521,69 @@ impl IncrementalConsolidator {
             .collect();
         let dirty_clusters = self.dirty.iter().filter(|d| **d).count();
 
+        // 7. Commit-point eviction under the configured budgets.
+        //
+        //    Memo (pure cache): keep this batch's candidates — the hot
+        //    generation — up to the budget, in packed-pair order; evicted
+        //    pairs re-score bit-identically when next needed. Windows
+        //    (re-derivable state): drop whole slots largest-first and
+        //    mark them, so the next ingest regenerates them from the
+        //    resident bucket members and sort axis before the accepted
+        //    union is rebuilt.
+        let mut memo_evicted = 0;
+        if let Some(budget) = self.memo_budget {
+            if self.scores.len() > budget {
+                let before = self.scores.len();
+                let keep: std::collections::HashSet<u64> =
+                    candidates.iter().copied().take(budget).collect();
+                self.scores.retain(|k, _| keep.contains(k));
+                memo_evicted = before - self.scores.len();
+            }
+        }
+        let mut window_evicted = 0;
+        if let Some(budget) = self.window_budget {
+            let total = self.window_entries();
+            if total > budget {
+                let mut slots: Vec<(usize, WindowSlot)> = self
+                    .window_token
+                    .iter()
+                    .map(|(id, v)| (v.len(), WindowSlot::Token(*id)))
+                    .chain(
+                        self.window_soundex
+                            .iter()
+                            .map(|(c, v)| (v.len(), WindowSlot::Soundex(c.clone()))),
+                    )
+                    .collect();
+                if !self.window_sn.is_empty() {
+                    slots.push((self.window_sn.len(), WindowSlot::Sn));
+                }
+                slots.sort_unstable_by(|a, b| b.0.cmp(&a.0).then_with(|| a.1.cmp(&b.1)));
+                let mut remaining = total;
+                for (len, slot) in slots {
+                    if remaining <= budget || len == 0 {
+                        break;
+                    }
+                    remaining -= len;
+                    window_evicted += len;
+                    match slot {
+                        WindowSlot::Token(id) => {
+                            self.window_token.remove(&id);
+                            self.evicted_token.push(id);
+                        }
+                        WindowSlot::Soundex(code) => {
+                            self.window_soundex.remove(&code);
+                            self.evicted_soundex.push(code);
+                        }
+                        // The global axis regenerates every ingest anyway;
+                        // no marking needed.
+                        WindowSlot::Sn => self.window_sn.clear(),
+                    }
+                }
+                self.evicted_token.sort_unstable();
+                self.evicted_soundex.sort_unstable();
+            }
+        }
+
         self.last_report = DeltaReport {
             batch_records: batch.len(),
             total_records: n,
@@ -455,8 +595,22 @@ impl IncrementalConsolidator {
             reused_clusters: self.clusters.len() - dirty_clusters,
             reused_context_fraction: if n == 0 { 0.0 } else { old_n as f64 / n as f64 },
             degraded_buckets: self.degraded_buckets(),
+            memo_entries: self.scores.len(),
+            memo_evicted,
+            memo_hits: candidate_pairs - scored_pairs,
+            window_entries: self.window_entries(),
+            window_evicted,
+            fused_cache_entries: 0,
+            fused_cache_evicted: 0,
         };
         self.last_report
+    }
+
+    /// Total accepted window pairs resident across all slots.
+    fn window_entries(&self) -> usize {
+        self.window_token.values().map(Vec::len).sum::<usize>()
+            + self.window_soundex.values().map(Vec::len).sum::<usize>()
+            + self.window_sn.len()
     }
 
     /// Delta candidates for one touched bucket: monotone quadratic-core
@@ -519,8 +673,10 @@ impl IncrementalConsolidator {
     }
 }
 
-/// Which retractable-window set a regenerated pair list replaces.
-#[derive(Debug, Clone)]
+/// Which retractable-window set a regenerated pair list replaces. The
+/// derived order (token id, then Soundex code, then the global axis)
+/// breaks eviction ties deterministically.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
 enum WindowSlot {
     Token(usize),
     Soundex(String),
@@ -746,6 +902,137 @@ mod tests {
         let report = inc.ingest(&[keyless]);
         assert_eq!(report.candidate_pairs, 0);
         assert_eq!(inc.clusters(), &[vec![0]]);
+    }
+
+    #[test]
+    fn zero_budgets_still_match_full_run() {
+        // Budget 0 on both caches is the adversarial extreme: the memo
+        // clears at every commit (every batch re-scores all its
+        // candidates) and every window slot is evicted and regenerated
+        // each ingest — yet clusters must stay byte-identical. Each name
+        // appears exactly twice, with its twin ~30 insertions away:
+        // adjacent on the sorted axis but far outside the quadratic core,
+        // so the accepted pairs live in the retractable windows.
+        let names: Vec<String> =
+            (0..60).map(|i| format!("show number {:02}", (i * 13) % 30)).collect();
+        let refs: Vec<&str> = names.iter().map(String::as_str).collect();
+        let records = corpus(&refs);
+        let blocker = Blocker::new("name", BlockingStrategy::Token).with_bucket_cap(8);
+        let full = {
+            let scorer = PairScorer::Rules(RecordSimilarity::default());
+            let ctx = scorer.prepare(&records);
+            let outcome = blocker
+                .candidates_with_report_keyed(&records, &|| ctx.sort_keys("name").unwrap());
+            let accepted = ctx.accepted_pairs(&outcome.pairs, 0.85);
+            crate::cluster::cluster_pairs(records.len(), &accepted)
+        };
+        for batch in [1, 7, 13] {
+            let mut inc = IncrementalConsolidator::new(
+                blocker.clone(),
+                PairScorer::Rules(RecordSimilarity::default()),
+                0.85,
+            )
+            .with_memo_budget(Some(0))
+            .with_window_budget(Some(0));
+            let mut memo_evicted = 0;
+            let mut window_evicted = 0;
+            for chunk in records.chunks(batch) {
+                let report = inc.ingest(chunk);
+                memo_evicted += report.memo_evicted;
+                window_evicted += report.window_evicted;
+                assert_eq!(report.memo_entries, 0, "budget 0 clears the memo");
+                assert_eq!(report.window_entries, 0, "budget 0 clears every slot");
+            }
+            assert_eq!(inc.clusters(), full.as_slice(), "batch size {batch}");
+            assert!(memo_evicted > 0, "eviction must actually fire");
+            assert!(window_evicted > 0, "window eviction must actually fire");
+        }
+    }
+
+    #[test]
+    fn small_budgets_bound_occupancy_and_match_unbounded() {
+        let names: Vec<String> = (0..60)
+            .map(|i| format!("show {:02} name{}", (i * 7) % 60, i % 3))
+            .collect();
+        let refs: Vec<&str> = names.iter().map(String::as_str).collect();
+        let records = corpus(&refs);
+        let blocker = Blocker::new("name", BlockingStrategy::Token).with_bucket_cap(8);
+        let build = |memo: Option<usize>, window: Option<usize>| {
+            let mut inc = IncrementalConsolidator::new(
+                blocker.clone(),
+                PairScorer::Rules(RecordSimilarity::default()),
+                0.85,
+            )
+            .with_memo_budget(memo)
+            .with_window_budget(window);
+            for chunk in records.chunks(9) {
+                let report = inc.ingest(chunk);
+                if let Some(b) = memo {
+                    assert!(report.memo_entries <= b, "memo over budget");
+                }
+                if let Some(b) = window {
+                    assert!(report.window_entries <= b, "windows over budget");
+                }
+            }
+            inc
+        };
+        let unbounded = build(None, None);
+        assert!(unbounded.last_report().memo_evicted == 0);
+        for (memo, window) in [(Some(40), None), (None, Some(10)), (Some(25), Some(5))] {
+            let bounded = build(memo, window);
+            assert_eq!(
+                bounded.clusters(),
+                unbounded.clusters(),
+                "memo {memo:?} window {window:?}"
+            );
+        }
+        // The unbounded run memoizes across batches; a bounded run trades
+        // that for re-scoring, never for different answers.
+        assert!(unbounded.last_report().memo_hits > 0);
+    }
+
+    #[test]
+    fn soundex_windows_survive_eviction() {
+        // Force oversized Soundex buckets (shared first word) so the
+        // Soundex retractable-window slots exist, then evict them all.
+        // Each name appears twice, twins far apart in insertion order.
+        let names: Vec<String> =
+            (0..30).map(|i| format!("robert show {:02}", ((i * 11) % 30) / 2)).collect();
+        let refs: Vec<&str> = names.iter().map(String::as_str).collect();
+        let records = corpus(&refs);
+        let blocker = Blocker::new("name", BlockingStrategy::Soundex).with_bucket_cap(4);
+        let full = {
+            let scorer = PairScorer::Rules(RecordSimilarity::default());
+            let ctx = scorer.prepare(&records);
+            let outcome = blocker
+                .candidates_with_report_keyed(&records, &|| ctx.sort_keys("name").unwrap());
+            let accepted = ctx.accepted_pairs(&outcome.pairs, 0.85);
+            crate::cluster::cluster_pairs(records.len(), &accepted)
+        };
+        let mut inc = IncrementalConsolidator::new(
+            blocker,
+            PairScorer::Rules(RecordSimilarity::default()),
+            0.85,
+        )
+        .with_window_budget(Some(0));
+        for chunk in records.chunks(6) {
+            inc.ingest(chunk);
+        }
+        assert_eq!(inc.clusters(), full.as_slice());
+    }
+
+    #[test]
+    fn eviction_is_idle_under_no_budget() {
+        let names = names();
+        let refs: Vec<&str> = names.iter().map(String::as_str).collect();
+        let records = corpus(&refs);
+        let mut inc = consolidator(BlockingStrategy::Token);
+        for chunk in records.chunks(10) {
+            let report = inc.ingest(chunk);
+            assert_eq!(report.memo_evicted, 0);
+            assert_eq!(report.window_evicted, 0);
+        }
+        assert!(inc.last_report().memo_entries > 0);
     }
 
     #[test]

@@ -96,17 +96,24 @@ pub trait ShardBackend: Send + Sync {
     /// Decode the live document at `(extent, slot)`, if any. Point reads
     /// deliberately fold "not live" and "unreadable" into `None` (the
     /// lookup contract callers already hold); bulk reads ([`Self::visit`])
-    /// are loud on I/O failure instead, because a silent skip there would
-    /// drop whole extents from scan output.
+    /// surface I/O failure as an error instead, because a silent skip
+    /// there would drop whole extents from scan output.
     fn get(&self, extent: u32, slot: u32) -> Option<Document>;
 
     /// Tombstone `(extent, slot)`; returns the document when it was live
-    /// (same `None` folding as [`Self::get`]).
-    fn delete(&self, extent: u32, slot: u32) -> Option<Document>;
+    /// (same `None` folding as [`Self::get`] on the read side). A failed
+    /// tombstone *write-back* is an error — swallowing it would leave the
+    /// caller's count/indexes agreeing with neither the old nor the new
+    /// on-disk state, and aborting the process (the old behaviour) turns
+    /// one torn extent into an outage.
+    fn delete(&self, extent: u32, slot: u32) -> Result<Option<Document>>;
 
     /// Visit every live document in `(extent, slot)` order — the scan
-    /// order every backend must share for byte-identical results.
-    fn visit(&self, f: &mut dyn FnMut(u32, u32, &Document));
+    /// order every backend must share for byte-identical results. An
+    /// unreadable extent aborts the scan with an error rather than being
+    /// skipped (a skip would silently drop every document in it) or
+    /// panicking (the pre-PR-7 behaviour).
+    fn visit(&self, f: &mut dyn FnMut(u32, u32, &Document)) -> Result<()>;
 
     /// Live documents in this shard.
     fn len(&self) -> u64;
@@ -196,14 +203,14 @@ impl ShardBackend for MemoryBackend {
         extents.get(extent as usize)?.get(slot).and_then(|r| r.ok())
     }
 
-    fn delete(&self, extent: u32, slot: u32) -> Option<Document> {
+    fn delete(&self, extent: u32, slot: u32) -> Result<Option<Document>> {
         let mut extents = self.extents.write();
-        let e = extents.get_mut(extent as usize)?;
-        let doc = e.get(slot).and_then(|r| r.ok())?;
-        e.delete(slot).then_some(doc)
+        let Some(e) = extents.get_mut(extent as usize) else { return Ok(None) };
+        let Some(doc) = e.get(slot).and_then(|r| r.ok()) else { return Ok(None) };
+        Ok(e.delete(slot).then_some(doc))
     }
 
-    fn visit(&self, f: &mut dyn FnMut(u32, u32, &Document)) {
+    fn visit(&self, f: &mut dyn FnMut(u32, u32, &Document)) -> Result<()> {
         let extents = self.extents.read();
         for (idx, extent) in extents.iter().enumerate() {
             for (slot, bytes) in extent.iter_live() {
@@ -212,6 +219,7 @@ impl ShardBackend for MemoryBackend {
                 }
             }
         }
+        Ok(())
     }
 
     fn len(&self) -> u64 {
@@ -493,46 +501,49 @@ impl ShardBackend for FileBackend {
         }
     }
 
-    fn delete(&self, extent: u32, slot: u32) -> Option<Document> {
+    fn delete(&self, extent: u32, slot: u32) -> Result<Option<Document>> {
         let mut slots = self.slots.write();
         let index = extent as usize;
-        match slots.get_mut(index)? {
-            ExtentSlot::Loaded(e) => {
-                let doc = e.get(slot).and_then(|r| r.ok())?;
-                e.delete(slot).then_some(doc)
+        match slots.get_mut(index) {
+            None => Ok(None),
+            Some(ExtentSlot::Loaded(e)) => {
+                let Some(doc) = e.get(slot).and_then(|r| r.ok()) else { return Ok(None) };
+                Ok(e.delete(slot).then_some(doc))
             }
-            ExtentSlot::Flushed(_) => {
+            Some(ExtentSlot::Flushed(_)) => {
                 // Read-modify-write: the tombstone must reach the file, or
-                // a reopen would resurrect the document. The write-back is
-                // loud like every other write: swallowing the error would
+                // a reopen would resurrect the document. The read side
+                // folds "unreadable" into `None` like `get`; the
+                // write-back surfaces its error — swallowing it would
                 // leave the caller's count/indexes agreeing with neither
                 // the old nor the new on-disk state.
-                let mut e = self.load_extent(index).ok()?;
-                let doc = e.get(slot).and_then(|r| r.ok())?;
+                let Ok(mut e) = self.load_extent(index) else { return Ok(None) };
+                let Some(doc) = e.get(slot).and_then(|r| r.ok()) else { return Ok(None) };
                 if !e.delete(slot) {
-                    return None;
+                    return Ok(None);
                 }
-                self.write_extent(index, &e)
-                    .unwrap_or_else(|err| panic!("tombstone write-back, extent {index}: {err}"));
+                self.write_extent(index, &e).map_err(|err| {
+                    DtError::Io(format!("tombstone write-back, extent {index}: {err}"))
+                })?;
                 slots[index] = ExtentSlot::Flushed(ExtentMeta::of(&e));
-                Some(doc)
+                Ok(Some(doc))
             }
         }
     }
 
-    fn visit(&self, f: &mut dyn FnMut(u32, u32, &Document)) {
+    fn visit(&self, f: &mut dyn FnMut(u32, u32, &Document)) -> Result<()> {
         let slots = self.slots.read();
         for (index, slot_state) in slots.iter().enumerate() {
             let loaded;
             let extent: &Extent = match slot_state {
                 ExtentSlot::Loaded(e) => e,
-                // Loud on I/O failure, like the write path: silently
-                // skipping an unreadable extent would drop every document
-                // in it from scans — wrong fused output with no error.
+                // An error here, like the write path: silently skipping an
+                // unreadable extent would drop every document in it from
+                // scans — wrong fused output with no error.
                 ExtentSlot::Flushed(_) => {
-                    loaded = self
-                        .load_extent(index)
-                        .unwrap_or_else(|e| panic!("shard extent {index} unreadable: {e}"));
+                    loaded = self.load_extent(index).map_err(|e| {
+                        DtError::Io(format!("shard extent {index} unreadable: {e}"))
+                    })?;
                     &loaded
                 }
             };
@@ -542,6 +553,7 @@ impl ShardBackend for FileBackend {
                 }
             }
         }
+        Ok(())
     }
 
     fn len(&self) -> u64 {
@@ -645,9 +657,9 @@ mod tests {
         assert_eq!(mem.extent_count(), file.extent_count());
         assert_eq!(mem.used_bytes(), file.used_bytes());
         let mut mem_seen = Vec::new();
-        mem.visit(&mut |e, s, d| mem_seen.push((e, s, format!("{d:?}"))));
+        mem.visit(&mut |e, s, d| mem_seen.push((e, s, format!("{d:?}")))).unwrap();
         let mut file_seen = Vec::new();
-        file.visit(&mut |e, s, d| file_seen.push((e, s, format!("{d:?}"))));
+        file.visit(&mut |e, s, d| file_seen.push((e, s, format!("{d:?}")))).unwrap();
         assert_eq!(mem_seen, file_seen, "scan order and content must match");
         assert!(file.flushes() > 0, "rolled extents were written out");
         fs::remove_dir_all(&dir).unwrap();
@@ -666,7 +678,7 @@ mod tests {
         let reopened = FileBackend::open(&dir, 128).unwrap();
         assert_eq!(reopened.len(), 12);
         let mut seen = Vec::new();
-        reopened.visit(&mut |_, _, d| seen.push(d.get("i").cloned().unwrap()));
+        reopened.visit(&mut |_, _, d| seen.push(d.get("i").cloned().unwrap())).unwrap();
         assert_eq!(seen.len(), 12);
         // And the chain keeps growing from where it left off.
         let (ext, _) = reopened.append(&encoded(99)).unwrap();
@@ -683,10 +695,10 @@ mod tests {
             (0..10i64).map(|i| file.append(&encoded(i)).unwrap()).collect();
         // Delete one doc from a rolled (flushed) extent and one from the tail.
         let (fe, fs_) = spots[0];
-        assert!(file.delete(fe, fs_).is_some());
-        assert!(file.delete(fe, fs_).is_none(), "double delete is a no-op");
+        assert!(file.delete(fe, fs_).unwrap().is_some());
+        assert!(file.delete(fe, fs_).unwrap().is_none(), "double delete is a no-op");
         let (te, ts) = *spots.last().unwrap();
-        assert!(file.delete(te, ts).is_some());
+        assert!(file.delete(te, ts).unwrap().is_some());
         assert_eq!(file.len(), 8);
         file.sync().unwrap();
         let reopened = FileBackend::open(&dir, 96).unwrap();
@@ -757,10 +769,31 @@ mod tests {
         let mem = MemoryBackend::new(128);
         assert_eq!(mem.restore(snap).unwrap(), 15);
         let mut a = Vec::new();
-        file.visit(&mut |e, s, d| a.push((e, s, format!("{d:?}"))));
+        file.visit(&mut |e, s, d| a.push((e, s, format!("{d:?}")))).unwrap();
         let mut b = Vec::new();
-        mem.visit(&mut |e, s, d| b.push((e, s, format!("{d:?}"))));
+        mem.visit(&mut |e, s, d| b.push((e, s, format!("{d:?}")))).unwrap();
         assert_eq!(a, b, "a file snapshot restores byte-identically into memory");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_extent_is_an_error_not_a_crash() {
+        // Regression: an unreadable flushed extent used to panic! inside
+        // visit (and the tombstone write-back likewise aborted). Both now
+        // surface as Err so the pipeline can report them.
+        let dir = tempdir("torn");
+        let file = FileBackend::open(&dir, 96).unwrap();
+        for i in 0..10i64 {
+            file.append(&encoded(i)).unwrap();
+        }
+        file.sync().unwrap();
+        assert!(file.extent_count() > 1, "need a flushed extent");
+        // Tear the first flushed extent (and its sidecar, so nothing masks
+        // the damage).
+        fs::write(dir.join("ext000000"), b"torn").unwrap();
+        let _ = fs::remove_file(dir.join("ext000000.meta"));
+        let err = file.visit(&mut |_, _, _| {}).unwrap_err();
+        assert!(format!("{err}").contains("extent 0"), "{err}");
         fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -159,13 +159,11 @@ impl Collection {
         self.len() == 0
     }
 
-    /// Insert a document, returning its id.
-    ///
-    /// # Panics
-    /// On backend I/O failure (file-backed shards only) — the in-memory
-    /// default never fails.
-    pub fn insert(&self, doc: &Document) -> DocId {
-        let id = self.coordinator.insert(doc).expect("shard backend append");
+    /// Insert a document, returning its id. Backend I/O failure
+    /// (file-backed shards only — the in-memory default never fails) is
+    /// the error; nothing was stored and no index was touched.
+    pub fn insert(&self, doc: &Document) -> Result<DocId> {
+        let id = self.coordinator.insert(doc)?;
         {
             let mut indexes = self.indexes.write();
             for idx in indexes.iter_mut() {
@@ -173,7 +171,7 @@ impl Collection {
             }
         }
         self.count.fetch_add(1, Ordering::Relaxed);
-        id
+        Ok(id)
     }
 
     /// Insert a batch, returning ids in input order.
@@ -184,16 +182,19 @@ impl Collection {
     /// and appends each shard's documents under a single lock acquisition
     /// (shards proceed in parallel) instead of one lock round-trip per
     /// document. Shard routing is identical to repeated [`Self::insert`]
-    /// calls under every [`RoutingPolicy`].
-    ///
-    /// # Panics
-    /// On backend I/O failure (file-backed shards only).
-    pub fn insert_many<'a, I: IntoIterator<Item = &'a Document>>(&self, docs: I) -> Vec<DocId> {
+    /// calls under every [`RoutingPolicy`]. Backend I/O failure surfaces
+    /// as the error (shards that already appended keep their documents —
+    /// the count and indexes then exclude them, matching what a reopen
+    /// would adopt only after a `sync`).
+    pub fn insert_many<'a, I: IntoIterator<Item = &'a Document>>(
+        &self,
+        docs: I,
+    ) -> Result<Vec<DocId>> {
         let docs: Vec<&Document> = docs.into_iter().collect();
         if docs.is_empty() {
-            return Vec::new();
+            return Ok(Vec::new());
         }
-        let ids = self.coordinator.insert_many(&docs).expect("shard backend batch append");
+        let ids = self.coordinator.insert_many(&docs)?;
         {
             let mut indexes = self.indexes.write();
             for idx in indexes.iter_mut() {
@@ -203,7 +204,7 @@ impl Collection {
             }
         }
         self.count.fetch_add(docs.len() as u64, Ordering::Relaxed);
-        ids
+        Ok(ids)
     }
 
     /// Fetch a document by id.
@@ -211,10 +212,11 @@ impl Collection {
         self.coordinator.get(id)
     }
 
-    /// Delete a document by id. Returns whether it was live.
-    pub fn delete(&self, id: DocId) -> bool {
-        let Some(doc) = self.coordinator.delete(id) else {
-            return false;
+    /// Delete a document by id. Returns whether it was live; a failed
+    /// tombstone write-back on a file shard is the error.
+    pub fn delete(&self, id: DocId) -> Result<bool> {
+        let Some(doc) = self.coordinator.delete(id)? else {
+            return Ok(false);
         };
         let mut indexes = self.indexes.write();
         for idx in indexes.iter_mut() {
@@ -222,7 +224,7 @@ impl Collection {
         }
         drop(indexes);
         self.count.fetch_sub(1, Ordering::Relaxed);
-        true
+        Ok(true)
     }
 
     /// Create a secondary index, back-filling existing documents.
@@ -234,7 +236,7 @@ impl Collection {
             }
         }
         let mut idx = Index::new(spec);
-        self.for_each(|id, doc| idx.insert(id, doc));
+        self.for_each(|id, doc| idx.insert(id, doc))?;
         self.indexes.write().push(idx);
         Ok(())
     }
@@ -256,15 +258,17 @@ impl Collection {
         indexes.iter().find(|i| i.spec.path == path).map(f)
     }
 
-    /// Sequentially visit every live document.
-    pub fn for_each(&self, f: impl FnMut(DocId, &Document)) {
-        self.coordinator.for_each(f);
+    /// Sequentially visit every live document. An unreadable extent stops
+    /// the walk with its error.
+    pub fn for_each(&self, f: impl FnMut(DocId, &Document)) -> Result<()> {
+        self.coordinator.for_each(f)
     }
 
     /// Scan all shards in parallel via rayon, collecting `f`'s non-`None`
     /// outputs. Output order is deterministic regardless of thread count
-    /// and backend: shard-major, then extent, then slot.
-    pub fn parallel_scan<T, F>(&self, f: F) -> Vec<T>
+    /// and backend: shard-major, then extent, then slot. Any shard's read
+    /// failure fails the scan.
+    pub fn parallel_scan<T, F>(&self, f: F) -> Result<Vec<T>>
     where
         T: Send,
         F: Fn(DocId, &Document) -> Option<T> + Sync,
@@ -287,19 +291,19 @@ impl Collection {
 
     /// Group-by over a path: `(value, count)` in value order. Uses an index
     /// on the path when one exists, otherwise a parallel scan.
-    pub fn count_by(&self, path: &str) -> Vec<(Value, u64)> {
+    pub fn count_by(&self, path: &str) -> Result<Vec<(Value, u64)>> {
         if let Some(counts) = self.with_index_on_path(path, |idx| {
             idx.key_counts().into_iter().map(|(k, n)| (k, n as u64)).collect::<Vec<_>>()
         }) {
-            return counts;
+            return Ok(counts);
         }
-        let values = self.parallel_scan(|_, doc| doc.get_path(path).cloned());
+        let values = self.parallel_scan(|_, doc| doc.get_path(path).cloned())?;
         let mut counts: std::collections::BTreeMap<crate::index::IndexKey, u64> =
             std::collections::BTreeMap::new();
         for v in values {
             *counts.entry(crate::index::IndexKey(v)).or_insert(0) += 1;
         }
-        counts.into_iter().map(|(k, n)| (k.0, n)).collect()
+        Ok(counts.into_iter().map(|(k, n)| (k.0, n)).collect())
     }
 
     /// Statistics in the shape of the paper's Tables I–II.
@@ -405,7 +409,7 @@ mod tests {
     fn insert_get_roundtrip() {
         let c = small();
         let d = doc! {"show" => "Matilda", "price" => 27i64};
-        let id = c.insert(&d);
+        let id = c.insert(&d).unwrap();
         assert_eq!(c.get(id), Some(d));
         assert_eq!(c.len(), 1);
         assert!(c.get(DocId::pack(0, 9, 9)).is_none());
@@ -415,7 +419,7 @@ mod tests {
     fn inserts_spread_over_shards_and_extents() {
         let c = small();
         for i in 0..100i64 {
-            c.insert(&doc! {"i" => i, "pad" => "x".repeat(40)});
+            c.insert(&doc! {"i" => i, "pad" => "x".repeat(40)}).unwrap();
         }
         assert_eq!(c.len(), 100);
         let stats = c.stats("dt");
@@ -427,9 +431,9 @@ mod tests {
     #[test]
     fn delete_removes_and_updates_count() {
         let c = small();
-        let id = c.insert(&doc! {"a" => 1i64});
-        assert!(c.delete(id));
-        assert!(!c.delete(id));
+        let id = c.insert(&doc! {"a" => 1i64}).unwrap();
+        assert!(c.delete(id).unwrap());
+        assert!(!c.delete(id).unwrap());
         assert_eq!(c.len(), 0);
         assert!(c.get(id).is_none());
     }
@@ -439,14 +443,14 @@ mod tests {
         let c = small();
         let d1 = doc! {"type" => "Person"};
         let d2 = doc! {"type" => "City"};
-        let id1 = c.insert(&d1);
+        let id1 = c.insert(&d1).unwrap();
         c.create_index(IndexSpec::new("by_type", "type")).unwrap();
-        let id2 = c.insert(&d2);
+        let id2 = c.insert(&d2).unwrap();
         let persons = c.with_index("by_type", |i| i.lookup(&Value::from("Person"))).unwrap();
         assert_eq!(persons, vec![id1]);
         let cities = c.with_index("by_type", |i| i.lookup(&Value::from("City"))).unwrap();
         assert_eq!(cities, vec![id2]);
-        c.delete(id1);
+        c.delete(id1).unwrap();
         let persons = c.with_index("by_type", |i| i.lookup(&Value::from("Person"))).unwrap();
         assert!(persons.is_empty());
         assert!(c.create_index(IndexSpec::new("by_type", "type")).is_err());
@@ -455,9 +459,10 @@ mod tests {
     #[test]
     fn parallel_scan_sees_all_live_docs() {
         let c = small();
-        let ids: Vec<DocId> = (0..50i64).map(|i| c.insert(&doc! {"i" => i})).collect();
-        c.delete(ids[10]);
-        let seen = c.parallel_scan(|_, d| d.get("i").and_then(|v| v.as_int()));
+        let ids: Vec<DocId> =
+            (0..50i64).map(|i| c.insert(&doc! {"i" => i}).unwrap()).collect();
+        c.delete(ids[10]).unwrap();
+        let seen = c.parallel_scan(|_, d| d.get("i").and_then(|v| v.as_int())).unwrap();
         assert_eq!(seen.len(), 49);
         assert!(!seen.contains(&10));
     }
@@ -466,11 +471,11 @@ mod tests {
     fn count_by_with_and_without_index() {
         let c = small();
         for ty in ["Person", "Person", "Movie"] {
-            c.insert(&doc! {"type" => ty});
+            c.insert(&doc! {"type" => ty}).unwrap();
         }
-        let scan_counts = c.count_by("type");
+        let scan_counts = c.count_by("type").unwrap();
         c.create_index(IndexSpec::new("by_type", "type")).unwrap();
-        let index_counts = c.count_by("type");
+        let index_counts = c.count_by("type").unwrap();
         assert_eq!(scan_counts, index_counts);
         assert_eq!(
             scan_counts,
@@ -482,7 +487,7 @@ mod tests {
     fn stats_reflect_index_sizes() {
         let c = small();
         for i in 0..20i64 {
-            c.insert(&doc! {"n" => i});
+            c.insert(&doc! {"n" => i}).unwrap();
         }
         let before = c.stats("dt").total_index_size;
         assert_eq!(before, 0);
@@ -503,11 +508,11 @@ mod tests {
         .unwrap();
         (0..8usize).into_par_iter().for_each(|t| {
             for i in 0..100i64 {
-                c.insert(&doc! {"t" => t as i64, "i" => i});
+                c.insert(&doc! {"t" => t as i64, "i" => i}).unwrap();
             }
         });
         assert_eq!(c.len(), 800);
-        assert_eq!(c.parallel_scan(|_, _| Some(())).len(), 800);
+        assert_eq!(c.parallel_scan(|_, _| Some(())).unwrap().len(), 800);
     }
 
     #[test]
@@ -515,8 +520,8 @@ mod tests {
         let a = small();
         let b = small();
         let docs: Vec<_> = (0..37i64).map(|i| doc! {"i" => i, "pad" => "y".repeat(9)}).collect();
-        let one_by_one: Vec<DocId> = docs.iter().map(|d| a.insert(d)).collect();
-        let batched = b.insert_many(&docs);
+        let one_by_one: Vec<DocId> = docs.iter().map(|d| a.insert(d).unwrap()).collect();
+        let batched = b.insert_many(&docs).unwrap();
         assert_eq!(one_by_one, batched, "batch routing must match repeated inserts");
         assert_eq!(b.len(), 37);
         for (id, d) in batched.iter().zip(&docs) {
@@ -529,10 +534,10 @@ mod tests {
         let c = small();
         c.create_index(IndexSpec::new("by_type", "type")).unwrap();
         let docs = vec![doc! {"type" => "Person"}, doc! {"type" => "City"}, doc! {"type" => "Person"}];
-        let ids = c.insert_many(&docs);
+        let ids = c.insert_many(&docs).unwrap();
         let persons = c.with_index("by_type", |i| i.lookup(&Value::from("Person"))).unwrap();
         assert_eq!(persons, vec![ids[0], ids[2]]);
-        assert!(c.insert_many(std::iter::empty()).is_empty());
+        assert!(c.insert_many(std::iter::empty()).unwrap().is_empty());
     }
 
     #[test]
@@ -573,7 +578,7 @@ mod tests {
             (0..40i64).map(|i| doc! {"i" => i, "pad" => "z".repeat(20)}).collect();
         let ids = {
             let col = Collection::new("shows", config.clone()).unwrap();
-            let ids = col.insert_many(&docs);
+            let ids = col.insert_many(&docs).unwrap();
             assert_eq!(col.len(), 40);
             assert_eq!(col.get(ids[7]).as_ref(), Some(&docs[7]));
             col.sync().unwrap();
@@ -623,11 +628,11 @@ mod tests {
                 },
             )
             .unwrap();
-            let mem_ids = mem.insert_many(&docs);
-            let file_ids = file.insert_many(&docs);
+            let mem_ids = mem.insert_many(&docs).unwrap();
+            let file_ids = file.insert_many(&docs).unwrap();
             assert_eq!(mem_ids, file_ids, "{routing:?}: placement must match");
-            let mem_scan = mem.parallel_scan(|id, d| Some((id, format!("{d:?}"))));
-            let file_scan = file.parallel_scan(|id, d| Some((id, format!("{d:?}"))));
+            let mem_scan = mem.parallel_scan(|id, d| Some((id, format!("{d:?}")))).unwrap();
+            let file_scan = file.parallel_scan(|id, d| Some((id, format!("{d:?}")))).unwrap();
             assert_eq!(mem_scan, file_scan, "{routing:?}: scans must be byte-identical");
             assert_eq!(mem.stats("dt").count, file.stats("dt").count);
             assert_eq!(mem.stats("dt").num_extents, file.stats("dt").num_extents);
@@ -649,7 +654,7 @@ mod tests {
         .unwrap();
         let docs: Vec<Document> =
             (0..32i64).map(|i| doc! {"show" => format!("s{}", i % 4), "i" => i}).collect();
-        let ids = c.insert_many(&docs);
+        let ids = c.insert_many(&docs).unwrap();
         for (i, a) in ids.iter().enumerate() {
             for (j, b) in ids.iter().enumerate() {
                 if i % 4 == j % 4 {

@@ -153,41 +153,54 @@ impl ShardCoordinator {
         self.backends.get(id.shard() as usize)?.get(id.extent(), id.slot())
     }
 
-    /// Tombstone a document, returning it when it was live.
-    pub fn delete(&self, id: DocId) -> Option<Document> {
-        self.backends.get(id.shard() as usize)?.delete(id.extent(), id.slot())
+    /// Tombstone a document, returning it when it was live. A failed
+    /// tombstone write-back on a file shard surfaces as the error.
+    pub fn delete(&self, id: DocId) -> Result<Option<Document>> {
+        match self.backends.get(id.shard() as usize) {
+            None => Ok(None),
+            Some(b) => b.delete(id.extent(), id.slot()),
+        }
     }
 
-    /// Sequentially visit every live document, shard-major.
-    pub fn for_each(&self, mut f: impl FnMut(DocId, &Document)) {
+    /// Sequentially visit every live document, shard-major. An unreadable
+    /// extent stops the walk with its error.
+    pub fn for_each(&self, mut f: impl FnMut(DocId, &Document)) -> Result<()> {
         for (shard_no, backend) in self.backends.iter().enumerate() {
             backend.visit(&mut |extent, slot, doc| {
                 f(DocId::pack(shard_no as u8, extent, slot), doc);
-            });
+            })?;
         }
+        Ok(())
     }
 
     /// Scatter/gather scan: one rayon task per shard, outputs concatenated
     /// shard-major then extent then slot — deterministic at any thread
-    /// count.
-    pub fn parallel_scan<T, F>(&self, f: F) -> Vec<T>
+    /// count. Any shard's read failure fails the scan (first error in
+    /// shard order, so the reported error is thread-count-deterministic
+    /// too).
+    pub fn parallel_scan<T, F>(&self, f: F) -> Result<Vec<T>>
     where
         T: Send,
         F: Fn(DocId, &Document) -> Option<T> + Sync,
     {
-        (0..self.backends.len())
+        let per_shard: Vec<Result<Vec<T>>> = (0..self.backends.len())
             .into_par_iter()
-            .flat_map(|shard_no| {
+            .map(|shard_no| {
                 let mut out = Vec::new();
                 self.backends[shard_no].visit(&mut |extent, slot, doc| {
                     let id = DocId::pack(shard_no as u8, extent, slot);
                     if let Some(t) = f(id, doc) {
                         out.push(t);
                     }
-                });
-                out
+                })?;
+                Ok(out)
             })
-            .collect()
+            .collect();
+        let mut all = Vec::new();
+        for shard in per_shard {
+            all.extend(shard?);
+        }
+        Ok(all)
     }
 
     /// Total extents across shards.

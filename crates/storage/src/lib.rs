@@ -34,10 +34,14 @@
 //!   are validated at creation: path separators, `..`, and NUL are
 //!   rejected before a name can become an on-disk directory.
 //! * [`persist`] — save/load a store to a directory of extent files.
+//! * [`delta_log`] — checksummed, torn-tail-tolerant append-only log of
+//!   accepted delta batches, so a restarted consolidation session replays
+//!   instead of re-consolidating.
 
 pub mod backend;
 pub mod collection;
 pub mod coordinator;
+pub mod delta_log;
 pub mod encode;
 pub mod extent;
 pub mod index;
@@ -49,6 +53,7 @@ pub mod store;
 
 pub use backend::{BackendConfig, BackendKind, FileBackend, MemoryBackend, ShardBackend};
 pub use collection::{Collection, CollectionConfig, DocId};
+pub use delta_log::DeltaLog;
 pub use coordinator::{ShardCoordinator, ShardStorage, StorageReport};
 pub use index::IndexSpec;
 pub use query::{Filter, Query, SortOrder};

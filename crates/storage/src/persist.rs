@@ -184,7 +184,8 @@ mod tests {
         )
         .unwrap();
         for i in 0..30i64 {
-            col.insert(&doc! {"i" => i, "kind" => if i % 2 == 0 { "even" } else { "odd" }});
+            col.insert(&doc! {"i" => i, "kind" => if i % 2 == 0 { "even" } else { "odd" }})
+                .unwrap();
         }
         col.create_index(IndexSpec::new("by_kind", "kind")).unwrap();
         save_collection(&col, &dir).unwrap();
@@ -192,7 +193,9 @@ mod tests {
         let restored = load_collection("shows", &dir).unwrap();
         assert_eq!(restored.len(), 30);
         assert_eq!(restored.index_count(), 1);
-        let evens = Query::filtered(Filter::Eq("kind".into(), "even".into())).execute(&restored);
+        let evens = Query::filtered(Filter::Eq("kind".into(), "even".into()))
+            .execute(&restored)
+            .unwrap();
         assert_eq!(evens.len(), 15);
         let stats = restored.stats("dt");
         assert_eq!(stats.count, 30);
@@ -205,9 +208,9 @@ mod tests {
         let dir = tempdir("store");
         let store = Store::new("dt");
         let a = store.create_collection("instance", CollectionConfig::default()).unwrap();
-        a.insert(&doc! {"fragment" => "Matilda grossed 960,998"});
+        a.insert(&doc! {"fragment" => "Matilda grossed 960,998"}).unwrap();
         let b = store.create_collection("entity", CollectionConfig::default()).unwrap();
-        b.insert(&doc! {"type" => "Movie", "name" => "Matilda"});
+        b.insert(&doc! {"type" => "Movie", "name" => "Matilda"}).unwrap();
         b.create_index(IndexSpec::new("by_type", "type")).unwrap();
         save_store(&store, &dir).unwrap();
 

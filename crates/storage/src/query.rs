@@ -2,7 +2,7 @@
 
 use std::ops::Bound;
 
-use datatamer_model::{Document, Value};
+use datatamer_model::{Document, Result, Value};
 
 use crate::collection::{Collection, DocId};
 
@@ -213,8 +213,8 @@ impl Query {
     /// Planning: when a conjunct of the filter is a point/set/range predicate
     /// on an indexed path, candidate ids come from the index and the full
     /// filter re-checks each candidate; otherwise all shards are scanned in
-    /// parallel.
-    pub fn execute(&self, col: &Collection) -> Vec<(DocId, Document)> {
+    /// parallel (an unreadable extent fails the query).
+    pub fn execute(&self, col: &Collection) -> Result<Vec<(DocId, Document)>> {
         let mut results: Vec<(DocId, Document)> = match self.filter.index_probe() {
             Some((path, probe)) => {
                 let ids = col.with_index_on_path(path, |idx| match probe {
@@ -237,10 +237,12 @@ impl Query {
                     // No index on that path: fall back to a scan.
                     None => col.parallel_scan(|id, d| {
                         self.filter.matches(d).then(|| (id, d.clone()))
-                    }),
+                    })?,
                 }
             }
-            None => col.parallel_scan(|id, d| self.filter.matches(d).then(|| (id, d.clone()))),
+            None => {
+                col.parallel_scan(|id, d| self.filter.matches(d).then(|| (id, d.clone())))?
+            }
         };
 
         if let Some((path, order)) = &self.sort {
@@ -269,12 +271,12 @@ impl Query {
                 *doc = projected;
             }
         }
-        page
+        Ok(page)
     }
 
     /// Count matching documents without materialising them.
-    pub fn count(&self, col: &Collection) -> usize {
-        col.parallel_scan(|_, d| self.filter.matches(d).then_some(())).len()
+    pub fn count(&self, col: &Collection) -> Result<usize> {
+        Ok(col.parallel_scan(|_, d| self.filter.matches(d).then_some(()))?.len())
     }
 }
 
@@ -296,7 +298,7 @@ mod tests {
             ("Macbeth", 30, "play"),
         ];
         for (name, price, kind) in rows {
-            c.insert(&doc! {"name" => name, "price" => price, "kind" => kind});
+            c.insert(&doc! {"name" => name, "price" => price, "kind" => kind}).unwrap();
         }
         c
     }
@@ -304,9 +306,9 @@ mod tests {
     #[test]
     fn eq_and_contains() {
         let c = seed();
-        let r = Query::filtered(Filter::Eq("kind".into(), "play".into())).execute(&c);
+        let r = Query::filtered(Filter::Eq("kind".into(), "play".into())).execute(&c).unwrap();
         assert_eq!(r.len(), 2);
-        let r = Query::filtered(Filter::Contains("name".into(), "mat".into())).execute(&c);
+        let r = Query::filtered(Filter::Contains("name".into(), "mat".into())).execute(&c).unwrap();
         assert_eq!(r.len(), 1);
         assert_eq!(r[0].1.get("name"), Some(&Value::from("Matilda")));
     }
@@ -318,7 +320,7 @@ mod tests {
             Filter::Gte("price".into(), Value::Int(30)),
             Filter::Lt("price".into(), Value::Int(70)),
         ]))
-        .execute(&c);
+        .execute(&c).unwrap();
         let names: Vec<String> = r.iter().map(|(_, d)| d.get_text_or_empty("name")).collect();
         assert_eq!(r.len(), 3, "{names:?}");
     }
@@ -330,7 +332,7 @@ mod tests {
             .sort_by("price", SortOrder::Descending)
             .offset(1)
             .take(2)
-            .execute(&c);
+            .execute(&c).unwrap();
         let prices: Vec<i64> = r.iter().filter_map(|(_, d)| d.get("price")?.as_int()).collect();
         assert_eq!(prices, vec![67, 45]);
     }
@@ -340,7 +342,7 @@ mod tests {
         let c = seed();
         let r = Query::filtered(Filter::Eq("name".into(), "Matilda".into()))
             .project(vec!["name", "price"])
-            .execute(&c);
+            .execute(&c).unwrap();
         assert_eq!(r[0].1.len(), 2);
         assert!(r[0].1.get("kind").is_none());
     }
@@ -349,9 +351,9 @@ mod tests {
     fn index_and_scan_agree() {
         let c = seed();
         let q = Query::filtered(Filter::Eq("kind".into(), "musical".into()));
-        let scan = q.execute(&c);
+        let scan = q.execute(&c).unwrap();
         c.create_index(IndexSpec::new("by_kind", "kind")).unwrap();
-        let mut indexed = q.execute(&c);
+        let mut indexed = q.execute(&c).unwrap();
         indexed.sort_by_key(|(id, _)| *id);
         let mut scan = scan;
         scan.sort_by_key(|(id, _)| *id);
@@ -366,7 +368,7 @@ mod tests {
             "kind".into(),
             vec!["musical".into(), "play".into(), "musical".into()],
         ));
-        assert_eq!(q.execute(&c).len(), 5);
+        assert_eq!(q.execute(&c).unwrap().len(), 5);
     }
 
     #[test]
@@ -377,7 +379,7 @@ mod tests {
             Filter::Eq("kind".into(), "musical".into()),
             Filter::Lt("price".into(), Value::Int(50)),
         ]));
-        let r = q.execute(&c);
+        let r = q.execute(&c).unwrap();
         assert_eq!(r.len(), 1);
         assert_eq!(r[0].1.get("name"), Some(&Value::from("Matilda")));
     }
@@ -386,12 +388,12 @@ mod tests {
     fn ne_not_or_exists() {
         let c = seed();
         assert_eq!(
-            Query::filtered(Filter::Ne("kind".into(), "play".into())).count(&c),
+            Query::filtered(Filter::Ne("kind".into(), "play".into())).count(&c).unwrap(),
             3
         );
         assert_eq!(
             Query::filtered(Filter::Not(Box::new(Filter::Eq("kind".into(), "play".into()))))
-                .count(&c),
+                .count(&c).unwrap(),
             3
         );
         assert_eq!(
@@ -399,11 +401,11 @@ mod tests {
                 Filter::Eq("name".into(), "Matilda".into()),
                 Filter::Eq("name".into(), "Wicked".into()),
             ]))
-            .count(&c),
+            .count(&c).unwrap(),
             2
         );
-        assert_eq!(Query::filtered(Filter::Exists("price".into())).count(&c), 5);
-        assert_eq!(Query::filtered(Filter::Exists("nope".into())).count(&c), 0);
+        assert_eq!(Query::filtered(Filter::Exists("price".into())).count(&c).unwrap(), 5);
+        assert_eq!(Query::filtered(Filter::Exists("nope".into())).count(&c).unwrap(), 0);
     }
 
     #[test]
@@ -412,12 +414,12 @@ mod tests {
         c.insert(&doc! {"entities" => Value::Array(vec![
             Value::Doc(doc! {"type" => "Movie", "name" => "Matilda"}),
             Value::Doc(doc! {"type" => "City", "name" => "London"}),
-        ])});
+        ])}).unwrap();
         c.insert(&doc! {"entities" => Value::Array(vec![
             Value::Doc(doc! {"type" => "Person", "name" => "Ann"}),
-        ])});
+        ])}).unwrap();
         let q = Query::filtered(Filter::Eq("entities.type".into(), "Movie".into()));
-        assert_eq!(q.count(&c), 1);
+        assert_eq!(q.count(&c).unwrap(), 1);
     }
 
     trait GetTextOrEmpty {

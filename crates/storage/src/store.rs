@@ -55,25 +55,28 @@ impl Store {
 
     /// Fetch the collection, creating it under this call's write lock when
     /// absent. A fast read-locked probe serves the common hit path; the
-    /// miss path takes the write lock once and uses the entry API, so two
+    /// miss path takes the write lock once and re-checks under it, so two
     /// racing creators cannot observe "absent then also absent" — one
     /// inserts, the other gets the inserted handle.
     ///
-    /// Panics if `config` is invalid (zero extent size / bad shard count)
-    /// or the name is path-hostile, and the collection does not already
-    /// exist.
-    pub fn collection_or_create(&self, name: &str, config: CollectionConfig) -> Arc<Collection> {
+    /// Errors when the collection does not already exist and `config` is
+    /// invalid (zero extent size / bad shard count), the name is
+    /// path-hostile, or a file backend fails to open its directory.
+    pub fn collection_or_create(
+        &self,
+        name: &str,
+        config: CollectionConfig,
+    ) -> Result<Arc<Collection>> {
         if let Some(c) = self.collection(name) {
-            return c;
+            return Ok(c);
         }
         let mut cols = self.collections.write();
-        cols.entry(name.to_owned())
-            .or_insert_with(|| {
-                Arc::new(
-                    Collection::new(name, config).expect("invalid collection config"),
-                )
-            })
-            .clone()
+        if let Some(c) = cols.get(name) {
+            return Ok(c.clone());
+        }
+        let col = Arc::new(Collection::new(name, config)?);
+        cols.insert(name.to_owned(), col.clone());
+        Ok(col)
     }
 
     /// Drop a collection. Returns whether it existed.
@@ -121,7 +124,7 @@ mod tests {
     fn create_get_drop() {
         let store = Store::new("dt");
         let c = store.create_collection("instance", CollectionConfig::default()).unwrap();
-        c.insert(&doc! {"a" => 1i64});
+        c.insert(&doc! {"a" => 1i64}).unwrap();
         assert!(store.collection("instance").is_some());
         assert!(store.create_collection("instance", CollectionConfig::default()).is_err());
         assert_eq!(store.collection_names(), vec!["instance"]);
@@ -134,7 +137,7 @@ mod tests {
     fn stats_are_namespaced() {
         let store = Store::new("dt");
         let c = store.create_collection("entity", CollectionConfig::default()).unwrap();
-        c.insert(&doc! {"type" => "Person"});
+        c.insert(&doc! {"type" => "Person"}).unwrap();
         let stats = store.stats("entity").unwrap();
         assert_eq!(stats.ns, "dt.entity");
         assert_eq!(stats.count, 1);
@@ -161,9 +164,15 @@ mod tests {
     #[test]
     fn collection_or_create_is_idempotent() {
         let store = Store::new("dt");
-        let a = store.collection_or_create("x", CollectionConfig::default());
-        a.insert(&doc! {"v" => 1i64});
-        let b = store.collection_or_create("x", CollectionConfig::default());
+        let a = store.collection_or_create("x", CollectionConfig::default()).unwrap();
+        a.insert(&doc! {"v" => 1i64}).unwrap();
+        let b = store.collection_or_create("x", CollectionConfig::default()).unwrap();
         assert_eq!(b.len(), 1);
+        assert!(
+            store
+                .collection_or_create("bad/name", CollectionConfig::default())
+                .is_err(),
+            "path-hostile names error instead of panicking"
+        );
     }
 }

@@ -41,7 +41,7 @@ fn all_routings() -> Vec<RoutingPolicy> {
 /// The full observable state of a collection: ids with their documents in
 /// deterministic scan order.
 fn fingerprint(col: &Collection) -> Vec<(DocId, String)> {
-    col.parallel_scan(|id, d| Some((id, format!("{d:?}"))))
+    col.parallel_scan(|id, d| Some((id, format!("{d:?}")))).unwrap()
 }
 
 proptest! {
@@ -65,9 +65,9 @@ proptest! {
         let docs = documents(&keys);
         let before = {
             let col = Collection::new("c", config.clone()).unwrap();
-            let ids = col.insert_many(&docs);
+            let ids = col.insert_many(&docs).unwrap();
             for id in ids.iter().step_by(delete_every) {
-                prop_assert!(col.delete(*id));
+                prop_assert!(col.delete(*id).unwrap());
             }
             col.sync().unwrap();
             fingerprint(&col)
@@ -103,8 +103,8 @@ proptest! {
                 backend: BackendConfig::File { dir: dir.join(routing.name()) },
                 routing: routing.clone(),
             }).unwrap();
-            let mem_ids = mem.insert_many(&docs);
-            let file_ids = file.insert_many(&docs);
+            let mem_ids = mem.insert_many(&docs).unwrap();
+            let file_ids = file.insert_many(&docs).unwrap();
             prop_assert_eq!(&mem_ids, &file_ids, "{:?}: placement must match", routing);
             prop_assert_eq!(
                 fingerprint(&mem), fingerprint(&file),
@@ -133,7 +133,7 @@ proptest! {
                 routing: RoutingPolicy::HashKey { attr: "k".into() },
                 ..Default::default()
             }).unwrap();
-            let ids = col.insert_many(&docs);
+            let ids = col.insert_many(&docs).unwrap();
             (ids, fingerprint(&col))
         };
         let serial = ThreadPoolBuilder::new().num_threads(1).build().unwrap().install(build);
@@ -159,7 +159,7 @@ fn hash_key_blocking_locality() {
         },
     )
     .unwrap();
-    let ids = col.insert_many(&docs);
+    let ids = col.insert_many(&docs).unwrap();
     for (i, a) in ids.iter().enumerate() {
         for (j, b) in ids.iter().enumerate() {
             if i % 3 == j % 3 {

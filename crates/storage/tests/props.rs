@@ -68,7 +68,7 @@ proptest! {
             "p",
             CollectionConfig { extent_size: 512, shards: 3, ..Default::default() },
         ).unwrap();
-        let ids: Vec<_> = docs.iter().map(|d| col.insert(d)).collect();
+        let ids: Vec<_> = docs.iter().map(|d| col.insert(d).unwrap()).collect();
         for (id, doc) in ids.iter().zip(&docs) {
             let fetched = col.get(*id);
             prop_assert_eq!(fetched.as_ref(), Some(doc));
@@ -88,15 +88,15 @@ proptest! {
             let mut d = Document::new();
             d.set("k", Value::Int(*k));
             d.set("i", Value::Int(i as i64));
-            plain.insert(&d);
-            indexed.insert(&d);
+            plain.insert(&d).unwrap();
+            indexed.insert(&d).unwrap();
         }
         let q = Query::filtered(Filter::Eq("k".into(), Value::Int(probe)));
-        let mut scan: Vec<i64> = q.execute(&plain)
+        let mut scan: Vec<i64> = q.execute(&plain).unwrap()
             .into_iter()
             .filter_map(|(_, d)| d.get("i").and_then(Value::as_int))
             .collect();
-        let mut via_index: Vec<i64> = q.execute(&indexed)
+        let mut via_index: Vec<i64> = q.execute(&indexed).unwrap()
             .into_iter()
             .filter_map(|(_, d)| d.get("i").and_then(Value::as_int))
             .collect();
@@ -111,16 +111,16 @@ proptest! {
         delete_mask in prop::collection::vec(any::<bool>(), 15),
     ) {
         let col = Collection::new("s", CollectionConfig::default()).unwrap();
-        let ids: Vec<_> = docs.iter().map(|d| col.insert(d)).collect();
+        let ids: Vec<_> = docs.iter().map(|d| col.insert(d).unwrap()).collect();
         let mut live = docs.len() as u64;
         for (id, del) in ids.iter().zip(&delete_mask) {
-            if *del && col.delete(*id) {
+            if *del && col.delete(*id).unwrap() {
                 live -= 1;
             }
         }
         let stats = col.stats("dt");
         prop_assert_eq!(stats.count, live);
-        prop_assert_eq!(col.parallel_scan(|_, _| Some(())).len() as u64, live);
+        prop_assert_eq!(col.parallel_scan(|_, _| Some(())).unwrap().len() as u64, live);
     }
 
     #[test]
@@ -129,9 +129,9 @@ proptest! {
         for k in &keys {
             let mut d = Document::new();
             d.set("k", Value::Int(*k));
-            col.insert(&d);
+            col.insert(&d).unwrap();
         }
-        let total: u64 = col.count_by("k").into_iter().map(|(_, n)| n).sum();
+        let total: u64 = col.count_by("k").unwrap().into_iter().map(|(_, n)| n).sum();
         prop_assert_eq!(total, keys.len() as u64);
     }
 }

@@ -16,7 +16,7 @@ use datatamer::corpus::ftables::{self, FtablesConfig};
 use datatamer::corpus::webtext::{WebTextConfig, WebTextCorpus};
 use datatamer::text::DomainParser;
 
-fn main() {
+fn main() -> datatamer::model::Result<()> {
     // Generate the datasets (synthetic stand-ins; see DESIGN.md §2).
     let corpus = WebTextCorpus::generate(&WebTextConfig {
         num_fragments: 3_000,
@@ -37,7 +37,7 @@ fn main() {
         .iter()
         .map(|f| (f.text.as_str(), f.kind.label()))
         .collect();
-    let stats = dt.ingest_webtext(parser, frags);
+    let stats = dt.ingest_webtext(parser, frags)?;
     println!(
         "ingested: {} instances, {} entities ({} junk fragments dropped)\n",
         stats.instances, stats.entities, stats.fragments_dropped
@@ -45,7 +45,7 @@ fn main() {
 
     // Step 1 — Table IV: the top-10 most discussed award-winning shows.
     println!("TOP 10 MOST DISCUSSED AWARD-WINNING MOVIES/SHOWS (from web text):");
-    for show in dt.top_discussed(10) {
+    for show in dt.top_discussed(10)? {
         println!("  \"{}\"  ({} fragments)", show.title, show.mentions);
     }
 
@@ -61,7 +61,7 @@ fn main() {
 
     // Step 3 — import FTABLES, schema-match, fuse: Table VI.
     for s in &sources {
-        dt.register_structured(&s.name, &s.records);
+        dt.register_structured(&s.name, &s.records)?;
     }
     println!(
         "\nintegrated {} structured sources; global schema: {:?}",
@@ -80,4 +80,5 @@ fn main() {
         "\n({} records fused into this entity; the user never ran a second manual search)",
         matilda.member_count
     );
+    Ok(())
 }

@@ -9,7 +9,7 @@ use datatamer::core::{DataTamer, DataTamerConfig};
 use datatamer::model::{Record, RecordId, SourceId, Value};
 use datatamer::text::{DomainParser, EntityType, Gazetteer};
 
-fn main() {
+fn main() -> datatamer::model::Result<()> {
     // 1. A small structured source: Broadway shows with prices.
     let source_id = SourceId(0);
     let rows = [
@@ -36,7 +36,7 @@ fn main() {
 
     // 2. Data Tamer: register the source (schema integration + cleaning).
     let mut dt = DataTamer::new(DataTamerConfig::default());
-    let report = dt.register_structured("broadway_listings", &records);
+    let report = dt.register_structured("broadway_listings", &records)?;
     println!(
         "integrated source: {} attributes ({} new, {} auto-mapped)",
         report.suggestions.len(),
@@ -67,7 +67,7 @@ fn main() {
         ),
         ("Just saw Wicked! Tickets from $99, totally worth it.", "twitter"),
     ];
-    let stats = dt.ingest_webtext(parser, fragments);
+    let stats = dt.ingest_webtext(parser, fragments)?;
     println!(
         "ingested text: {} fragments -> {} instances, {} entities",
         stats.fragments_seen, stats.instances, stats.entities
@@ -86,4 +86,5 @@ fn main() {
     // 5. Storage-engine statistics, paper Table I style.
     println!("\n> db.instance.stats();");
     println!("{}", dt.collection_stats("instance").expect("instance collection"));
+    Ok(())
 }

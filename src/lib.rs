@@ -104,7 +104,7 @@
 //! let docs: Vec<_> = (0..60i64)
 //!     .map(|i| doc! {"show" => format!("Show {}", i % 6), "seat" => i})
 //!     .collect();
-//! let ids = col.insert_many(&docs);
+//! let ids = col.insert_many(&docs).unwrap();
 //!
 //! // Hash routing co-locates equal keys: seats of one show share a shard.
 //! assert_eq!(ids[0].shard(), ids[6].shard());
@@ -347,6 +347,76 @@
 //! assert!(delta.reused_context_fraction > 0.97);
 //! let merged = DataTamer::lookup(&dt.context().fused, "Unique7 Show7").expect("merged");
 //! assert_eq!(merged.member_count, 2);
+//! ```
+//!
+//! ### Bounded residency and restart
+//!
+//! The resident state above would otherwise grow without bound: every
+//! score ever computed, every accepted window pair, every fused entity,
+//! and a full second copy of every delta record. Three budgets cap it —
+//! `BlockedErConfig::memo_budget` (score memo entries),
+//! `BlockedErConfig::window_budget` (retractable accepted-window pairs),
+//! and [`core::DataTamerConfig::fused_cache_budget`] (cached fused
+//! entities) — and all three treat their store as a *pure cache*: an
+//! evicted entry recomputes deterministically when next needed, so any
+//! budget, including zero, preserves byte-identical fused output. Each
+//! [`core::DeltaReport`] carries the occupancy and eviction counters.
+//!
+//! Durability comes from [`core::DeltaLogConfig`]: every accepted batch
+//! appends to a checksummed write-ahead log
+//! ([`storage::DeltaLog`]) *before* it consolidates, so a process kill at
+//! any batch boundary loses nothing — a reopened system over the same
+//! path replays the logged batches and converges on the same bytes. The
+//! log compacts once replay would cross `compact_after_frames`, and a
+//! failed append freezes the log (the error surfaces to the caller) while
+//! the in-memory session falls back to resident replay records.
+//!
+//! ```
+//! use datatamer::core::fusion::{BlockedErConfig, GroupingStrategy};
+//! use datatamer::core::{DataTamer, DataTamerConfig, DeltaLogConfig, PipelinePlan};
+//! use datatamer::model::{Record, RecordId, SourceId, Value};
+//!
+//! fn show(id: u64, name: &str) -> Record {
+//!     Record::from_pairs(
+//!         SourceId(0),
+//!         RecordId(id),
+//!         vec![("SHOW_NAME", Value::from(name)), ("CHEAPEST_PRICE", Value::from("$10"))],
+//!     )
+//! }
+//!
+//! let dir = std::env::temp_dir().join(format!("dt_doctest_log_{}", std::process::id()));
+//! let _ = std::fs::remove_dir_all(&dir);
+//! std::fs::create_dir_all(&dir).unwrap();
+//! let config = DataTamerConfig {
+//!     grouping: GroupingStrategy::BlockedEr(BlockedErConfig {
+//!         incremental: true,
+//!         memo_budget: Some(64),   // score memo capped at 64 entries
+//!         window_budget: Some(16), // accepted-window pairs capped at 16
+//!         ..Default::default()
+//!     }),
+//!     fused_cache_budget: Some(32), // resident fused entities capped at 32
+//!     delta_log: Some(DeltaLogConfig::at(dir.join("delta.log"))),
+//!     ..Default::default()
+//! };
+//! let corpus: Vec<Record> =
+//!     (0..40).map(|i| show(i, &format!("Unique{i} Show{i}"))).collect();
+//!
+//! // First life: seed, then land a delta batch — logged before it fuses.
+//! {
+//!     let mut dt = DataTamer::new(config.clone());
+//!     dt.run(PipelinePlan::new().structured("listings", &corpus)).expect("seed");
+//!     let delta = dt.consolidate_delta(&[show(100, "Unique7 Show7")]).expect("delta");
+//!     assert!(delta.memo_entries <= 64 && delta.fused_cache_entries <= 32);
+//! } // killed here — only the log survives
+//!
+//! // Second life: same log, same corpus seed; the batch replays and the
+//! // fused output is byte-identical to never having crashed.
+//! let mut dt = DataTamer::new(config);
+//! dt.run(PipelinePlan::new().structured("listings", &corpus)).expect("reseed");
+//! dt.consolidate_delta(&[]).expect("replay surfaces the logged batch");
+//! let merged = DataTamer::lookup(&dt.context().fused, "Unique7 Show7").expect("merged");
+//! assert_eq!(merged.member_count, 2, "the killed session's delta survived");
+//! std::fs::remove_dir_all(&dir).unwrap();
 //! ```
 
 pub use datatamer_clean as clean;

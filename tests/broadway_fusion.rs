@@ -15,7 +15,7 @@ fn build() -> DataTamer {
     let sources = ftables::generate(&FtablesConfig::default(), 1000);
     let mut dt = DataTamer::new(DataTamerConfig::default());
     for s in &sources {
-        dt.register_structured(&s.name, &s.records);
+        dt.register_structured(&s.name, &s.records).unwrap();
     }
     let parser = DomainParser::with_gazetteer(corpus.gazetteer.clone());
     let frags: Vec<(&str, &str)> = corpus
@@ -23,7 +23,7 @@ fn build() -> DataTamer {
         .iter()
         .map(|f| (f.text.as_str(), f.kind.label()))
         .collect();
-    dt.ingest_webtext(parser, frags);
+    dt.ingest_webtext(parser, frags).unwrap();
     dt
 }
 
@@ -32,7 +32,7 @@ fn table_iv_v_vi_reproduce() {
     let dt = build();
 
     // Table IV: top-10 most discussed award-winning shows overlaps the paper.
-    let top = dt.top_discussed(10);
+    let top = dt.top_discussed(10).unwrap();
     assert_eq!(top.len(), 10);
     let titles: Vec<&str> = top.iter().map(|s| s.title.as_str()).collect();
     let hits = TABLE_IV_SHOWS.iter().filter(|p| titles.contains(*p)).count();

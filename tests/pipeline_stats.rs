@@ -22,7 +22,7 @@ fn build(fragments: usize, background: usize) -> DataTamer {
         .iter()
         .map(|f| (f.text.as_str(), f.kind.label()))
         .collect();
-    dt.ingest_webtext(parser, frags);
+    dt.ingest_webtext(parser, frags).unwrap();
     dt
 }
 
@@ -65,7 +65,7 @@ fn tables_i_ii_shape_holds() {
 #[test]
 fn table_iii_histogram_tracks_paper_proportions() {
     let dt = build(1_500, 9);
-    let histogram = dt.entity_histogram();
+    let histogram = dt.entity_histogram().unwrap();
     let total: u64 = histogram.iter().map(|(_, n)| n).sum();
     assert!(total > 5_000, "enough extracted entities: {total}");
 
@@ -120,7 +120,7 @@ fn text_cleaning_is_observable_in_stats() {
     }
     let mut dt = DataTamer::new(DataTamerConfig::default());
     let parser = DomainParser::with_gazetteer(corpus.gazetteer.clone());
-    let stats = dt.ingest_webtext(parser, frags);
+    let stats = dt.ingest_webtext(parser, frags).unwrap();
     assert!(stats.fragments_dropped >= 3, "junk dropped: {}", stats.fragments_dropped);
     assert_eq!(
         stats.instances as usize,

@@ -32,7 +32,7 @@ fn ingested_collections_roundtrip_through_disk() {
         ("Wicked still sells out on Broadway nightly", "blog"),
         ("Matilda tickets from $27 this weekend", "twitter"),
     ];
-    let (stats, _) = ingestor.ingest(&store, config, SourceId(0), fragments);
+    let (stats, _) = ingestor.ingest(&store, config, SourceId(0), fragments).unwrap();
     assert_eq!(stats.instances, 3);
 
     let dir = tempdir("roundtrip");
@@ -55,7 +55,7 @@ fn ingested_collections_roundtrip_through_disk() {
     // Queries behave identically post-restore (index-backed lookup).
     let entity = restored.collection("entity").unwrap();
     let matildas = Query::filtered(Filter::Eq("canonical".into(), Value::from("matilda")))
-        .execute(&entity);
+        .execute(&entity).unwrap();
     assert_eq!(matildas.len(), 2, "two fragments mention Matilda");
     let by_index = entity
         .with_index("by_canonical", |i| i.lookup(&Value::from("matilda")))
@@ -74,7 +74,7 @@ fn store_survives_partial_collection_sets() {
     for i in 0..10i64 {
         let mut d = datatamer::model::Document::new();
         d.set("i", Value::Int(i));
-        col.insert(&d);
+        col.insert(&d).unwrap();
     }
     let dir = tempdir("partial");
     save_store(&store, &dir).expect("save");
