@@ -5,6 +5,10 @@
 //! and the criterion benches time them. Everything is deterministic given
 //! the seeds in [`HarnessConfig`].
 
+// The bench harness exists to measure wall time; clippy.toml disallows
+// the clock constructors in every other crate.
+#![allow(clippy::disallowed_methods)]
+
 pub mod experiments;
 pub mod setup;
 

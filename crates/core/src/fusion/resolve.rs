@@ -115,6 +115,7 @@ pub(crate) fn support_by_text<'a>(
         }
     }
     let mut out: Vec<(String, usize, &'a Value)> =
+        // dtlint::allow(map-iter, reason = "output is sorted by its unique text key on the next line")
         by_text.into_iter().map(|(t, (c, pv))| (t, c, pv.value)).collect();
     out.sort_by(|a, b| a.0.cmp(&b.0));
     out

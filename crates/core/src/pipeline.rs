@@ -533,6 +533,7 @@ impl DataTamer {
         if let Some(budget) = fused_cache_budget {
             if cache.len() > budget {
                 let mut order: Vec<(u64, usize)> =
+                    // dtlint::allow(map-iter, reason = "eviction order is decided by the sort_unstable below, not map order")
                     cache.iter().map(|(k, (_, s))| (*s, *k)).collect();
                 order.sort_unstable();
                 for &(_, k) in order.iter().take(cache.len() - budget) {

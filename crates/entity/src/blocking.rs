@@ -281,6 +281,7 @@ impl Blocker {
                 }
             }
         }
+        // dtlint::allow(map-iter, reason = "pairs_from_buckets sorts and dedups the expanded pair list")
         self.pairs_from_buckets(buckets.into_values(), sort_keys)
     }
 
@@ -325,7 +326,9 @@ impl Blocker {
         sort_keys: &(dyn Fn() -> Vec<Option<String>> + Sync),
     ) -> BlockingOutcome {
         let cap = self.bucket_cap;
+        // dtlint::allow(map-iter, reason = "generic IntoIterator param shares the name of a map local elsewhere in this file; output is sorted + deduped before return")
         let buckets: Vec<Vec<usize>> = buckets.into_iter().collect();
+        // dtlint::allow(map-iter, reason = "Vec receiver; `buckets` is rebound to Vec<Vec<usize>> on the previous line")
         let degraded_buckets = buckets.iter().filter(|m| m.len() > cap).count();
         // The full-key sort axis is only read by the progressive arm, so
         // the thunk (an O(n) key clone + lowercase pass on the unkeyed

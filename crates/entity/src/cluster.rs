@@ -86,6 +86,7 @@ impl UnionFind {
             let r = self.find(i);
             by_root.entry(r).or_default().push(i);
         }
+        // dtlint::allow(map-iter, reason = "members are sorted ascending and clusters sorted by smallest member below")
         let mut out: Vec<Vec<usize>> = by_root.into_values().collect();
         for c in &mut out {
             c.sort_unstable();

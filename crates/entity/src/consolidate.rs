@@ -136,6 +136,7 @@ fn majority(values: &[&Value]) -> Value {
         e.0 += 1;
     }
     let (_, (_, idx)) = counts
+        // dtlint::allow(map-iter, reason = "max_by under the total order (count, Reverse(first_idx)) has a unique winner")
         .into_iter()
         .max_by(|(_, (ca, ia)), (_, (cb, ib))| ca.cmp(cb).then(ib.cmp(ia)))
         .expect("non-empty");

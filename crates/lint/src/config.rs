@@ -1,0 +1,256 @@
+//! `dtlint.toml` — which path prefixes each rule family governs, plus a
+//! checked-in baseline of path-scoped waivers.
+//!
+//! The parser is a deliberately small TOML subset (the build environment
+//! has no registry access, so no `toml` crate): `[section]` /
+//! `[[section]]` headers, `key = "string"`, `key = ["a", "b"]` (arrays
+//! may span lines), and `#` comments. That covers the whole config
+//! surface; anything fancier is a config error, not a silent skip.
+
+use std::collections::BTreeMap;
+
+/// A baseline waiver from `dtlint.toml`: every finding for `rule` in
+/// files under `path` is waived, with a mandatory reason.
+#[derive(Debug, Clone)]
+pub struct BaselineWaiver {
+    pub path: String,
+    pub rule: String,
+    pub reason: String,
+}
+
+/// Effective configuration (defaults mirror the checked-in dtlint.toml).
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Path prefixes whose code affects fused output: the determinism
+    /// family (map-iter, wall-clock, thread-spawn, env-read) fires here.
+    pub determinism_paths: Vec<String>,
+    /// Path prefixes exempt from the determinism family even when nested
+    /// under a governed prefix (benches and shims legitimately read
+    /// clocks and spawn threads).
+    pub determinism_exempt: Vec<String>,
+    /// Path prefixes held to panic-freedom (panic-path).
+    pub panic_paths: Vec<String>,
+    /// Path prefixes where `unsafe` is permitted.
+    pub unsafe_allow: Vec<String>,
+    /// Path-scoped waivers.
+    pub baseline: Vec<BaselineWaiver>,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        let s = |v: &[&str]| v.iter().map(|p| (*p).to_owned()).collect();
+        Config {
+            determinism_paths: s(&[
+                "src",
+                "crates/core",
+                "crates/entity",
+                "crates/storage",
+                "crates/schema",
+                "crates/clean",
+                "crates/text",
+                "crates/sim",
+                "crates/lint",
+            ]),
+            determinism_exempt: s(&["crates/bench", "shims"]),
+            panic_paths: s(&["crates/storage"]),
+            unsafe_allow: vec![],
+            baseline: vec![],
+        }
+    }
+}
+
+/// Does `rel` (a `/`-separated workspace-relative path) live under the
+/// prefix `pre`? Prefixes match whole path components only.
+pub fn path_under(rel: &str, pre: &str) -> bool {
+    rel == pre || (rel.starts_with(pre) && rel.as_bytes().get(pre.len()) == Some(&b'/'))
+}
+
+impl Config {
+    pub fn in_any(paths: &[String], rel: &str) -> bool {
+        paths.iter().any(|p| path_under(rel, p))
+    }
+
+    /// Parse `dtlint.toml` content. Unknown sections/keys error so a typo
+    /// cannot silently disable a rule family.
+    pub fn parse(text: &str) -> Result<Config, String> {
+        let mut cfg = Config {
+            determinism_paths: vec![],
+            determinism_exempt: vec![],
+            panic_paths: vec![],
+            unsafe_allow: vec![],
+            baseline: vec![],
+        };
+        let mut section = String::new();
+        let mut pending: BTreeMap<String, Vec<String>> = BTreeMap::new();
+        let mut lines = text.lines().enumerate().peekable();
+        let flush_allow = |section: &str,
+                           pending: &mut BTreeMap<String, Vec<String>>,
+                           out: &mut Vec<BaselineWaiver>|
+         -> Result<(), String> {
+            if section != "allow" {
+                return Ok(());
+            }
+            let take = |p: &mut BTreeMap<String, Vec<String>>, k: &str| -> Result<String, String> {
+                p.remove(k)
+                    .and_then(|mut v| v.pop())
+                    .ok_or_else(|| format!("[[allow]] entry missing `{k}`"))
+            };
+            let w = BaselineWaiver {
+                path: take(pending, "path")?,
+                rule: take(pending, "rule")?,
+                reason: take(pending, "reason")?,
+            };
+            if w.reason.trim().is_empty() {
+                return Err(format!("[[allow]] for {} has an empty reason", w.path));
+            }
+            out.push(w);
+            pending.clear();
+            Ok(())
+        };
+
+        while let Some((ln, raw)) = lines.next() {
+            let line = strip_comment(raw).trim().to_owned();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(name) = line.strip_prefix("[[").and_then(|l| l.strip_suffix("]]")) {
+                flush_allow(&section, &mut pending, &mut cfg.baseline)?;
+                if name.trim() != "allow" {
+                    return Err(format!("line {}: unknown array section [[{name}]]", ln + 1));
+                }
+                section = "allow".to_owned();
+                continue;
+            }
+            if let Some(name) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
+                flush_allow(&section, &mut pending, &mut cfg.baseline)?;
+                section = name.trim().to_owned();
+                if !matches!(section.as_str(), "determinism" | "panic_freedom" | "unsafe_audit") {
+                    return Err(format!("line {}: unknown section [{section}]", ln + 1));
+                }
+                continue;
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                return Err(format!("line {}: expected `key = value`", ln + 1));
+            };
+            let key = key.trim().to_owned();
+            let mut value = value.trim().to_owned();
+            // Arrays may continue over following lines until brackets close.
+            while value.starts_with('[') && !balanced(&value) {
+                let Some((_, cont)) = lines.next() else {
+                    return Err(format!("line {}: unterminated array", ln + 1));
+                };
+                value.push(' ');
+                value.push_str(strip_comment(cont).trim());
+            }
+            let values = parse_value(&value).map_err(|e| format!("line {}: {e}", ln + 1))?;
+            match (section.as_str(), key.as_str()) {
+                ("determinism", "paths") => cfg.determinism_paths = values,
+                ("determinism", "exempt") => cfg.determinism_exempt = values,
+                ("panic_freedom", "paths") => cfg.panic_paths = values,
+                ("unsafe_audit", "allow") => cfg.unsafe_allow = values,
+                ("allow", k @ ("path" | "rule" | "reason")) => {
+                    pending.insert(k.to_owned(), values);
+                }
+                (s, k) => return Err(format!("line {}: unknown key `{k}` in [{s}]", ln + 1)),
+            }
+        }
+        flush_allow(&section, &mut pending, &mut cfg.baseline)?;
+        Ok(cfg)
+    }
+}
+
+fn strip_comment(line: &str) -> &str {
+    // `#` starts a comment unless inside a quoted string.
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+fn balanced(v: &str) -> bool {
+    v.matches('[').count() == v.matches(']').count()
+}
+
+/// Parse `"str"` or `["a", "b"]` into a list of strings.
+fn parse_value(v: &str) -> Result<Vec<String>, String> {
+    let v = v.trim();
+    if let Some(inner) = v.strip_prefix('[').and_then(|v| v.strip_suffix(']')) {
+        let mut out = Vec::new();
+        for item in inner.split(',') {
+            let item = item.trim();
+            if item.is_empty() {
+                continue;
+            }
+            out.push(unquote(item)?);
+        }
+        return Ok(out);
+    }
+    Ok(vec![unquote(v)?])
+}
+
+fn unquote(v: &str) -> Result<String, String> {
+    v.strip_prefix('"')
+        .and_then(|v| v.strip_suffix('"'))
+        .map(str::to_owned)
+        .ok_or_else(|| format!("expected quoted string, got `{v}`"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_full_config() {
+        let cfg = Config::parse(
+            r#"
+# comment
+[determinism]
+paths = ["src", "crates/core"]   # trailing comment
+exempt = [
+    "crates/bench",
+    "shims",
+]
+
+[panic_freedom]
+paths = ["crates/storage"]
+
+[unsafe_audit]
+allow = ["crates/ffi"]
+
+[[allow]]
+path = "crates/core/src/query.rs"
+rule = "map-iter"
+reason = "sorted before output"
+"#,
+        )
+        .expect("parses");
+        assert_eq!(cfg.determinism_paths, vec!["src", "crates/core"]);
+        assert_eq!(cfg.determinism_exempt, vec!["crates/bench", "shims"]);
+        assert_eq!(cfg.unsafe_allow, vec!["crates/ffi"]);
+        assert_eq!(cfg.baseline.len(), 1);
+        assert_eq!(cfg.baseline[0].rule, "map-iter");
+    }
+
+    #[test]
+    fn rejects_unknown_keys_and_missing_reasons() {
+        assert!(Config::parse("[determinism]\nbogus = [\"x\"]").is_err());
+        assert!(Config::parse("[mystery]\n").is_err());
+        assert!(Config::parse("[[allow]]\npath = \"x\"\nrule = \"map-iter\"").is_err());
+        assert!(
+            Config::parse("[[allow]]\npath = \"x\"\nrule = \"r\"\nreason = \"  \"").is_err(),
+            "blank reason must be rejected"
+        );
+    }
+
+    #[test]
+    fn path_prefix_matches_whole_components() {
+        assert!(path_under("crates/core/src/lib.rs", "crates/core"));
+        assert!(!path_under("crates/corebis/src/lib.rs", "crates/core"));
+        assert!(path_under("src/lib.rs", "src"));
+    }
+}

@@ -1,0 +1,148 @@
+//! Human and JSON rendering of a lint run.
+
+use std::collections::BTreeMap;
+
+use crate::rules::Finding;
+
+/// Aggregated outcome of linting a file set.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// All findings, waived ones included, sorted by (file, line, rule).
+    pub findings: Vec<Finding>,
+    pub files_scanned: usize,
+}
+
+impl Report {
+    pub fn push_file(&mut self, findings: Vec<Finding>) {
+        self.findings.extend(findings);
+        self.files_scanned += 1;
+    }
+
+    pub fn finalize(&mut self) {
+        self.findings.sort_by(|a, b| {
+            a.file.cmp(&b.file).then(a.line.cmp(&b.line)).then(a.rule.cmp(b.rule))
+        });
+    }
+
+    /// Findings not covered by a waiver — the ones that gate CI.
+    pub fn active(&self) -> impl Iterator<Item = &Finding> {
+        self.findings.iter().filter(|f| f.waived.is_none())
+    }
+
+    pub fn active_count(&self) -> usize {
+        self.active().count()
+    }
+
+    pub fn waived_count(&self) -> usize {
+        self.findings.len() - self.active_count()
+    }
+
+    /// Per-rule counts over active findings.
+    pub fn counts(&self) -> BTreeMap<&'static str, usize> {
+        let mut counts: BTreeMap<&'static str, usize> = BTreeMap::new();
+        for f in self.active() {
+            *counts.entry(f.rule).or_insert(0) += 1;
+        }
+        counts
+    }
+
+    pub fn render_human(&self) -> String {
+        let mut out = String::new();
+        for f in self.active() {
+            out.push_str(&format!("{}:{}: [{}] {}\n", f.file, f.line, f.rule, f.message));
+        }
+        let counts = self.counts();
+        let by_rule = counts
+            .iter()
+            .map(|(r, n)| format!("{r}: {n}"))
+            .collect::<Vec<_>>()
+            .join(", ");
+        out.push_str(&format!(
+            "dtlint: {} finding{} ({}), {} waived, {} files scanned\n",
+            self.active_count(),
+            if self.active_count() == 1 { "" } else { "s" },
+            if by_rule.is_empty() { "clean".to_owned() } else { by_rule },
+            self.waived_count(),
+            self.files_scanned,
+        ));
+        out
+    }
+
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{\n  \"findings\": [");
+        for (i, f) in self.active().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {{\"rule\": {}, \"file\": {}, \"line\": {}, \"message\": {}}}",
+                json_str(f.rule),
+                json_str(&f.file),
+                f.line,
+                json_str(&f.message)
+            ));
+        }
+        out.push_str("\n  ],\n  \"counts\": {");
+        for (i, (rule, n)) in self.counts().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\n    {}: {n}", json_str(rule)));
+        }
+        out.push_str(&format!(
+            "\n  }},\n  \"waived\": {},\n  \"files_scanned\": {}\n}}\n",
+            self.waived_count(),
+            self.files_scanned
+        ));
+        out
+    }
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(file: &str, line: u32, waived: bool) -> Finding {
+        Finding {
+            rule: "map-iter",
+            file: file.to_owned(),
+            line,
+            message: "msg with \"quotes\"".to_owned(),
+            waived: waived.then(|| "reason".to_owned()),
+        }
+    }
+
+    #[test]
+    fn human_and_json_agree_on_counts() {
+        let mut r = Report::default();
+        r.push_file(vec![finding("b.rs", 2, false), finding("a.rs", 1, true)]);
+        r.finalize();
+        assert_eq!(r.active_count(), 1);
+        assert_eq!(r.waived_count(), 1);
+        let human = r.render_human();
+        assert!(human.contains("b.rs:2: [map-iter]"));
+        assert!(human.contains("1 finding (map-iter: 1), 1 waived"));
+        let json = r.render_json();
+        assert!(json.contains("\"map-iter\": 1"));
+        assert!(json.contains("\\\"quotes\\\""));
+        assert!(json.contains("\"waived\": 1"));
+    }
+}

@@ -1,0 +1,530 @@
+//! The rule engine: token-sequence rules over one lexed file.
+//!
+//! Three rule families, all keyed off `dtlint.toml` path prefixes:
+//!
+//! * **determinism** — `map-iter` (order-dependent iteration over
+//!   identifiers declared as `HashMap`/`HashSet` in the same file),
+//!   `wall-clock` (`Instant::now` / `SystemTime::now`), `thread-spawn`
+//!   (`thread::spawn` outside the rayon pool), `env-read`
+//!   (`env::var*` / `env::temp_dir`). Fused output must be byte-identical
+//!   across thread counts, backends, and incremental-vs-rebuild runs;
+//!   every one of these constructs can silently break that.
+//! * **panic-freedom** — `panic-path` (`.unwrap()` / `.expect(` /
+//!   `panic!` / `unreachable!` / `todo!` / `unimplemented!` / indexing by
+//!   integer literal) in crates whose IO paths are `Result`-typed.
+//! * **unsafe-audit** — `unsafe-block`: `unsafe` anywhere outside the
+//!   config allowlist (checked in test code too — an audit, not a style
+//!   rule).
+//!
+//! Test code is exempt from the first two families: `#[cfg(test)]` /
+//! `#[test]` items, `mod tests` blocks, and whole files under `tests/`,
+//! `benches/`, or `examples/` directories. Any finding can be waived
+//! inline with `// dtlint::allow(<rule>, reason = "…")` — the reason is
+//! mandatory (`bad-waiver` fires otherwise) — or path-scoped via
+//! `[[allow]]` entries in `dtlint.toml`.
+//!
+//! `map-iter` is a two-pass heuristic, not type inference: pass one
+//! records every identifier annotated `: …HashMap/HashSet…` (let
+//! bindings, struct fields, fn params) or `let`-bound to an expression
+//! mentioning `HashMap`/`HashSet`; pass two flags order-dependent
+//! methods and bare `for … in` loops whose receiver's final path segment
+//! is such an identifier. Maps constructed behind helper functions in
+//! another file escape it — the runtime equivalence suites remain the
+//! backstop; dtlint makes the *local* hazard impossible to miss.
+
+use std::collections::BTreeSet;
+
+use crate::config::{path_under, Config};
+use crate::lexer::{lex, Lexed, Tok, TokKind};
+
+/// Every rule dtlint knows, with a one-line description (for `--list-rules`).
+pub const RULES: &[(&str, &str)] = &[
+    ("map-iter", "order-dependent iteration over a HashMap/HashSet in an output-affecting crate"),
+    ("wall-clock", "Instant::now / SystemTime::now in a pipeline crate"),
+    ("thread-spawn", "raw thread::spawn in a pipeline crate (use the rayon pool)"),
+    ("env-read", "environment read (env::var*, env::temp_dir) in a pipeline crate"),
+    ("panic-path", "unwrap/expect/panic!/unreachable!/indexing-by-literal on a panic-free path"),
+    ("unsafe-block", "`unsafe` outside the dtlint.toml allowlist"),
+    ("bad-waiver", "malformed dtlint::allow directive (unknown rule or missing reason)"),
+];
+
+pub fn known_rule(name: &str) -> bool {
+    RULES.iter().any(|(r, _)| *r == name)
+}
+
+/// One finding, waived or not.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    pub rule: &'static str,
+    /// Workspace-relative path.
+    pub file: String,
+    pub line: u32,
+    pub message: String,
+    /// `Some(reason)` when an inline or baseline waiver covers the site.
+    pub waived: Option<String>,
+}
+
+/// Lint one file's source. `rel` is the workspace-relative path (used for
+/// family scoping and reported spans).
+pub fn lint_source(rel: &str, source: &str, cfg: &Config) -> Vec<Finding> {
+    let lexed = lex(source);
+    let toks = &lexed.toks;
+    let test_mask = test_region_mask(toks);
+    let file_is_test = file_is_test_context(rel);
+
+    let determinism_on = Config::in_any(&cfg.determinism_paths, rel)
+        && !Config::in_any(&cfg.determinism_exempt, rel);
+    let panic_on = Config::in_any(&cfg.panic_paths, rel)
+        && !Config::in_any(&cfg.determinism_exempt, rel);
+    let unsafe_on = !Config::in_any(&cfg.unsafe_allow, rel);
+
+    let mut findings: Vec<Finding> = Vec::new();
+    let mut push = |rule: &'static str, line: u32, message: String| {
+        findings.push(Finding { rule, file: rel.to_owned(), line, message, waived: None });
+    };
+
+    // Waiver hygiene fires regardless of family scoping.
+    for w in &lexed.waivers {
+        if !w.well_formed {
+            push("bad-waiver", w.line, "malformed dtlint::allow directive".to_owned());
+        } else if !known_rule(&w.rule) {
+            push("bad-waiver", w.line, format!("dtlint::allow names unknown rule `{}`", w.rule));
+        } else if !w.has_reason {
+            push(
+                "bad-waiver",
+                w.line,
+                format!("dtlint::allow({}) is missing its mandatory reason = \"…\"", w.rule),
+            );
+        }
+    }
+
+    let hash_idents = if determinism_on { collect_hash_idents(toks) } else { BTreeSet::new() };
+
+    for i in 0..toks.len() {
+        let in_test = file_is_test || test_mask[i];
+        let t = &toks[i];
+
+        // --- unsafe-audit (applies everywhere, tests included) ---
+        if unsafe_on && t.is_ident("unsafe") {
+            push("unsafe-block", t.line, "`unsafe` outside the dtlint.toml allowlist".to_owned());
+        }
+
+        if in_test {
+            continue;
+        }
+
+        // --- determinism family ---
+        if determinism_on {
+            if let Some((recv, method)) = order_method_at(toks, i, &hash_idents) {
+                // Anchor at the method token, not the receiver: in a
+                // multi-line chain that is the line a trailing waiver sits on.
+                push(
+                    "map-iter",
+                    toks[i + 2].line,
+                    format!(
+                        "`{recv}.{method}()` iterates a HashMap/HashSet — order is \
+                         unspecified; sort first, use a BTree collection, or waive with \
+                         a reason"
+                    ),
+                );
+            }
+            if t.is_ident("for") {
+                if let Some(recv) = for_in_hash_receiver(toks, i, &hash_idents) {
+                    push(
+                        "map-iter",
+                        t.line,
+                        format!(
+                            "`for … in &{recv}` iterates a HashMap/HashSet — order is \
+                             unspecified; sort first, use a BTree collection, or waive \
+                             with a reason"
+                        ),
+                    );
+                }
+            }
+            if let Some((what, rule)) = path_call_at(toks, i) {
+                push(rule, t.line, format!("`{what}` in a pipeline crate breaks run-to-run determinism"));
+            }
+        }
+
+        // --- panic-freedom family ---
+        if panic_on {
+            if t.is_punct('.')
+                && matches!(toks.get(i + 1), Some(m) if m.is_ident("unwrap") || m.is_ident("expect"))
+                && matches!(toks.get(i + 2), Some(p) if p.is_punct('('))
+            {
+                let m = &toks[i + 1].text;
+                push(
+                    "panic-path",
+                    toks[i + 1].line,
+                    format!("`.{m}(…)` on a panic-free path — route the failure through DtError"),
+                );
+            }
+            if t.kind == TokKind::Ident
+                && matches!(t.text.as_str(), "panic" | "unreachable" | "todo" | "unimplemented")
+                && matches!(toks.get(i + 1), Some(p) if p.is_punct('!'))
+            {
+                push(
+                    "panic-path",
+                    t.line,
+                    format!("`{}!` on a panic-free path — route the failure through DtError", t.text),
+                );
+            }
+            // Indexing by integer literal: `xs[0]` (but not `[0u8; n]`).
+            if t.is_punct('[')
+                && i > 0
+                && (toks[i - 1].kind == TokKind::Ident
+                    || toks[i - 1].is_punct(')')
+                    || toks[i - 1].is_punct(']'))
+                && matches!(toks.get(i + 1), Some(x) if x.kind == TokKind::Int)
+                && matches!(toks.get(i + 2), Some(p) if p.is_punct(']'))
+            {
+                push(
+                    "panic-path",
+                    t.line,
+                    format!(
+                        "indexing by literal `[{}]` on a panic-free path — use `.get(…)`",
+                        toks[i + 1].text
+                    ),
+                );
+            }
+        }
+    }
+
+    apply_waivers(&mut findings, &lexed, toks, rel, cfg);
+    findings.sort_by(|a, b| a.line.cmp(&b.line).then_with(|| a.rule.cmp(b.rule)));
+    findings
+}
+
+/// Whole files under test/bench/example directories are test context.
+fn file_is_test_context(rel: &str) -> bool {
+    rel.split('/').any(|seg| seg == "tests" || seg == "benches" || seg == "examples")
+}
+
+/// Mark tokens inside `#[cfg(test)]` / `#[test]` / `#[bench]` items and
+/// `mod tests { … }` blocks.
+fn test_region_mask(toks: &[Tok]) -> Vec<bool> {
+    let mut mask = vec![false; toks.len()];
+    let mut i = 0usize;
+    while i < toks.len() {
+        if toks[i].is_punct('#') && matches!(toks.get(i + 1), Some(t) if t.is_punct('[')) {
+            let (end, is_test) = scan_attr(toks, i);
+            if is_test {
+                // Skip any further attributes, then swallow the item.
+                let mut j = end;
+                while j < toks.len()
+                    && toks[j].is_punct('#')
+                    && matches!(toks.get(j + 1), Some(t) if t.is_punct('['))
+                {
+                    j = scan_attr(toks, j).0;
+                }
+                let item_end = item_extent(toks, j);
+                for m in mask.iter_mut().take(item_end).skip(i) {
+                    *m = true;
+                }
+                i = item_end;
+                continue;
+            }
+            i = end;
+            continue;
+        }
+        if toks[i].is_ident("mod")
+            && matches!(toks.get(i + 1), Some(t) if t.is_ident("tests") || t.is_ident("test"))
+        {
+            let item_end = item_extent(toks, i);
+            for m in mask.iter_mut().take(item_end).skip(i) {
+                *m = true;
+            }
+            i = item_end;
+            continue;
+        }
+        i += 1;
+    }
+    mask
+}
+
+/// Scan an attribute starting at `#`; returns (index past `]`, is-test).
+/// Test-ish: the attribute mentions `test` or `bench` without a `not(…)`
+/// (so `#[cfg(not(test))]` stays non-test code).
+fn scan_attr(toks: &[Tok], start: usize) -> (usize, bool) {
+    let mut depth = 0usize;
+    let mut i = start + 1;
+    let mut mentions_test = false;
+    let mut negated = false;
+    while i < toks.len() {
+        let t = &toks[i];
+        if t.is_punct('[') {
+            depth += 1;
+        } else if t.is_punct(']') {
+            depth -= 1;
+            if depth == 0 {
+                return (i + 1, mentions_test && !negated);
+            }
+        } else if t.is_ident("test") || t.is_ident("bench") {
+            mentions_test = true;
+        } else if t.is_ident("not") {
+            negated = true;
+        }
+        i += 1;
+    }
+    (toks.len(), false)
+}
+
+/// Extent of the item starting at `start`: through the matching `}` of
+/// its first brace block, or through the first `;` outside all nesting.
+fn item_extent(toks: &[Tok], start: usize) -> usize {
+    let mut depth = 0isize;
+    let mut braces = 0isize;
+    let mut i = start;
+    while i < toks.len() {
+        let t = &toks[i];
+        if t.kind == TokKind::Punct {
+            match t.text.as_bytes()[0] {
+                b'{' => {
+                    depth += 1;
+                    braces += 1;
+                }
+                b'(' | b'[' => depth += 1,
+                b')' | b']' => depth -= 1,
+                b'}' => {
+                    depth -= 1;
+                    braces -= 1;
+                    if braces == 0 && depth <= 0 {
+                        return i + 1;
+                    }
+                }
+                b';' if depth == 0 => return i + 1,
+                _ => {}
+            }
+        }
+        i += 1;
+    }
+    toks.len()
+}
+
+/// Pass one of `map-iter`: names declared with a HashMap/HashSet type or
+/// `let`-initialised from an expression mentioning one.
+fn collect_hash_idents(toks: &[Tok]) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    for i in 0..toks.len() {
+        // `name : … HashMap/HashSet …` — let annotations, struct fields,
+        // fn params, struct-literal fields. Exclude `::` paths.
+        if toks[i].kind == TokKind::Ident
+            && matches!(toks.get(i + 1), Some(c) if c.is_punct(':'))
+            && !matches!(toks.get(i + 2), Some(c) if c.is_punct(':'))
+            && !(i > 0 && toks[i - 1].is_punct(':'))
+            && type_scan_mentions_hash(toks, i + 2)
+        {
+            out.insert(toks[i].text.clone());
+        }
+        // `let [mut] name = … HashMap/HashSet …`.
+        if toks[i].is_ident("let") {
+            let mut j = i + 1;
+            if matches!(toks.get(j), Some(t) if t.is_ident("mut")) {
+                j += 1;
+            }
+            if matches!(toks.get(j), Some(t) if t.kind == TokKind::Ident)
+                && matches!(toks.get(j + 1), Some(t) if t.is_punct('='))
+                && !matches!(toks.get(j + 2), Some(t) if t.is_punct('='))
+                && rhs_scan_mentions_hash(toks, j + 2)
+            {
+                out.insert(toks[j].text.clone());
+            }
+        }
+    }
+    out
+}
+
+/// Scan a type position until its terminator; true when it mentions
+/// HashMap/HashSet. Bounded so a pathological file cannot hang the scan.
+fn type_scan_mentions_hash(toks: &[Tok], from: usize) -> bool {
+    let mut angle = 0isize;
+    let mut nest = 0isize;
+    for t in toks.iter().skip(from).take(64) {
+        if t.kind == TokKind::Punct {
+            match t.text.as_bytes()[0] {
+                b'<' => angle += 1,
+                b'>' => angle -= 1,
+                b'(' | b'[' => nest += 1,
+                b')' | b']' if nest > 0 => nest -= 1,
+                b';' | b'=' | b'{' => return false,
+                b',' | b')' | b']' | b'}' if angle <= 0 && nest <= 0 => return false,
+                _ => {}
+            }
+        } else if t.is_ident("HashMap") || t.is_ident("HashSet") {
+            return true;
+        }
+    }
+    false
+}
+
+/// Scan a `let` initialiser to its `;`; true when it mentions
+/// HashMap/HashSet (covers `HashMap::new()`, `collect::<HashSet<_>>()`).
+fn rhs_scan_mentions_hash(toks: &[Tok], from: usize) -> bool {
+    let mut nest = 0isize;
+    for t in toks.iter().skip(from).take(256) {
+        if t.kind == TokKind::Punct {
+            match t.text.as_bytes()[0] {
+                b'(' | b'[' | b'{' => nest += 1,
+                b')' | b']' | b'}' => nest -= 1,
+                b';' if nest <= 0 => return false,
+                _ => {}
+            }
+        } else if t.is_ident("HashMap") || t.is_ident("HashSet") {
+            return true;
+        }
+    }
+    false
+}
+
+const ORDER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "drain",
+    "into_iter",
+    "into_keys",
+    "into_values",
+];
+
+/// `recv.method(` where `recv` is a known hash ident and `method` is
+/// order-dependent. `i` points at the receiver identifier.
+fn order_method_at<'a>(
+    toks: &'a [Tok],
+    i: usize,
+    hash_idents: &BTreeSet<String>,
+) -> Option<(&'a str, &'a str)> {
+    let recv = &toks[i];
+    if recv.kind != TokKind::Ident || !hash_idents.contains(&recv.text) {
+        return None;
+    }
+    let dot = toks.get(i + 1)?;
+    let method = toks.get(i + 2)?;
+    let paren = toks.get(i + 3)?;
+    if dot.is_punct('.')
+        && method.kind == TokKind::Ident
+        && ORDER_METHODS.contains(&method.text.as_str())
+        && paren.is_punct('(')
+    {
+        return Some((&recv.text, &method.text));
+    }
+    None
+}
+
+/// `for pat in [&][mut] path { …` where the path's final segment is a
+/// hash ident and the loop body starts immediately (method chains are
+/// handled by `order_method_at`). `i` points at `for`.
+fn for_in_hash_receiver<'a>(
+    toks: &'a [Tok],
+    i: usize,
+    hash_idents: &BTreeSet<String>,
+) -> Option<&'a str> {
+    // Find `in` at nesting depth 0 within a short window.
+    let mut depth = 0isize;
+    let mut j = i + 1;
+    let limit = (i + 40).min(toks.len());
+    while j < limit {
+        let t = &toks[j];
+        if t.kind == TokKind::Punct {
+            match t.text.as_bytes()[0] {
+                b'(' | b'[' | b'{' => depth += 1,
+                b')' | b']' | b'}' => depth -= 1,
+                _ => {}
+            }
+        } else if t.is_ident("in") && depth == 0 {
+            break;
+        }
+        j += 1;
+    }
+    if j >= limit {
+        return None;
+    }
+    j += 1;
+    while matches!(toks.get(j), Some(t) if t.is_punct('&') || t.is_ident("mut")) {
+        j += 1;
+    }
+    // Walk a `seg ( . seg | :: seg )*` path.
+    let mut last: Option<usize> = None;
+    while matches!(toks.get(j), Some(t) if t.kind == TokKind::Ident) {
+        last = Some(j);
+        j += 1;
+        if matches!(toks.get(j), Some(t) if t.is_punct('.'))
+            && matches!(toks.get(j + 1), Some(t) if t.kind == TokKind::Ident)
+        {
+            j += 1;
+        } else if matches!(toks.get(j), Some(t) if t.is_punct(':'))
+            && matches!(toks.get(j + 1), Some(t) if t.is_punct(':'))
+            && matches!(toks.get(j + 2), Some(t) if t.kind == TokKind::Ident)
+        {
+            j += 2;
+        } else {
+            break;
+        }
+    }
+    let last = last?;
+    if matches!(toks.get(j), Some(t) if t.is_punct('{'))
+        && hash_idents.contains(&toks[last].text)
+    {
+        return Some(&toks[last].text);
+    }
+    None
+}
+
+/// Nondeterministic calls recognised by path suffix: returns the display
+/// form and the rule it violates. `i` points at the first path segment.
+fn path_call_at(toks: &[Tok], i: usize) -> Option<(String, &'static str)> {
+    let seg = &toks[i];
+    if seg.kind != TokKind::Ident {
+        return None;
+    }
+    let c1 = toks.get(i + 1)?;
+    let c2 = toks.get(i + 2)?;
+    let name = toks.get(i + 3)?;
+    if !(c1.is_punct(':') && c2.is_punct(':') && name.kind == TokKind::Ident) {
+        return None;
+    }
+    match (seg.text.as_str(), name.text.as_str()) {
+        ("Instant" | "SystemTime", "now") => Some((format!("{}::now", seg.text), "wall-clock")),
+        ("thread", "spawn") => Some(("thread::spawn".to_owned(), "thread-spawn")),
+        ("env", "var" | "vars" | "var_os" | "vars_os" | "temp_dir") => {
+            Some((format!("env::{}", name.text), "env-read"))
+        }
+        _ => None,
+    }
+}
+
+/// Match findings against inline waivers (trailing: same line; standalone:
+/// next code line) and dtlint.toml baseline entries.
+fn apply_waivers(findings: &mut [Finding], lexed: &Lexed, toks: &[Tok], rel: &str, cfg: &Config) {
+    for f in findings.iter_mut() {
+        if f.rule == "bad-waiver" {
+            continue;
+        }
+        let inline = lexed.waivers.iter().find(|w| {
+            w.well_formed && w.has_reason && w.rule == f.rule && {
+                if w.trailing {
+                    w.line == f.line
+                } else {
+                    // Standalone comment covers the next line holding code.
+                    next_code_line(toks, w.line) == Some(f.line)
+                }
+            }
+        });
+        if inline.is_some() {
+            f.waived = Some("inline waiver".to_owned());
+            continue;
+        }
+        if let Some(b) = cfg
+            .baseline
+            .iter()
+            .find(|b| b.rule == f.rule && path_under(rel, &b.path))
+        {
+            f.waived = Some(format!("dtlint.toml: {}", b.reason));
+        }
+    }
+}
+
+fn next_code_line(toks: &[Tok], after: u32) -> Option<u32> {
+    toks.iter().map(|t| t.line).find(|&l| l > after)
+}

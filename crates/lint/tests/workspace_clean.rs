@@ -1,0 +1,25 @@
+//! The self-test behind CI's `dtlint --deny` step: the workspace itself
+//! must be lint-clean. Any new order-dependent iteration, panic path, or
+//! unsafe block either gets fixed or gets an explicit, reasoned waiver —
+//! this test is what makes that a build break instead of a convention.
+
+use std::path::Path;
+
+use datatamer_lint::{load_config, run_workspace};
+
+#[test]
+fn workspace_is_lint_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let cfg = load_config(&root).expect("dtlint.toml parses");
+    let report = run_workspace(&root, &cfg).expect("workspace walk succeeds");
+    assert!(report.files_scanned > 100, "walk found the workspace ({} files)", report.files_scanned);
+    let active: Vec<String> = report
+        .active()
+        .map(|f| format!("{}:{}: [{}] {}", f.file, f.line, f.rule, f.message))
+        .collect();
+    assert!(
+        active.is_empty(),
+        "workspace must be dtlint-clean; fix or waive (with a reason):\n{}",
+        active.join("\n")
+    );
+}

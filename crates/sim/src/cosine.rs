@@ -36,6 +36,7 @@ impl TfIdfWeights {
             }
         }
         let idf = df
+            // dtlint::allow(map-iter, reason = "entry-wise map construction; no cross-entry accumulation depends on order")
             .into_iter()
             .map(|(tok, d)| {
                 // Smoothed IDF, always positive.
@@ -88,19 +89,26 @@ impl CosineModel {
         for t in tokens {
             *tf.entry(t.clone()).or_insert(0.0) += 1.0;
         }
+        // The norm is a float accumulation, and float addition is not
+        // associative — summing in HashMap iteration order would leak the
+        // per-process RandomState seed into every cosine score. Damp and
+        // accumulate over the entries sorted by token instead.
+        // dtlint::allow(map-iter, reason = "entries are sorted on the next line before the float accumulation")
+        let mut entries: Vec<(String, f64)> = tf.into_iter().collect();
+        entries.sort_unstable_by(|x, y| x.0.cmp(&y.0));
         let mut norm = 0.0;
-        for (tok, f) in tf.iter_mut() {
+        for (tok, f) in entries.iter_mut() {
             // Sub-linear TF damping.
             *f = (1.0 + f.ln()) * self.weights.idf(tok);
             norm += *f * *f;
         }
         let norm = norm.sqrt();
         if norm > 0.0 {
-            for f in tf.values_mut() {
+            for (_, f) in entries.iter_mut() {
                 *f /= norm;
             }
         }
-        tf
+        entries.into_iter().collect()
     }
 
     /// Cosine similarity of two raw texts under the fitted weights.
@@ -117,12 +125,13 @@ impl CosineModel {
 }
 
 fn dot(a: &HashMap<String, f64>, b: &HashMap<String, f64>) -> f64 {
-    // Iterate the smaller map.
+    // Iterate the smaller map — but in sorted key order: the dot product
+    // is a float accumulation, and summing in HashMap iteration order
+    // would make similarity scores differ run to run.
     let (small, large) = if a.len() <= b.len() { (a, b) } else { (b, a) };
-    small
-        .iter()
-        .filter_map(|(k, va)| large.get(k).map(|vb| va * vb))
-        .sum()
+    let mut terms: Vec<(&String, f64)> = small.iter().map(|(k, v)| (k, *v)).collect();
+    terms.sort_unstable_by(|x, y| x.0.cmp(y.0));
+    terms.into_iter().filter_map(|(k, va)| large.get(k).map(|vb| va * vb)).sum()
 }
 
 /// Plain (unweighted) cosine similarity between two texts — useful before

@@ -16,21 +16,24 @@ pub fn jaccard<T: Eq + Hash>(a: &HashSet<T>, b: &HashSet<T>) -> f64 {
 /// Weighted (multiset) Jaccard: `Σ min(fa, fb) / Σ max(fa, fb)` over the
 /// union of keys. Robust when token frequency matters (value-overlap
 /// matching between columns with repeated values).
-pub fn weighted_jaccard<T: Eq + Hash>(a: &HashMap<T, f64>, b: &HashMap<T, f64>) -> f64 {
+pub fn weighted_jaccard<T: Eq + Hash + Ord>(a: &HashMap<T, f64>, b: &HashMap<T, f64>) -> f64 {
     if a.is_empty() && b.is_empty() {
         return 1.0;
     }
+    // Float addition is not associative, so accumulating in HashMap
+    // iteration order (RandomState-seeded per process) would make the
+    // score differ run to run. Walk the key union in sorted order.
+    // dtlint::allow(map-iter, reason = "keys are collected and sorted before any float accumulation")
+    let mut keys: Vec<&T> = a.keys().chain(b.keys()).collect();
+    keys.sort_unstable();
+    keys.dedup();
     let mut num = 0.0;
     let mut den = 0.0;
-    for (k, fa) in a {
+    for k in keys {
+        let fa = a.get(k).copied().unwrap_or(0.0);
         let fb = b.get(k).copied().unwrap_or(0.0);
         num += fa.min(fb);
         den += fa.max(fb);
-    }
-    for (k, fb) in b {
-        if !a.contains_key(k) {
-            den += fb;
-        }
     }
     if den == 0.0 {
         return 1.0;

@@ -381,27 +381,31 @@ impl FileBackend {
     }
 
     /// Make the tail extent resident (loading it from its file if it was
-    /// flushed), appending an empty tail to an empty chain.
-    fn ensure_tail_loaded(&self, slots: &mut Vec<ExtentSlot>) -> Result<()> {
+    /// flushed), appending an empty tail to an empty chain. Returns the
+    /// tail's index; `slots[index]` is `Loaded` on success.
+    fn ensure_tail_loaded(&self, slots: &mut Vec<ExtentSlot>) -> Result<usize> {
         match slots.last() {
             None => slots.push(ExtentSlot::Loaded(Extent::new(self.extent_size))),
             Some(ExtentSlot::Flushed(_)) => {
-                let tail = self.load_extent(slots.len() - 1)?;
-                *slots.last_mut().expect("non-empty") = ExtentSlot::Loaded(tail);
+                let index = slots.len() - 1;
+                let tail = self.load_extent(index)?;
+                slots[index] = ExtentSlot::Loaded(tail);
             }
             Some(ExtentSlot::Loaded(_)) => {}
         }
-        Ok(())
+        Ok(slots.len() - 1)
     }
 
     /// Append with flush-on-roll: a full tail is written to its file,
     /// demoted to metadata, and a fresh resident tail opens.
     fn append_locked(&self, slots: &mut Vec<ExtentSlot>, encoded: &[u8]) -> Result<(u32, u32)> {
         loop {
-            self.ensure_tail_loaded(slots)?;
-            let index = slots.len() - 1;
-            let ExtentSlot::Loaded(tail) = slots.last_mut().expect("tail loaded") else {
-                unreachable!("ensure_tail_loaded leaves a resident tail");
+            let index = self.ensure_tail_loaded(slots)?;
+            // Every `ensure_tail_loaded` arm leaves `slots[index]`
+            // resident; an `Err` here instead of `unreachable!` keeps
+            // the storage crate panic-free even if that drifts.
+            let ExtentSlot::Loaded(tail) = &mut slots[index] else {
+                return Err(DtError::Io("tail extent not resident after load".into()));
             };
             if let Some(slot) = tail.append(encoded) {
                 return Ok((index as u32, slot));

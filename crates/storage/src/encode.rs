@@ -234,10 +234,7 @@ mod tests {
     #[test]
     fn nan_roundtrips_bitwise() {
         let v = roundtrip(Value::Float(f64::NAN));
-        match v {
-            Value::Float(f) => assert!(f.is_nan()),
-            _ => panic!("expected float"),
-        }
+        assert!(matches!(v, Value::Float(f) if f.is_nan()), "expected NaN float, got {v:?}");
     }
 
     #[test]

@@ -165,7 +165,7 @@ fn map_bound(b: Bound<&Value>) -> Bound<IndexKey> {
 /// Resolve a dotted path allowing multikey traversal through arrays.
 fn extract_path(doc: &Document, path: &str, out: &mut Vec<Value>) {
     fn walk(v: &Value, segments: &[&str], out: &mut Vec<Value>) {
-        if segments.is_empty() {
+        let Some((seg, rest)) = segments.split_first() else {
             match v {
                 Value::Array(items) => {
                     for item in items {
@@ -175,18 +175,18 @@ fn extract_path(doc: &Document, path: &str, out: &mut Vec<Value>) {
                 other => out.push(other.clone()),
             }
             return;
-        }
+        };
         match v {
             Value::Doc(d) => {
-                if let Some(inner) = d.get(segments[0]) {
-                    walk(inner, &segments[1..], out);
+                if let Some(inner) = d.get(seg) {
+                    walk(inner, rest, out);
                 }
             }
             Value::Array(items) => {
                 // Numeric segment indexes; otherwise descend into each element.
-                if let Ok(i) = segments[0].parse::<usize>() {
+                if let Ok(i) = seg.parse::<usize>() {
                     if let Some(item) = items.get(i) {
-                        walk(item, &segments[1..], out);
+                        walk(item, rest, out);
                     }
                 } else {
                     for item in items {

@@ -101,7 +101,11 @@ fn read_manifest(path: &Path) -> Result<Manifest> {
 pub fn save_store(store: &Store, dir: &Path) -> Result<()> {
     fs::create_dir_all(dir)?;
     for name in store.collection_names() {
-        let col = store.collection(&name).expect("listed collection exists");
+        // The name list and the collection map can in principle drift
+        // under a concurrent drop; surface that as an error, not a panic.
+        let col = store
+            .collection(&name)
+            .ok_or_else(|| DtError::NotFound(format!("listed collection `{name}` disappeared")))?;
         save_collection(&col, &dir.join(&name))?;
     }
     Ok(())

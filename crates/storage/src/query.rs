@@ -109,23 +109,23 @@ fn cmp_any(
 /// Values reachable at a dotted path, descending through arrays (multikey).
 fn path_values<'a>(doc: &'a Document, path: &str) -> Vec<&'a Value> {
     fn walk<'a>(v: &'a Value, segs: &[&str], out: &mut Vec<&'a Value>) {
-        if segs.is_empty() {
+        let Some((seg, rest)) = segs.split_first() else {
             match v {
                 Value::Array(items) => out.extend(items.iter()),
                 other => out.push(other),
             }
             return;
-        }
+        };
         match v {
             Value::Doc(d) => {
-                if let Some(inner) = d.get(segs[0]) {
-                    walk(inner, &segs[1..], out);
+                if let Some(inner) = d.get(seg) {
+                    walk(inner, rest, out);
                 }
             }
             Value::Array(items) => {
-                if let Ok(i) = segs[0].parse::<usize>() {
+                if let Ok(i) = seg.parse::<usize>() {
                     if let Some(item) = items.get(i) {
-                        walk(item, &segs[1..], out);
+                        walk(item, rest, out);
                     }
                 } else {
                     for item in items {
@@ -138,7 +138,9 @@ fn path_values<'a>(doc: &'a Document, path: &str) -> Vec<&'a Value> {
     }
     let segs: Vec<&str> = path.split('.').collect();
     let mut out = Vec::new();
-    if let Some(first) = doc.get(segs[0]) {
+    // `split` always yields at least one segment, but `.get` keeps this
+    // path panic-free by construction rather than by that invariant.
+    if let Some(first) = segs.first().and_then(|s| doc.get(s)) {
         walk(first, &segs[1..], &mut out);
     }
     out

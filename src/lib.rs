@@ -418,6 +418,35 @@
 //! assert_eq!(merged.member_count, 2, "the killed session's delta survived");
 //! std::fs::remove_dir_all(&dir).unwrap();
 //! ```
+//!
+//! ## Static analysis & invariants
+//!
+//! The contracts above — byte-identical fused output across thread
+//! counts, backends, and incremental-vs-rebuild runs; storage that
+//! returns `DtError` instead of panicking — are sampled by the runtime
+//! equivalence suites but *enforced* statically by `dtlint`
+//! (`crates/lint`), a zero-dependency analyzer run in CI with `--deny`:
+//!
+//! * **determinism** — iterating a `HashMap`/`HashSet` in an
+//!   output-affecting crate is flagged unless the site sorts first or
+//!   carries a reasoned waiver; `RandomState` reorders per process, so
+//!   one unordered float accumulation breaks byte-equivalence in ways a
+//!   sampled test may never catch. Wall-clock reads (`Instant::now`,
+//!   `SystemTime::now`), raw `thread::spawn`, and environment reads in
+//!   pipeline crates are flagged for the same reason.
+//! * **panic-freedom** — `unwrap`/`expect`/`panic!`/`unreachable!` and
+//!   literal indexing in `crates/storage` non-test code are flagged;
+//!   storage fallibility is typed (`DtError`), not control flow.
+//! * **unsafe audit** — `unsafe` is denied outside a `dtlint.toml`
+//!   allowlist (currently empty: the workspace is 100% safe Rust).
+//!
+//! Waive a finding inline with
+//! `// dtlint::allow(<rule>, reason = "…")` — the reason is mandatory
+//! and a malformed waiver is itself a finding. `dtlint.toml` scopes the
+//! rule families and holds path-level baselines; the
+//! `workspace_is_lint_clean` test in `crates/lint` keeps the tree clean
+//! even when CI is skipped. A second, independent net: `clippy.toml`
+//! disallows the two clock constructors workspace-wide.
 
 pub use datatamer_clean as clean;
 pub use datatamer_core as core;
