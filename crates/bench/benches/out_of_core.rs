@@ -1,0 +1,128 @@
+//! Out-of-core scan benches: repeated scans over a file-backed corpus at
+//! each extent-cache budget.
+//!
+//! The corpus is built (and synced) once per cell, *outside* the timed
+//! loop — the question is how fast the Nth full scan runs over an
+//! existing chain, not how fast ingest is (that's `sharding/*`). Cells:
+//!
+//! - `memory/N` — in-process reference: every extent resident by
+//!   construction. The target the warm cache should approach (within
+//!   ~10%).
+//! - `file_unbounded/N` — cache budget `None`: after the first scan every
+//!   flushed extent is resident, so repeated scans do zero file reads.
+//! - `file_half_budget/N` — budget = half the per-shard corpus: the
+//!   corpus exceeds the cache, so every scan re-loads the evicted half.
+//! - `file_budget0/N` — budget `Some(0)`: the pre-cache behaviour, every
+//!   scan loads every flushed extent from disk.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use std::path::PathBuf;
+
+use datatamer_model::{doc, Document};
+use datatamer_storage::{BackendConfig, Collection, CollectionConfig, RoutingPolicy};
+
+const SHARDS: usize = 4;
+const EXTENT_SIZE: usize = 64 * 1024;
+
+fn bench_root() -> PathBuf {
+    std::env::temp_dir().join(format!("dt_out_of_core_bench_{}", std::process::id()))
+}
+
+fn sample_docs(n: usize) -> Vec<Document> {
+    (0..n as i64)
+        .map(|i| {
+            doc! {
+                "show" => format!("Show Number{}", i % 97),
+                "price" => 20 + (i % 80),
+                "pad" => "payload ".repeat(1 + (i % 4) as usize)
+            }
+        })
+        .collect()
+}
+
+/// Build a file-backed collection at `budget`, ingest, and flush the tail
+/// so scans walk a fully-flushed chain.
+fn build_file(dir: PathBuf, budget: Option<usize>, docs: &[Document]) -> Collection {
+    let col = Collection::new(
+        "bench",
+        CollectionConfig {
+            extent_size: EXTENT_SIZE,
+            shards: SHARDS,
+            backend: BackendConfig::File { dir },
+            routing: RoutingPolicy::RoundRobin,
+            extent_cache_budget: budget,
+        },
+    )
+    .unwrap();
+    col.insert_many(docs).unwrap();
+    col.sync().unwrap();
+    col
+}
+
+/// One full scan — the repeated operation under measurement.
+fn scan(col: &Collection) -> usize {
+    col.parallel_scan(|_, d| d.get("price").cloned()).unwrap().len()
+}
+
+fn bench_repeated_scans(c: &mut Criterion) {
+    let root = bench_root();
+    let _ = std::fs::remove_dir_all(&root);
+    let mut group = c.benchmark_group("out_of_core");
+    group.sample_size(10);
+    for &n in &[4_000usize, 12_000] {
+        let docs = sample_docs(n);
+        group.throughput(Throughput::Elements(n as u64));
+
+        // In-process reference cell.
+        let memory = Collection::new(
+            "bench",
+            CollectionConfig {
+                extent_size: EXTENT_SIZE,
+                shards: SHARDS,
+                backend: BackendConfig::Memory,
+                routing: RoutingPolicy::RoundRobin,
+                extent_cache_budget: None,
+            },
+        )
+        .unwrap();
+        memory.insert_many(&docs).unwrap();
+        group.bench_function(BenchmarkId::new("memory", n), |b| {
+            b.iter(|| black_box(scan(&memory)))
+        });
+
+        // Unbounded cache: one warm scan, then measure steady state. The
+        // warm occupancy also tells us the per-shard corpus size, from
+        // which the half-corpus budget below is derived.
+        let unbounded = build_file(root.join(format!("unbounded_{n}")), None, &docs);
+        assert_eq!(scan(&unbounded), n, "warm-up scan sees every doc");
+        let corpus_bytes = unbounded
+            .storage_report()
+            .cache_totals()
+            .map_or(0, |c| c.occupancy_bytes);
+        group.bench_function(BenchmarkId::new("file_unbounded", n), |b| {
+            b.iter(|| black_box(scan(&unbounded)))
+        });
+
+        // Half-corpus budget: the chain is twice the cache, so every scan
+        // evicts and re-loads.
+        let half = (corpus_bytes / SHARDS / 2).max(EXTENT_SIZE);
+        let half_budget =
+            build_file(root.join(format!("half_{n}")), Some(half), &docs);
+        group.bench_function(BenchmarkId::new("file_half_budget", n), |b| {
+            b.iter(|| black_box(scan(&half_budget)))
+        });
+
+        // Disabled cache: the pre-cache load-per-read behaviour.
+        let budget0 = build_file(root.join(format!("budget0_{n}")), Some(0), &docs);
+        group.bench_function(BenchmarkId::new("file_budget0", n), |b| {
+            b.iter(|| black_box(scan(&budget0)))
+        });
+    }
+    group.finish();
+    // Untimed teardown: leave no bench droppings behind.
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+criterion_group!(benches, bench_repeated_scans);
+criterion_main!(benches);

@@ -7,8 +7,10 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Through
 use std::hint::black_box;
 
 use datatamer_bench::{HarnessConfig, ScaledSystem};
+use datatamer_core::config::StorageConfig;
 use datatamer_core::fusion::{BlockedErConfig, GroupingStrategy};
 use datatamer_core::DataTamer;
+use datatamer_storage::BackendConfig;
 
 fn bench_end_to_end(c: &mut Criterion) {
     let mut group = c.benchmark_group("pipeline_end_to_end");
@@ -58,7 +60,49 @@ fn bench_end_to_end(c: &mut Criterion) {
             },
         );
     }
+    // The same end-to-end build on a file-backed store (default extent
+    // cache): every collection goes out of core, so this cell prices the
+    // full pipeline's disk round-trips against the in-memory cells above.
+    // Each iteration builds into a brand-new numbered subdir — the timed
+    // closure never deletes and never reopens an existing chain; the whole
+    // tree is wiped once, untimed, after the group.
+    let file_root =
+        std::env::temp_dir().join(format!("dt_pipeline_bench_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&file_root);
+    let mut unique = 0u64;
+    for &denom in &[50_000u32, 20_000] {
+        let config = HarnessConfig {
+            scale: 1.0 / denom as f64,
+            padding_sentences: 2,
+            background_mentions: 3,
+            ..Default::default()
+        };
+        group.throughput(Throughput::Elements(config.num_fragments() as u64));
+        group.bench_with_input(
+            BenchmarkId::new("file", config.num_fragments()),
+            &config,
+            |b, cfg| {
+                b.iter(|| {
+                    unique += 1;
+                    let cfg = HarnessConfig {
+                        storage: StorageConfig {
+                            backend: BackendConfig::File {
+                                dir: file_root.join(format!("it{unique}")),
+                            },
+                            ..Default::default()
+                        },
+                        ..cfg.clone()
+                    };
+                    let sys = ScaledSystem::build(cfg);
+                    let fused = sys.dt.fuse();
+                    black_box(DataTamer::lookup(&fused, "Matilda").is_some())
+                })
+            },
+        );
+    }
     group.finish();
+    // Untimed teardown: leave no bench droppings behind.
+    let _ = std::fs::remove_dir_all(&file_root);
 }
 
 fn bench_ingest_only(c: &mut Criterion) {

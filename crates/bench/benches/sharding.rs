@@ -77,6 +77,7 @@ fn bench_backend_routing_shards(c: &mut Criterion) {
                     shards,
                     backend,
                     routing: routing.clone(),
+                    ..Default::default()
                 };
                 group.bench_with_input(
                     BenchmarkId::from_parameter(&id),

@@ -1,5 +1,6 @@
 //! Scaled system construction shared by the table printers and benches.
 
+use datatamer_core::config::StorageConfig;
 use datatamer_core::fusion::GroupingStrategy;
 use datatamer_core::{DataTamer, DataTamerConfig};
 use datatamer_corpus::ftables::{self, FtablesConfig, GeneratedSource};
@@ -49,6 +50,12 @@ pub struct HarnessConfig {
     /// prepared pair scoring — the hot path the `pair_scoring/*` bench
     /// group measures in isolation).
     pub grouping: GroupingStrategy,
+    /// Storage substrate for every collection the system creates: backend
+    /// (memory vs out-of-core file), shard routing, and the extent-cache
+    /// byte budget for file-backed shards. The default (memory, round
+    /// robin) keeps the classic in-process cells; the `pipeline_end_to_end`
+    /// file cells point this at a temp directory.
+    pub storage: StorageConfig,
 }
 
 impl Default for HarnessConfig {
@@ -63,6 +70,7 @@ impl Default for HarnessConfig {
             // fewer documents).
             padding_sentences: 24,
             grouping: GroupingStrategy::CanonicalName,
+            storage: StorageConfig::default(),
         }
     }
 }
@@ -114,10 +122,11 @@ impl ScaledSystem {
         let mut dt = DataTamer::new(DataTamerConfig {
             extent_size: config.extent_size(),
             grouping: config.grouping.clone(),
+            storage: config.storage.clone(),
             ..Default::default()
         });
         for s in &sources {
-            dt.register_structured(&s.name, &s.records).expect("in-memory store");
+            dt.register_structured(&s.name, &s.records).expect("store accepts records");
         }
         let parser = DomainParser::with_gazetteer(corpus.gazetteer.clone());
         let frags: Vec<(&str, &str)> = corpus
@@ -125,7 +134,7 @@ impl ScaledSystem {
             .iter()
             .map(|f| (f.text.as_str(), f.kind.label()))
             .collect();
-        dt.ingest_webtext(parser, frags).expect("in-memory store");
+        dt.ingest_webtext(parser, frags).expect("store accepts documents");
         ScaledSystem { config, corpus, sources, dt }
     }
 
@@ -136,6 +145,7 @@ impl ScaledSystem {
         let mut dt = DataTamer::new(DataTamerConfig {
             extent_size: config.extent_size(),
             grouping: config.grouping.clone(),
+            storage: config.storage.clone(),
             ..Default::default()
         });
         let parser = DomainParser::with_gazetteer(corpus.gazetteer.clone());
@@ -144,7 +154,7 @@ impl ScaledSystem {
             .iter()
             .map(|f| (f.text.as_str(), f.kind.label()))
             .collect();
-        dt.ingest_webtext(parser, frags).expect("in-memory store");
+        dt.ingest_webtext(parser, frags).expect("store accepts documents");
         ScaledSystem { config, corpus, sources, dt }
     }
 }

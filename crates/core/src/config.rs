@@ -3,7 +3,9 @@
 use std::path::PathBuf;
 
 use datatamer_schema::IntegrationConfig;
-use datatamer_storage::{BackendConfig, CollectionConfig, RoutingPolicy};
+use datatamer_storage::{
+    BackendConfig, CollectionConfig, RoutingPolicy, DEFAULT_EXTENT_CACHE_BUDGET,
+};
 
 use crate::fusion::{GroupingStrategy, RegistryConfig};
 
@@ -34,14 +36,32 @@ impl DeltaLogConfig {
 /// system-level face of the storage crate's shard coordinator. The default
 /// (in-process memory, round robin) is byte-compatible with the
 /// pre-coordinator engine; switching to [`BackendConfig::File`] makes every
-/// collection out-of-core (only tail extents resident), and a keyed
-/// [`RoutingPolicy`] co-locates equal-keyed records per shard.
-#[derive(Debug, Clone, PartialEq, Eq, Default)]
+/// collection out-of-core (tail extents resident, recently-read extents
+/// held by a byte-budget cache), and a keyed [`RoutingPolicy`] co-locates
+/// equal-keyed records per shard.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct StorageConfig {
     /// Shard substrate for every collection the pipeline creates.
     pub backend: BackendConfig,
     /// Shard-routing policy for every collection the pipeline creates.
     pub routing: RoutingPolicy,
+    /// Per-shard extent-cache byte budget for file-backed collections:
+    /// `None` = unbounded, `Some(0)` = disabled (every read loads from
+    /// disk — byte-identical output, pre-cache performance), `Some(n)` =
+    /// at most `n` bytes of decoded flushed extents resident per shard.
+    /// Cache occupancy and hit/miss/eviction counters surface per shard in
+    /// the [`datatamer_storage::StorageReport`]s carried on stage reports.
+    pub extent_cache_budget: Option<usize>,
+}
+
+impl Default for StorageConfig {
+    fn default() -> Self {
+        StorageConfig {
+            backend: BackendConfig::default(),
+            routing: RoutingPolicy::default(),
+            extent_cache_budget: Some(DEFAULT_EXTENT_CACHE_BUDGET),
+        }
+    }
 }
 
 /// Configuration of a [`crate::DataTamer`] instance.
@@ -116,6 +136,7 @@ impl DataTamerConfig {
             shards: self.shards,
             backend: self.storage.backend.clone(),
             routing: self.storage.routing.clone(),
+            extent_cache_budget: self.storage.extent_cache_budget,
         }
     }
 
@@ -154,6 +175,7 @@ mod tests {
             storage: StorageConfig {
                 backend: BackendConfig::File { dir: dir.clone() },
                 routing: RoutingPolicy::HashKey { attr: "SHOW_NAME".into() },
+                ..Default::default()
             },
             ..Default::default()
         };

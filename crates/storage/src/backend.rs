@@ -11,23 +11,33 @@
 //! * [`FileBackend`] — out-of-core shards: only the tail extent (the one
 //!   taking appends) stays in memory; a full extent is flushed to its own
 //!   file (the [`crate::extent::Extent::to_bytes`] persist encoding, one
-//!   file per extent exactly like [`crate::persist`]) and re-loaded
-//!   transiently for reads. Resident memory is O(extent_size) per shard
-//!   regardless of collection size, and reopening a backend over the same
-//!   directory resumes the chain.
+//!   file per extent exactly like [`crate::persist`]) and served back
+//!   through a per-shard [`ExtentCache`] — a byte-budget LRU of decoded
+//!   extents, so repeated scans hit memory instead of disk. Resident
+//!   memory is O(extent_size + cache budget) per shard regardless of
+//!   collection size (budget 0 restores the pure load-per-read
+//!   behaviour), and reopening a backend over the same directory resumes
+//!   the chain.
 //!
 //! Both backends produce byte-identical scan output for the same append
-//! sequence — the coordinator's equivalence contract, pinned by tests.
+//! sequence — the coordinator's equivalence contract, pinned by tests —
+//! at any cache budget. Scans can also run extent-parallel: a scan is
+//! prepared with [`ShardBackend::begin_extent_scan`] (which resolves
+//! cache hits deterministically, in extent order, before any fan-out) and
+//! each extent is then visited independently via
+//! [`ShardBackend::visit_extent`].
 
 use std::fs;
 use std::io::{Read, Write};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use parking_lot::RwLock;
 
 use datatamer_model::{Document, DtError, Result};
 
+use crate::cache::{ExtentCache, ExtentCacheStats, ExtentScan, ScanSlot};
 use crate::encode::decode_document;
 use crate::extent::Extent;
 
@@ -112,8 +122,31 @@ pub trait ShardBackend: Send + Sync {
     /// order every backend must share for byte-identical results. An
     /// unreadable extent aborts the scan with an error rather than being
     /// skipped (a skip would silently drop every document in it) or
-    /// panicking (the pre-PR-7 behaviour).
+    /// panicking (the pre-PR-7 behaviour). Individual documents that fail
+    /// to decode are skipped but counted ([`Self::decode_errors`]) — never
+    /// silently dropped.
     fn visit(&self, f: &mut dyn FnMut(u32, u32, &Document)) -> Result<()>;
+
+    /// Prepare an extent-parallel scan over this shard. For cached
+    /// backends this resolves every extent's hit-or-miss **sequentially,
+    /// in extent order, before any fan-out** and pins the hits — so cache
+    /// counters and post-scan contents are identical at any rayon pool
+    /// width. The default covers backends whose extents are all resident.
+    fn begin_extent_scan(&self) -> ExtentScan {
+        ExtentScan::resident(self.extent_count())
+    }
+
+    /// Visit the live documents of one extent (`f` receives `(slot,
+    /// doc)`), as part of a scan prepared by [`Self::begin_extent_scan`].
+    /// Extents past the plan (or tombstoned away) visit nothing; an
+    /// unreadable extent is an error, and per-document decode failures
+    /// count into [`Self::decode_errors`] exactly like [`Self::visit`].
+    fn visit_extent(
+        &self,
+        scan: &ExtentScan,
+        extent: u32,
+        f: &mut dyn FnMut(u32, &Document),
+    ) -> Result<()>;
 
     /// Live documents in this shard.
     fn len(&self) -> u64;
@@ -147,6 +180,46 @@ pub trait ShardBackend: Send + Sync {
     fn flushes(&self) -> u64 {
         0
     }
+
+    /// Documents skipped because their bytes failed to decode, cumulative
+    /// across every read of this backend. A nonzero value means the
+    /// corpus is silently smaller than what was stored — surfaced in
+    /// [`crate::coordinator::StorageReport`] instead of being swallowed.
+    fn decode_errors(&self) -> u64 {
+        0
+    }
+
+    /// Extent-cache counters, for backends that serve reads through an
+    /// [`ExtentCache`] (`None` for fully-resident backends).
+    fn cache_stats(&self) -> Option<ExtentCacheStats> {
+        None
+    }
+}
+
+/// Iterate one decoded extent's live slots, counting (never silently
+/// dropping) documents whose bytes fail to decode.
+fn visit_live(extent: &Extent, decode_errors: &AtomicU64, f: &mut dyn FnMut(u32, &Document)) {
+    for (slot, bytes) in extent.iter_live() {
+        match decode_document(bytes) {
+            Ok(doc) => f(slot, &doc),
+            Err(_) => {
+                decode_errors.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+/// Fold a slot read into the point-read contract (`None` for missing or
+/// unreadable) while counting decode failures.
+fn fold_decode(decode_errors: &AtomicU64, slot: Option<Result<Document>>) -> Option<Document> {
+    match slot {
+        Some(Ok(doc)) => Some(doc),
+        Some(Err(_)) => {
+            decode_errors.fetch_add(1, Ordering::Relaxed);
+            None
+        }
+        None => None,
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -159,12 +232,17 @@ pub trait ShardBackend: Send + Sync {
 pub struct MemoryBackend {
     extent_size: usize,
     extents: RwLock<Vec<Extent>>,
+    decode_errors: AtomicU64,
 }
 
 impl MemoryBackend {
     /// Empty in-process shard with the given extent capacity.
     pub fn new(extent_size: usize) -> Self {
-        MemoryBackend { extent_size, extents: RwLock::new(Vec::new()) }
+        MemoryBackend {
+            extent_size,
+            extents: RwLock::new(Vec::new()),
+            decode_errors: AtomicU64::new(0),
+        }
     }
 
     /// Append to the tail extent of `extents`, chaining when full.
@@ -200,26 +278,44 @@ impl ShardBackend for MemoryBackend {
 
     fn get(&self, extent: u32, slot: u32) -> Option<Document> {
         let extents = self.extents.read();
-        extents.get(extent as usize)?.get(slot).and_then(|r| r.ok())
+        let slot_read = extents.get(extent as usize)?.get(slot);
+        fold_decode(&self.decode_errors, slot_read)
     }
 
     fn delete(&self, extent: u32, slot: u32) -> Result<Option<Document>> {
         let mut extents = self.extents.write();
         let Some(e) = extents.get_mut(extent as usize) else { return Ok(None) };
-        let Some(doc) = e.get(slot).and_then(|r| r.ok()) else { return Ok(None) };
+        let Some(doc) = fold_decode(&self.decode_errors, e.get(slot)) else {
+            return Ok(None);
+        };
         Ok(e.delete(slot).then_some(doc))
     }
 
     fn visit(&self, f: &mut dyn FnMut(u32, u32, &Document)) -> Result<()> {
         let extents = self.extents.read();
         for (idx, extent) in extents.iter().enumerate() {
-            for (slot, bytes) in extent.iter_live() {
-                if let Ok(doc) = decode_document(bytes) {
-                    f(idx as u32, slot, &doc);
-                }
-            }
+            visit_live(extent, &self.decode_errors, &mut |slot, doc| {
+                f(idx as u32, slot, doc);
+            });
         }
         Ok(())
+    }
+
+    fn visit_extent(
+        &self,
+        _scan: &ExtentScan,
+        extent: u32,
+        f: &mut dyn FnMut(u32, &Document),
+    ) -> Result<()> {
+        let extents = self.extents.read();
+        if let Some(e) = extents.get(extent as usize) {
+            visit_live(e, &self.decode_errors, f);
+        }
+        Ok(())
+    }
+
+    fn decode_errors(&self) -> u64 {
+        self.decode_errors.load(Ordering::Relaxed)
     }
 
     fn len(&self) -> u64 {
@@ -291,17 +387,27 @@ impl ExtentSlot {
 }
 
 /// Out-of-core shard: extents live as files under a directory, with only
-/// the tail extent resident. See the module docs for the layout contract.
+/// the tail extent resident in the slot chain and recently-read flushed
+/// extents held by a byte-budget [`ExtentCache`]. See the module docs for
+/// the layout contract.
 #[derive(Debug)]
 pub struct FileBackend {
     dir: PathBuf,
     extent_size: usize,
     slots: RwLock<Vec<ExtentSlot>>,
+    /// Residency layer for flushed extents; every read path goes through
+    /// it. Lock order: `slots` before `cache`, never the reverse.
+    cache: ExtentCache,
     flushes: AtomicU64,
+    /// Extent files actually read (decoded loads + raw snapshot reads).
+    disk_loads: AtomicU64,
+    decode_errors: AtomicU64,
 }
 
 impl FileBackend {
-    /// Open (or create) a file-backed shard at `dir`. An existing chain —
+    /// Open (or create) a file-backed shard at `dir` with the default
+    /// extent-cache budget ([`DEFAULT_EXTENT_CACHE_BUDGET`] — see
+    /// [`FileBackend::open_with_cache`] to choose one). An existing chain —
     /// `ext000000`, `ext000001`, … — is adopted: all extents start flushed
     /// and the tail is re-loaded on the first append. Each flushed extent
     /// carries a small `.meta` sidecar (data length + live/used/capacity),
@@ -310,9 +416,23 @@ impl FileBackend {
     /// decoding that one extent (see [`read_meta_sidecar`] for the one
     /// crash window the length check cannot cover).
     pub fn open(dir: impl Into<PathBuf>, extent_size: usize) -> Result<Self> {
+        Self::open_with_cache(dir, extent_size, Some(crate::cache::DEFAULT_EXTENT_CACHE_BUDGET))
+    }
+
+    /// [`FileBackend::open`] with an explicit extent-cache byte budget:
+    /// `None` = unbounded, `Some(0)` = disabled (byte-identical to
+    /// load-per-read), `Some(n)` = at most `n` bytes of decoded flushed
+    /// extents resident. Nothing is admitted at open — the cache warms on
+    /// first read.
+    pub fn open_with_cache(
+        dir: impl Into<PathBuf>,
+        extent_size: usize,
+        cache_budget: Option<usize>,
+    ) -> Result<Self> {
         let dir = dir.into();
         fs::create_dir_all(&dir)?;
         let mut slots = Vec::new();
+        let mut fallback_loads = 0u64;
         loop {
             let path = dir.join(extent_file(slots.len()));
             if !path.exists() {
@@ -321,7 +441,10 @@ impl FileBackend {
             let file_len = fs::metadata(&path)?.len();
             let meta = match read_meta_sidecar(&dir.join(meta_file(slots.len())), file_len) {
                 Some(meta) => meta,
-                None => ExtentMeta::of(&read_extent(&path)?),
+                None => {
+                    fallback_loads += 1;
+                    ExtentMeta::of(&read_extent(&path)?)
+                }
             };
             slots.push(ExtentSlot::Flushed(meta));
         }
@@ -329,13 +452,21 @@ impl FileBackend {
             dir,
             extent_size,
             slots: RwLock::new(slots),
+            cache: ExtentCache::new(cache_budget),
             flushes: AtomicU64::new(0),
+            disk_loads: AtomicU64::new(fallback_loads),
+            decode_errors: AtomicU64::new(0),
         })
     }
 
     /// The directory holding this shard's extent files.
     pub fn dir(&self) -> &std::path::Path {
         &self.dir
+    }
+
+    /// The extent cache's configured byte budget.
+    pub fn cache_budget(&self) -> Option<usize> {
+        self.cache.budget()
     }
 
     fn path_of(&self, index: usize) -> PathBuf {
@@ -358,7 +489,20 @@ impl FileBackend {
     }
 
     fn load_extent(&self, index: usize) -> Result<Extent> {
+        self.disk_loads.fetch_add(1, Ordering::Relaxed);
         read_extent(&self.path_of(index))
+    }
+
+    /// A flushed extent, through the cache: a hit returns the resident
+    /// copy; a miss loads the file, admits the decoded extent (evicting
+    /// under budget pressure), and returns it.
+    fn cached_extent(&self, index: u32) -> Result<Arc<Extent>> {
+        if let Some(shared) = self.cache.lookup(index) {
+            return Ok(shared);
+        }
+        let shared = Arc::new(self.load_extent(index as usize)?);
+        self.cache.admit(index, shared.clone());
+        Ok(shared)
     }
 
     /// Remove any `extN` / `extN.meta` files at or past `from` — restore
@@ -380,15 +524,22 @@ impl FileBackend {
         }
     }
 
-    /// Make the tail extent resident (loading it from its file if it was
-    /// flushed), appending an empty tail to an empty chain. Returns the
-    /// tail's index; `slots[index]` is `Loaded` on success.
+    /// Make the tail extent resident (taking it from the cache when it is
+    /// there — double residency would double-count memory — or loading it
+    /// from its file), appending an empty tail to an empty chain. Returns
+    /// the tail's index; `slots[index]` is `Loaded` on success.
     fn ensure_tail_loaded(&self, slots: &mut Vec<ExtentSlot>) -> Result<usize> {
         match slots.last() {
             None => slots.push(ExtentSlot::Loaded(Extent::new(self.extent_size))),
             Some(ExtentSlot::Flushed(_)) => {
                 let index = slots.len() - 1;
-                let tail = self.load_extent(index)?;
+                let tail = match self.cache.take(index as u32) {
+                    Some(shared) => match Arc::try_unwrap(shared) {
+                        Ok(extent) => extent,
+                        Err(shared) => (*shared).clone(),
+                    },
+                    None => self.load_extent(index)?,
+                };
                 slots[index] = ExtentSlot::Loaded(tail);
             }
             Some(ExtentSlot::Loaded(_)) => {}
@@ -397,7 +548,9 @@ impl FileBackend {
     }
 
     /// Append with flush-on-roll: a full tail is written to its file,
-    /// demoted to metadata, and a fresh resident tail opens.
+    /// demoted to metadata, and a fresh resident tail opens. The rolled
+    /// extent moves into the cache — tail-adjacent data is the hottest —
+    /// rather than being dropped and re-read on the next scan.
     fn append_locked(&self, slots: &mut Vec<ExtentSlot>, encoded: &[u8]) -> Result<(u32, u32)> {
         loop {
             let index = self.ensure_tail_loaded(slots)?;
@@ -412,7 +565,10 @@ impl FileBackend {
             }
             let meta = ExtentMeta::of(tail);
             self.write_extent(index, tail)?;
-            slots[index] = ExtentSlot::Flushed(meta);
+            let rolled = std::mem::replace(&mut slots[index], ExtentSlot::Flushed(meta));
+            if let ExtentSlot::Loaded(extent) = rolled {
+                self.cache.admit(index as u32, Arc::new(extent));
+            }
             slots.push(ExtentSlot::Loaded(Extent::new(self.extent_size)));
         }
     }
@@ -495,12 +651,13 @@ impl ShardBackend for FileBackend {
     fn get(&self, extent: u32, slot: u32) -> Option<Document> {
         let slots = self.slots.read();
         match slots.get(extent as usize)? {
-            ExtentSlot::Loaded(e) => e.get(slot).and_then(|r| r.ok()),
+            ExtentSlot::Loaded(e) => fold_decode(&self.decode_errors, e.get(slot)),
             ExtentSlot::Flushed(_) => {
-                // Transient load: the extent is decoded for this read and
-                // dropped — resident memory stays O(tail).
-                let e = self.load_extent(extent as usize).ok()?;
-                e.get(slot).and_then(|r| r.ok())
+                // Through the cache: a warm extent makes this a map probe
+                // instead of a whole-extent decode; a cold one loads once
+                // and stays resident for the next same-extent read.
+                let shared = self.cached_extent(extent).ok()?;
+                fold_decode(&self.decode_errors, shared.get(slot))
             }
         }
     }
@@ -511,7 +668,9 @@ impl ShardBackend for FileBackend {
         match slots.get_mut(index) {
             None => Ok(None),
             Some(ExtentSlot::Loaded(e)) => {
-                let Some(doc) = e.get(slot).and_then(|r| r.ok()) else { return Ok(None) };
+                let Some(doc) = fold_decode(&self.decode_errors, e.get(slot)) else {
+                    return Ok(None);
+                };
                 Ok(e.delete(slot).then_some(doc))
             }
             Some(ExtentSlot::Flushed(_)) => {
@@ -520,16 +679,22 @@ impl ShardBackend for FileBackend {
                 // folds "unreadable" into `None` like `get`; the
                 // write-back surfaces its error — swallowing it would
                 // leave the caller's count/indexes agreeing with neither
-                // the old nor the new on-disk state.
-                let Ok(mut e) = self.load_extent(index) else { return Ok(None) };
-                let Some(doc) = e.get(slot).and_then(|r| r.ok()) else { return Ok(None) };
+                // the old nor the new on-disk state. The cached copy is
+                // replaced in place so cache and file never disagree.
+                let Ok(shared) = self.cached_extent(extent) else { return Ok(None) };
+                let Some(doc) = fold_decode(&self.decode_errors, shared.get(slot)) else {
+                    return Ok(None);
+                };
+                let mut e = (*shared).clone();
                 if !e.delete(slot) {
                     return Ok(None);
                 }
                 self.write_extent(index, &e).map_err(|err| {
                     DtError::Io(format!("tombstone write-back, extent {index}: {err}"))
                 })?;
-                slots[index] = ExtentSlot::Flushed(ExtentMeta::of(&e));
+                let meta = ExtentMeta::of(&e);
+                self.cache.update(extent, Arc::new(e));
+                slots[index] = ExtentSlot::Flushed(meta);
                 Ok(Some(doc))
             }
         }
@@ -538,26 +703,79 @@ impl ShardBackend for FileBackend {
     fn visit(&self, f: &mut dyn FnMut(u32, u32, &Document)) -> Result<()> {
         let slots = self.slots.read();
         for (index, slot_state) in slots.iter().enumerate() {
-            let loaded;
-            let extent: &Extent = match slot_state {
-                ExtentSlot::Loaded(e) => e,
+            match slot_state {
+                ExtentSlot::Loaded(e) => {
+                    visit_live(e, &self.decode_errors, &mut |slot, doc| {
+                        f(index as u32, slot, doc);
+                    });
+                }
                 // An error here, like the write path: silently skipping an
                 // unreadable extent would drop every document in it from
-                // scans — wrong fused output with no error.
+                // scans — wrong fused output with no error. The cache
+                // bounds residency: at most one loaded extent is held here
+                // beyond what the budget retains.
                 ExtentSlot::Flushed(_) => {
-                    loaded = self.load_extent(index).map_err(|e| {
+                    let shared = self.cached_extent(index as u32).map_err(|e| {
                         DtError::Io(format!("shard extent {index} unreadable: {e}"))
                     })?;
-                    &loaded
-                }
-            };
-            for (slot, bytes) in extent.iter_live() {
-                if let Ok(doc) = decode_document(bytes) {
-                    f(index as u32, slot, &doc);
+                    visit_live(&shared, &self.decode_errors, &mut |slot, doc| {
+                        f(index as u32, slot, doc);
+                    });
                 }
             }
         }
         Ok(())
+    }
+
+    fn begin_extent_scan(&self) -> ExtentScan {
+        let slots = self.slots.read();
+        self.cache.plan_scan(slots.len(), |i| {
+            matches!(slots.get(i), Some(ExtentSlot::Flushed(_)))
+        })
+    }
+
+    fn visit_extent(
+        &self,
+        scan: &ExtentScan,
+        extent: u32,
+        f: &mut dyn FnMut(u32, &Document),
+    ) -> Result<()> {
+        let index = extent as usize;
+        match scan.plan.get(index) {
+            Some(ScanSlot::Pinned(shared)) => {
+                visit_live(shared, &self.decode_errors, f);
+                Ok(())
+            }
+            Some(ScanSlot::Miss) => {
+                let shared = Arc::new(self.load_extent(index).map_err(|e| {
+                    DtError::Io(format!("shard extent {index} unreadable: {e}"))
+                })?);
+                self.cache.admit_scanned(scan, extent, shared.clone());
+                visit_live(&shared, &self.decode_errors, f);
+                Ok(())
+            }
+            // Resident at plan time (the loaded tail), or past the plan.
+            // Re-check the chain: an append racing the scan may have
+            // rolled the tail to Flushed since — fall back to the cache.
+            Some(ScanSlot::Resident) | None => {
+                let slots = self.slots.read();
+                match slots.get(index) {
+                    Some(ExtentSlot::Loaded(e)) => {
+                        visit_live(e, &self.decode_errors, f);
+                        Ok(())
+                    }
+                    Some(ExtentSlot::Flushed(_)) => {
+                        drop(slots);
+                        let shared = self.cached_extent(extent).map_err(|e| {
+                            DtError::Io(format!("shard extent {index} unreadable: {e}"))
+                        })?;
+                        visit_live(&shared, &self.decode_errors, f);
+                        Ok(())
+                    }
+                    None => Ok(()),
+                }
+            }
+        }
     }
 
     fn len(&self) -> u64 {
@@ -583,9 +801,15 @@ impl ShardBackend for FileBackend {
             .enumerate()
             .map(|(index, s)| match s {
                 ExtentSlot::Loaded(e) => Ok(e.to_bytes()),
-                // Flushed extents already hold the persist encoding — the
-                // file bytes ARE the snapshot.
+                // Flushed extents already hold the persist encoding — a
+                // cached decoded copy re-serialises to exactly the file
+                // bytes (the file was written from `to_bytes`), so a warm
+                // extent never touches disk.
                 ExtentSlot::Flushed(_) => {
+                    if let Some(shared) = self.cache.lookup(index as u32) {
+                        return Ok(shared.to_bytes());
+                    }
+                    self.disk_loads.fetch_add(1, Ordering::Relaxed);
                     let path = self.path_of(index);
                     let mut bytes = Vec::new();
                     fs::File::open(&path)
@@ -599,6 +823,8 @@ impl ShardBackend for FileBackend {
 
     fn restore(&self, serialized: Vec<Vec<u8>>) -> Result<u64> {
         let mut slots = self.slots.write();
+        // The whole chain is being replaced — every cached extent is stale.
+        self.cache.clear();
         slots.clear();
         let mut live = 0u64;
         for (index, bytes) in serialized.iter().enumerate() {
@@ -621,7 +847,12 @@ impl ShardBackend for FileBackend {
             if let ExtentSlot::Loaded(tail) = &slots[index] {
                 let meta = ExtentMeta::of(tail);
                 self.write_extent(index, tail)?;
-                slots[index] = ExtentSlot::Flushed(meta);
+                // The demoted tail stays readable through the cache
+                // instead of being dropped and re-read on the next scan.
+                let demoted = std::mem::replace(&mut slots[index], ExtentSlot::Flushed(meta));
+                if let ExtentSlot::Loaded(extent) = demoted {
+                    self.cache.admit(index as u32, Arc::new(extent));
+                }
             }
         }
         Ok(())
@@ -629,6 +860,16 @@ impl ShardBackend for FileBackend {
 
     fn flushes(&self) -> u64 {
         self.flushes.load(Ordering::Relaxed)
+    }
+
+    fn decode_errors(&self) -> u64 {
+        self.decode_errors.load(Ordering::Relaxed)
+    }
+
+    fn cache_stats(&self) -> Option<ExtentCacheStats> {
+        let mut stats = self.cache.stats();
+        stats.disk_loads = self.disk_loads.load(Ordering::Relaxed);
+        Some(stats)
     }
 }
 
@@ -781,12 +1022,95 @@ mod tests {
     }
 
     #[test]
+    fn warm_cache_serves_repeated_scans_without_disk_reads() {
+        let dir = tempdir("warmscan");
+        {
+            let file = FileBackend::open(&dir, 96).unwrap();
+            for i in 0..12i64 {
+                file.append(&encoded(i)).unwrap();
+            }
+            file.sync().unwrap();
+        }
+        // A cold (freshly-opened, unbounded-cache) backend: the first scan
+        // loads every extent from disk, the second and third load nothing.
+        let file = FileBackend::open_with_cache(&dir, 96, None).unwrap();
+        let scan = |f: &FileBackend| {
+            let mut n = 0u64;
+            f.visit(&mut |_, _, _| n += 1).unwrap();
+            n
+        };
+        assert_eq!(scan(&file), 12);
+        let loads_after_first = file.cache_stats().unwrap().disk_loads;
+        assert_eq!(loads_after_first, file.extent_count() as u64, "cold scan reads each extent once");
+        assert_eq!(scan(&file), 12);
+        assert_eq!(scan(&file), 12);
+        let stats = file.cache_stats().unwrap();
+        assert_eq!(
+            stats.disk_loads, loads_after_first,
+            "second and subsequent scans perform zero extent file reads"
+        );
+        assert!(stats.hits >= 2 * file.extent_count() as u64, "{stats:?}");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn point_reads_load_each_extent_once() {
+        let dir = tempdir("pointget");
+        let spots: Vec<(u32, u32)> = {
+            let file = FileBackend::open(&dir, 96).unwrap();
+            let spots = (0..12i64).map(|i| file.append(&encoded(i)).unwrap()).collect();
+            file.sync().unwrap();
+            spots
+        };
+        let file = FileBackend::open(&dir, 96).unwrap();
+        // N point reads into one flushed extent: exactly one disk read.
+        let first_extent: Vec<_> = spots.iter().filter(|(e, _)| *e == 0).collect();
+        assert!(first_extent.len() > 1, "need several docs in extent 0");
+        for _ in 0..5 {
+            for (e, s) in &first_extent {
+                assert!(file.get(*e, *s).is_some());
+            }
+        }
+        assert_eq!(
+            file.cache_stats().unwrap().disk_loads,
+            1,
+            "same-extent gets share one load"
+        );
+        // Reads spanning every extent still load each at most once.
+        for _ in 0..3 {
+            for (e, s) in &spots {
+                assert!(file.get(*e, *s).is_some());
+            }
+        }
+        assert_eq!(
+            file.cache_stats().unwrap().disk_loads,
+            file.extent_count() as u64,
+            "one disk read per extent across repeated gets"
+        );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn decode_errors_are_counted_not_silently_dropped() {
+        let mem = MemoryBackend::new(256);
+        mem.append(&encoded(1)).unwrap();
+        mem.append(b"\xff\xffgarbage that is not a document").unwrap();
+        mem.append(&encoded(2)).unwrap();
+        let mut seen = 0u64;
+        mem.visit(&mut |_, _, _| seen += 1).unwrap();
+        assert_eq!(seen, 2, "the two well-formed documents still scan");
+        assert_eq!(mem.decode_errors(), 1, "the corrupt one is counted, not dropped");
+    }
+
+    #[test]
     fn torn_extent_is_an_error_not_a_crash() {
         // Regression: an unreadable flushed extent used to panic! inside
         // visit (and the tombstone write-back likewise aborted). Both now
-        // surface as Err so the pipeline can report them.
+        // surface as Err so the pipeline can report them. A *warm* cache
+        // legitimately keeps serving its resident copy, so this backend
+        // runs with the cache disabled — every visit reads the real file.
         let dir = tempdir("torn");
-        let file = FileBackend::open(&dir, 96).unwrap();
+        let file = FileBackend::open_with_cache(&dir, 96, Some(0)).unwrap();
         for i in 0..10i64 {
             file.append(&encoded(i)).unwrap();
         }

@@ -64,6 +64,11 @@ pub struct CollectionConfig {
     pub backend: BackendConfig,
     /// How documents route to shards (round robin by default).
     pub routing: RoutingPolicy,
+    /// Per-shard extent-cache byte budget for file-backed shards (`None` =
+    /// unbounded, `Some(0)` = disabled — load-per-read, byte-identical to
+    /// the uncached behaviour). Ignored by memory backends, whose extents
+    /// are all resident anyway.
+    pub extent_cache_budget: Option<usize>,
 }
 
 impl Default for CollectionConfig {
@@ -73,6 +78,7 @@ impl Default for CollectionConfig {
             shards: 8,
             backend: BackendConfig::Memory,
             routing: RoutingPolicy::RoundRobin,
+            extent_cache_budget: Some(crate::cache::DEFAULT_EXTENT_CACHE_BUDGET),
         }
     }
 }
@@ -123,7 +129,11 @@ impl Collection {
                 BackendConfig::Memory => Box::new(MemoryBackend::new(config.extent_size)),
                 BackendConfig::File { dir } => {
                     let shard_dir = dir.join(&name).join(format!("shard{shard_no:03}"));
-                    Box::new(FileBackend::open(shard_dir, config.extent_size)?)
+                    Box::new(FileBackend::open_with_cache(
+                        shard_dir,
+                        config.extent_size,
+                        config.extent_cache_budget,
+                    )?)
                 }
             });
         }
@@ -625,6 +635,7 @@ mod tests {
                         dir: dir.join(routing.name()),
                     },
                     routing: routing.clone(),
+                    ..Default::default()
                 },
             )
             .unwrap();

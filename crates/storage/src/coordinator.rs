@@ -5,14 +5,19 @@
 //! route and append; batches scatter across shards (encode in parallel,
 //! route in input order, one lock acquisition per shard, shards appending
 //! concurrently) and gather `DocId`s back in input order; scans fan out one
-//! rayon task per shard and concatenate shard-major — so results are
-//! byte-identical at any thread count and under any backend mix.
+//! rayon task per **(shard, extent)** — flushed extents decode concurrently
+//! — and stitch results back shard-major/extent-major, so output is
+//! byte-identical at any thread count and under any backend mix. Cache
+//! hit/miss resolution happens at plan time, sequentially, in shard order
+//! ([`ShardBackend::begin_extent_scan`]), so the cache counters carried on
+//! [`StorageReport`] are deterministic too.
 
 use rayon::prelude::*;
 
 use datatamer_model::{Document, Result};
 
 use crate::backend::{BackendKind, ShardBackend};
+use crate::cache::{ExtentCacheStats, ExtentScan};
 use crate::collection::DocId;
 use crate::encode::encode_document;
 use crate::routing::{Router, RoutingPolicy};
@@ -26,6 +31,12 @@ pub struct ShardStorage {
     pub docs: u64,
     /// Extents in this shard's chain.
     pub extents: usize,
+    /// Documents skipped because their bytes failed to decode — a nonzero
+    /// value means reads silently saw a smaller corpus than was stored.
+    pub decode_errors: u64,
+    /// Extent-cache occupancy and counters, for shards that serve reads
+    /// through an [`crate::cache::ExtentCache`] (`None` on memory shards).
+    pub cache: Option<ExtentCacheStats>,
 }
 
 /// How one collection's data is distributed: per-shard doc/extent counts,
@@ -52,6 +63,32 @@ impl StorageReport {
     /// Largest shard's doc count — `max / mean` reads as routing skew.
     pub fn largest_shard_docs(&self) -> u64 {
         self.shards.iter().map(|s| s.docs).max().unwrap_or(0)
+    }
+
+    /// Documents skipped due to decode failures, summed across shards.
+    pub fn decode_errors(&self) -> u64 {
+        self.shards.iter().map(|s| s.decode_errors).sum()
+    }
+
+    /// Extent-cache counters summed across shards (`None` when no shard
+    /// serves reads through a cache — all-memory collections). `budget` is
+    /// the per-shard value (every shard gets the same configured budget).
+    pub fn cache_totals(&self) -> Option<ExtentCacheStats> {
+        let mut total: Option<ExtentCacheStats> = None;
+        for shard in &self.shards {
+            let Some(c) = shard.cache else { continue };
+            let t = total.get_or_insert(ExtentCacheStats {
+                budget: c.budget,
+                ..Default::default()
+            });
+            t.occupancy_bytes += c.occupancy_bytes;
+            t.cached_extents += c.cached_extents;
+            t.hits += c.hits;
+            t.misses += c.misses;
+            t.evictions += c.evictions;
+            t.disk_loads += c.disk_loads;
+        }
+        total
     }
 }
 
@@ -173,32 +210,47 @@ impl ShardCoordinator {
         Ok(())
     }
 
-    /// Scatter/gather scan: one rayon task per shard, outputs concatenated
-    /// shard-major then extent then slot — deterministic at any thread
-    /// count. Any shard's read failure fails the scan (first error in
-    /// shard order, so the reported error is thread-count-deterministic
-    /// too).
+    /// Scatter/gather scan: one rayon task per **(shard, extent)** —
+    /// flushed extents decode concurrently — with outputs stitched back
+    /// shard-major then extent then slot, deterministic at any thread
+    /// count. Each shard's scan is planned sequentially up front
+    /// ([`ShardBackend::begin_extent_scan`]), so cache hits are pinned and
+    /// counted before any fan-out. Any extent's read failure fails the
+    /// scan (first error in (shard, extent) order, so the reported error
+    /// is thread-count-deterministic too).
     pub fn parallel_scan<T, F>(&self, f: F) -> Result<Vec<T>>
     where
         T: Send,
         F: Fn(DocId, &Document) -> Option<T> + Sync,
     {
-        let per_shard: Vec<Result<Vec<T>>> = (0..self.backends.len())
-            .into_par_iter()
-            .map(|shard_no| {
+        let plans: Vec<ExtentScan> =
+            self.backends.iter().map(|b| b.begin_extent_scan()).collect();
+        let mut tasks: Vec<(usize, u32)> = Vec::new();
+        for (shard_no, plan) in plans.iter().enumerate() {
+            for extent in 0..plan.extent_count() as u32 {
+                tasks.push((shard_no, extent));
+            }
+        }
+        let per_extent: Vec<Result<Vec<T>>> = tasks
+            .par_iter()
+            .map(|&(shard_no, extent)| {
                 let mut out = Vec::new();
-                self.backends[shard_no].visit(&mut |extent, slot, doc| {
-                    let id = DocId::pack(shard_no as u8, extent, slot);
-                    if let Some(t) = f(id, doc) {
-                        out.push(t);
-                    }
-                })?;
+                self.backends[shard_no].visit_extent(
+                    &plans[shard_no],
+                    extent,
+                    &mut |slot, doc| {
+                        let id = DocId::pack(shard_no as u8, extent, slot);
+                        if let Some(t) = f(id, doc) {
+                            out.push(t);
+                        }
+                    },
+                )?;
                 Ok(out)
             })
             .collect();
         let mut all = Vec::new();
-        for shard in per_shard {
-            all.extend(shard?);
+        for chunk in per_extent {
+            all.extend(chunk?);
         }
         Ok(all)
     }
@@ -258,6 +310,8 @@ impl ShardCoordinator {
                     backend: b.kind(),
                     docs: b.len(),
                     extents: b.extent_count(),
+                    decode_errors: b.decode_errors(),
+                    cache: b.cache_stats(),
                 })
                 .collect(),
             flushes: self.backends.iter().map(|b| b.flushes()).sum(),

@@ -11,7 +11,7 @@ use datatamer_model::{Document, Result};
 use crate::encode::{decode_document, encode_document};
 
 /// One fixed-capacity extent.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Extent {
     /// Encoded document bytes, appended back to back.
     data: Vec<u8>,
@@ -72,6 +72,15 @@ impl Extent {
     /// The extent's fixed capacity in bytes.
     pub fn capacity(&self) -> usize {
         self.capacity
+    }
+
+    /// Approximate resident heap footprint of this decoded extent: data
+    /// bytes plus the slot tables. This is what the extent-cache byte
+    /// budget meters ([`crate::cache::ExtentCache`]).
+    pub fn heap_bytes(&self) -> usize {
+        self.data.len()
+            + self.offsets.len() * std::mem::size_of::<u32>()
+            + self.dead.len()
     }
 
     /// Raw encoded bytes of a slot, or `None` when out of range or dead.

@@ -13,7 +13,11 @@
 //! * [`backend`] — pluggable shard substrates behind the [`ShardBackend`]
 //!   trait: [`backend::MemoryBackend`] (in-process extents) and
 //!   [`backend::FileBackend`] (out-of-core: only the tail extent resident,
-//!   full extents flushed to one file each and re-loaded transiently).
+//!   full extents flushed to one file each and served back through the
+//!   extent cache).
+//! * [`cache`] — the [`ExtentCache`]: a byte-budget LRU of decoded extents
+//!   with deterministic hit/miss/eviction accounting, so repeated scans of
+//!   a file-backed collection hit memory instead of disk.
 //! * [`routing`] — declarative shard routing ([`RoutingPolicy`]): round
 //!   robin, key-hash co-location, or byte-range partitioning — pure
 //!   functions of the document (or arrival order), so placement is
@@ -39,6 +43,7 @@
 //!   instead of re-consolidating.
 
 pub mod backend;
+pub mod cache;
 pub mod collection;
 pub mod coordinator;
 pub mod delta_log;
@@ -52,6 +57,7 @@ pub mod stats;
 pub mod store;
 
 pub use backend::{BackendConfig, BackendKind, FileBackend, MemoryBackend, ShardBackend};
+pub use cache::{ExtentCache, ExtentCacheStats, ExtentScan, DEFAULT_EXTENT_CACHE_BUDGET};
 pub use collection::{Collection, CollectionConfig, DocId};
 pub use delta_log::DeltaLog;
 pub use coordinator::{ShardCoordinator, ShardStorage, StorageReport};

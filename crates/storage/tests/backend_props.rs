@@ -102,6 +102,7 @@ proptest! {
                 shards: 4,
                 backend: BackendConfig::File { dir: dir.join(routing.name()) },
                 routing: routing.clone(),
+                ..Default::default()
             }).unwrap();
             let mem_ids = mem.insert_many(&docs).unwrap();
             let file_ids = file.insert_many(&docs).unwrap();
@@ -139,6 +140,153 @@ proptest! {
         let serial = ThreadPoolBuilder::new().num_threads(1).build().unwrap().install(build);
         let wide = ThreadPoolBuilder::new().num_threads(8).build().unwrap().install(build);
         prop_assert_eq!(serial, wide, "routing must not depend on the pool width");
+    }
+
+    // Every extent-cache budget — disabled, one-extent-tight, unbounded —
+    // scans byte-identically to the in-memory backend and to every other
+    // budget, through tombstones and a flush + reopen. The budget is a
+    // pure performance knob; it must never be visible in any byte of
+    // output.
+    #[test]
+    fn cache_budget_never_changes_scan_bytes(
+        keys in prop::collection::vec("[abc]{1,3}", 1..60),
+        delete_every in 2usize..9,
+    ) {
+        let dir = tempdir("budgets");
+        let docs = documents(&keys);
+        let reference = {
+            let mem = Collection::new("c", CollectionConfig {
+                extent_size: 256,
+                shards: 3,
+                ..Default::default()
+            }).unwrap();
+            let ids = mem.insert_many(&docs).unwrap();
+            for id in ids.iter().step_by(delete_every) {
+                prop_assert!(mem.delete(*id).unwrap());
+            }
+            fingerprint(&mem)
+        };
+        // Some(256) ≈ one extent: constant eviction pressure.
+        for (tag, budget) in [("zero", Some(0)), ("one", Some(256)), ("unbounded", None)] {
+            let config = CollectionConfig {
+                extent_size: 256,
+                shards: 3,
+                backend: BackendConfig::File { dir: dir.join(tag) },
+                extent_cache_budget: budget,
+                ..Default::default()
+            };
+            let before = {
+                let col = Collection::new("c", config.clone()).unwrap();
+                let ids = col.insert_many(&docs).unwrap();
+                for id in ids.iter().step_by(delete_every) {
+                    prop_assert!(col.delete(*id).unwrap());
+                }
+                // Scan twice so the second pass reads through whatever the
+                // budget retained from the first.
+                prop_assert_eq!(fingerprint(&col), reference.clone(),
+                    "budget {:?}: first scan must match memory", budget);
+                col.sync().unwrap();
+                fingerprint(&col)
+            };
+            prop_assert_eq!(&before, &reference,
+                "budget {:?}: warm scan must match memory", budget);
+            let reopened = Collection::new("c", config).unwrap();
+            prop_assert_eq!(fingerprint(&reopened), reference.clone(),
+                "budget {:?}: reopened scan must match memory", budget);
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    // Counter sanity at every budget: hits + misses = lookups, every miss
+    // is one disk load, and evictions only fire when a bounded budget is
+    // actually exceeded.
+    #[test]
+    fn cache_counters_stay_sane(
+        keys in prop::collection::vec("[ab]{1,3}", 4..48),
+        scans in 1usize..4,
+    ) {
+        let dir = tempdir("counters");
+        for (tag, budget) in [("zero", Some(0)), ("tight", Some(512)), ("unbounded", None)] {
+            let col = Collection::new("c", CollectionConfig {
+                extent_size: 256,
+                shards: 2,
+                backend: BackendConfig::File { dir: dir.join(tag) },
+                extent_cache_budget: budget,
+                ..Default::default()
+            }).unwrap();
+            col.insert_many(&documents(&keys)).unwrap();
+            col.sync().unwrap();
+            for _ in 0..scans {
+                col.parallel_scan(|_, d| d.get("i").cloned()).unwrap();
+            }
+            let report = col.storage_report();
+            let cache = report.cache_totals().expect("file shards report a cache");
+            prop_assert_eq!(cache.budget, budget);
+            // Each scan plans exactly one lookup per flushed extent, and
+            // after sync every extent is flushed — nothing else in this
+            // sequence performs lookups, so the ledger must balance.
+            let extents: usize = report.shards.iter().map(|s| s.extents).sum();
+            prop_assert_eq!(cache.hits + cache.misses, (scans * extents) as u64,
+                "hits + misses = lookups: {:?}", cache);
+            prop_assert_eq!(cache.misses, cache.disk_loads,
+                "every miss is exactly one extent file read: {:?}", cache);
+            match budget {
+                Some(0) => {
+                    prop_assert_eq!(cache.hits, 0, "disabled cache never hits: {:?}", cache);
+                    prop_assert_eq!(cache.evictions, 0, "never admitted, never evicted");
+                    prop_assert_eq!(cache.occupancy_bytes, 0);
+                }
+                None => {
+                    prop_assert_eq!(cache.evictions, 0, "unbounded cache never evicts: {:?}", cache);
+                    if scans > 1 {
+                        prop_assert!(cache.hits > 0, "warm scans must hit: {:?}", cache);
+                    }
+                }
+                Some(b) => {
+                    prop_assert!(cache.occupancy_bytes <= b * 2,
+                        "per-shard budget bounds total occupancy over 2 shards: {:?}", cache);
+                }
+            }
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    // Extent-parallel scans are pool-width invariant in *both* the output
+    // bytes and the cache counters: plan-time hit/miss resolution makes
+    // the StorageReport deterministic, not just the data.
+    #[test]
+    fn parallel_scan_cache_counters_are_thread_count_invariant(
+        keys in prop::collection::vec("[abc]{1,3}", 4..48),
+    ) {
+        let dir = tempdir("threads");
+        let docs = documents(&keys);
+        let run = |tag: &str| {
+            let col = Collection::new("c", CollectionConfig {
+                extent_size: 256,
+                shards: 3,
+                backend: BackendConfig::File { dir: dir.join(tag) },
+                extent_cache_budget: Some(768),
+                ..Default::default()
+            }).unwrap();
+            col.insert_many(&docs).unwrap();
+            col.sync().unwrap();
+            let mut prints = Vec::new();
+            for _ in 0..3 {
+                prints.push(fingerprint(&col));
+            }
+            let report = col.storage_report();
+            let shard_counters: Vec<_> = report.shards.iter()
+                .map(|s| (s.decode_errors, s.cache))
+                .collect();
+            (prints, shard_counters)
+        };
+        let serial = ThreadPoolBuilder::new().num_threads(1).build().unwrap()
+            .install(|| run("serial"));
+        let wide = ThreadPoolBuilder::new().num_threads(8).build().unwrap()
+            .install(|| run("wide"));
+        prop_assert_eq!(serial.0, wide.0, "scan bytes must not depend on pool width");
+        prop_assert_eq!(serial.1, wide.1, "cache counters must not depend on pool width");
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }
 

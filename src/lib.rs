@@ -84,8 +84,8 @@
 //! results for the same input at any thread count (pinned by proptest and
 //! the pipeline equivalence suite); system-wide selection sits on
 //! `DataTamerConfig::storage`, and each stage report carries a
-//! `StorageReport` of per-shard doc/extent counts, backend kind, and
-//! flush traffic.
+//! `StorageReport` of per-shard doc/extent counts, backend kind, flush
+//! traffic, decode-error counts, and extent-cache counters.
 //!
 //! ```
 //! use datatamer::model::doc;
@@ -98,6 +98,7 @@
 //!     shards: 4,
 //!     backend: BackendConfig::File { dir: dir.clone() },
 //!     routing: RoutingPolicy::HashKey { attr: "show".into() },
+//!     ..Default::default()
 //! };
 //!
 //! let col = Collection::new("listings", config.clone()).unwrap();
@@ -119,6 +120,52 @@
 //! let reopened = Collection::new("listings", config).unwrap();
 //! assert_eq!(reopened.len(), 60);
 //! assert_eq!(reopened.get(ids[7]), Some(docs[7].clone()));
+//! std::fs::remove_dir_all(&dir).unwrap();
+//! ```
+//!
+//! ### Out-of-core scans: the extent cache
+//!
+//! File-backed shards serve every read through an `ExtentCache`
+//! ([`storage::cache`]): a byte-budget LRU of decoded extents, so repeated
+//! stage passes (blocking, scoring, fusion) hit memory instead of
+//! re-reading every extent file per scan. `CollectionConfig::
+//! extent_cache_budget` (and system-wide, `StorageConfig::
+//! extent_cache_budget` in [`core::config`]) sets the per-shard budget:
+//! `None` is unbounded, `Some(0)` disables retention — byte-identical
+//! output either way, only the IO changes. Parallel scans fan out one
+//! rayon task per *(shard, extent)*, with cache hits resolved and pinned
+//! sequentially before the fan-out, so scan output **and** the cache
+//! counters on `StorageReport` are deterministic at any thread count:
+//!
+//! ```
+//! use datatamer::model::doc;
+//! use datatamer::storage::{BackendConfig, Collection, CollectionConfig};
+//!
+//! let dir = std::env::temp_dir().join(format!("dt_doctest_ooc_{}", std::process::id()));
+//! let _ = std::fs::remove_dir_all(&dir);
+//! let col = Collection::new("events", CollectionConfig {
+//!     extent_size: 4 * 1024,
+//!     shards: 2,
+//!     backend: BackendConfig::File { dir: dir.clone() },
+//!     extent_cache_budget: None, // unbounded: scans warm the whole corpus
+//!     ..Default::default()
+//! }).unwrap();
+//! let docs: Vec<_> = (0..200i64)
+//!     .map(|i| doc! {"i" => i, "pad" => "x".repeat(64)})
+//!     .collect();
+//! col.insert_many(&docs).unwrap();
+//! col.sync().unwrap(); // flush tails; all extents now live on disk
+//!
+//! // First scan loads from disk; the second is served from the cache.
+//! for _ in 0..2 {
+//!     let seen = col.parallel_scan(|_, d| d.get("i").cloned()).unwrap();
+//!     assert_eq!(seen.len(), 200);
+//! }
+//! let cache = col.storage_report().cache_totals().expect("file shards are cached");
+//! assert!(cache.hits > 0, "second scan hits the cache");
+//! assert_eq!(cache.misses, cache.disk_loads, "every miss is one file read");
+//! assert!(cache.occupancy_bytes > 0);
+//! assert_eq!(col.storage_report().decode_errors(), 0);
 //! std::fs::remove_dir_all(&dir).unwrap();
 //! ```
 //!

@@ -208,6 +208,7 @@ fn file_backed_pipeline_matches_memory_at_any_thread_count() {
                 .join(format!("dt_file_pipeline_{tag}_{}", std::process::id())),
         },
         routing: RoutingPolicy::HashKey { attr: "SHOW_NAME".into() },
+        ..Default::default()
     };
     let cleanup = |cfg: &StorageConfig| {
         if let BackendConfig::File { dir } = &cfg.backend {
@@ -239,6 +240,7 @@ fn file_backed_pipeline_matches_memory_at_any_thread_count() {
     let memory_routing = StorageConfig {
         backend: BackendConfig::Memory,
         routing: RoutingPolicy::HashKey { attr: "SHOW_NAME".into() },
+        ..Default::default()
     };
     let (memory_fused, memory_stats) =
         ThreadPoolBuilder::new().num_threads(1).build().unwrap().install(|| {
