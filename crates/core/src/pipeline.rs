@@ -569,8 +569,14 @@ impl DataTamer {
         let members = fused.iter().map(|f| f.member_count).sum();
         self.ctx
             .push_run(stage_names::FUSION, StageReport::Fusion { entities: fused.len(), members });
+        // Hand downstream views the exact dirty set: `reusable[gi]` is
+        // `None` precisely when group `gi` was re-resolved this delta, so
+        // index maintenance can reindex only those clusters.
+        let dirty: Vec<bool> = reusable.iter().map(Option::is_none).collect();
         self.ctx.fusion_groups = groups;
         self.ctx.fused = fused;
+        self.ctx.fused_revision += 1;
+        self.ctx.fused_changed = Some(dirty);
         // The in-memory session is fully updated either way; a deferred
         // log error now tells the caller persistence degraded.
         match log_error {

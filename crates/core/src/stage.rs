@@ -182,6 +182,16 @@ pub struct PipelineContext {
     pub fusion_groups: Vec<FusionGroup>,
     /// Fused composites from the most recent fusion stage.
     pub fused: Vec<FusedEntity>,
+    /// Bumped every time [`PipelineContext::fused`] is replaced (batch
+    /// fusion or delta consolidation) — downstream views use it to detect
+    /// staleness cheaply.
+    pub fused_revision: u64,
+    /// For the most recent `fused` installation: `Some(dirty)` with one
+    /// flag per fusion group when the delta path re-resolved only part of
+    /// the output (`dirty[i]` = group `i` changed since the previous
+    /// revision); `None` after a batch run, meaning "assume everything
+    /// changed". Index maintenance keys incremental syncs off this.
+    pub fused_changed: Option<Vec<bool>>,
     /// The truth-discovery routing currently in effect: the system
     /// configuration's, until a run's `PipelinePlan` overrides it. Ad-hoc
     /// re-fusion (`DataTamer::fuse`) uses this, so it always agrees with
@@ -220,6 +230,8 @@ impl PipelineContext {
             fusion_input: Vec::new(),
             fusion_groups: Vec::new(),
             fused: Vec::new(),
+            fused_revision: 0,
+            fused_changed: None,
             runs: Vec::new(),
         }
     }
@@ -703,6 +715,9 @@ impl PipelineStage for FusionStage {
         let members = fused.iter().map(|f| f.member_count).sum();
         let report = StageReport::Fusion { entities: fused.len(), members };
         ctx.fused = fused;
+        ctx.fused_revision += 1;
+        // Batch fusion rebuilds everything: no dirty set to offer.
+        ctx.fused_changed = None;
         Ok(report)
     }
 }

@@ -1,0 +1,339 @@
+//! Columnar projection of fused entities for analytic scans.
+//!
+//! Each attribute becomes a [`Column`]: a presence bitmap plus a typed
+//! value vector. A column is typed (`Int`/`Float`/`Bool`/dictionary-encoded
+//! `Str`) only when *every* present value shares that type; any mix —
+//! including explicit `Null` values or arrays — falls back to a `Mixed`
+//! vector of owned [`Value`]s so reconstruction is byte-exact. String
+//! columns dictionary-encode through [`datatamer_sim::TokenInterner`]
+//! with codes assigned in first-appearance (row) order, so the layout is
+//! deterministic regardless of build parallelism: columns build
+//! rayon-parallel *across attributes*, but each column scans its rows
+//! sequentially.
+//!
+//! [`ColumnarRow`] adapts a row back into an
+//! [`AttrSource`](crate::ast::AttrSource) so the same predicates run
+//! against the columnar layout and against the entities themselves —
+//! the oracle equivalence the proptests pin.
+
+use datatamer_core::fusion::FusedEntity;
+use datatamer_model::Value;
+use datatamer_sim::{FnvBuildHasher, TokenInterner};
+use rayon::prelude::*;
+use std::collections::HashMap;
+
+use crate::ast::{push_leaves, AttrSource, CONFIDENCE_ATTR, KEY_ATTR, MEMBERS_ATTR};
+
+/// String dictionary: interner for encode, side table for decode.
+#[derive(Debug, Clone, Default)]
+pub struct StrDict {
+    interner: TokenInterner,
+    decode: Vec<String>,
+}
+
+impl StrDict {
+    /// Intern `s`, returning its stable code.
+    fn encode(&mut self, s: &str) -> u32 {
+        let code = self.interner.intern_str(s);
+        if code as usize == self.decode.len() {
+            self.decode.push(s.to_string());
+        }
+        code
+    }
+
+    /// The string behind `code`.
+    pub fn decode(&self, code: u32) -> Option<&str> {
+        self.decode.get(code as usize).map(String::as_str)
+    }
+
+    /// Number of distinct strings.
+    pub fn len(&self) -> usize {
+        self.decode.len()
+    }
+
+    /// True when no string has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.decode.is_empty()
+    }
+}
+
+/// Typed backing storage for one column.
+#[derive(Debug, Clone)]
+pub enum ColumnData {
+    /// All present values are `Int`.
+    Int(Vec<i64>),
+    /// All present values are `Float`.
+    Float(Vec<f64>),
+    /// All present values are `Bool`.
+    Bool(Vec<bool>),
+    /// All present values are `Str`, dictionary-encoded.
+    Str {
+        /// Per-row dictionary code (meaningful only where present).
+        codes: Vec<u32>,
+        /// The dictionary.
+        dict: StrDict,
+    },
+    /// Non-uniform values (mixed types, nulls, arrays, documents).
+    Mixed(Vec<Value>),
+}
+
+/// One attribute's values across every row.
+#[derive(Debug, Clone)]
+pub struct Column {
+    /// Attribute name.
+    pub name: String,
+    /// Presence bitmap, one bit per row (absent fields are 0; an explicit
+    /// `Null` value is *present*).
+    present: Vec<u64>,
+    /// Typed values.
+    pub data: ColumnData,
+    /// Number of present rows.
+    pub non_null: usize,
+}
+
+impl Column {
+    /// True when the row carries a value (possibly `Null`).
+    pub fn is_present(&self, row: usize) -> bool {
+        self.present
+            .get(row / 64)
+            .is_some_and(|w| w & (1u64 << (row % 64)) != 0)
+    }
+
+    /// Reconstruct the row's value; `None` when the field is absent.
+    pub fn value_at(&self, row: usize) -> Option<Value> {
+        if !self.is_present(row) {
+            return None;
+        }
+        Some(match &self.data {
+            ColumnData::Int(v) => Value::Int(v[row]),
+            ColumnData::Float(v) => Value::Float(v[row]),
+            ColumnData::Bool(v) => Value::Bool(v[row]),
+            ColumnData::Str { codes, dict } => {
+                Value::Str(dict.decode(codes[row]).unwrap_or_default().to_string())
+            }
+            ColumnData::Mixed(v) => v[row].clone(),
+        })
+    }
+}
+
+/// The raw cell an attribute resolves to on an entity — the single source
+/// of truth the column builder and the row-source agree on.
+fn cell(e: &FusedEntity, attr: &str) -> Option<Value> {
+    match attr {
+        KEY_ATTR => Some(Value::Str(e.key.clone())),
+        MEMBERS_ATTR => Some(Value::Int(e.member_count as i64)),
+        CONFIDENCE_ATTR => Some(match e.confidence {
+            Some(c) => Value::Float(c),
+            None => Value::Null,
+        }),
+        _ => e.record.get(attr).cloned(),
+    }
+}
+
+/// A columnar snapshot of a fused-entity collection.
+#[derive(Debug, Clone, Default)]
+pub struct Columnar {
+    rows: usize,
+    columns: Vec<Column>,
+    by_name: HashMap<String, u32, FnvBuildHasher>,
+}
+
+impl Columnar {
+    /// Project `entities` into columns: the three pseudo-attributes first,
+    /// then every record attribute in first-appearance order. Columns
+    /// build in parallel; each is internally sequential, so the layout is
+    /// identical at any thread count.
+    pub fn build(entities: &[FusedEntity]) -> Columnar {
+        let mut attrs: Vec<String> =
+            vec![KEY_ATTR.to_string(), MEMBERS_ATTR.to_string(), CONFIDENCE_ATTR.to_string()];
+        for e in entities {
+            for (name, _) in e.record.iter() {
+                if !attrs.iter().any(|a| a == name) {
+                    attrs.push(name.to_string());
+                }
+            }
+        }
+        let columns: Vec<Column> = attrs
+            .par_iter()
+            .map(|attr| build_column(attr, entities))
+            .collect();
+        let mut by_name = HashMap::default();
+        for (i, c) in columns.iter().enumerate() {
+            by_name.insert(c.name.clone(), i as u32);
+        }
+        Columnar { rows: entities.len(), columns, by_name }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// The columns, pseudo-attributes first then first-appearance order.
+    pub fn columns(&self) -> &[Column] {
+        &self.columns
+    }
+
+    /// Look up a column by attribute name.
+    pub fn column(&self, attr: &str) -> Option<&Column> {
+        self.by_name.get(attr).map(|&i| &self.columns[i as usize])
+    }
+
+    /// A row view usable as a predicate source.
+    pub fn row(&self, row: usize) -> ColumnarRow<'_> {
+        ColumnarRow { columnar: self, row }
+    }
+}
+
+fn build_column(attr: &str, entities: &[FusedEntity]) -> Column {
+    let mut present = vec![0u64; entities.len().div_ceil(64)];
+    let mut cells: Vec<Option<Value>> = Vec::with_capacity(entities.len());
+    let mut non_null = 0usize;
+    for (row, e) in entities.iter().enumerate() {
+        let c = cell(e, attr);
+        if c.is_some() {
+            present[row / 64] |= 1u64 << (row % 64);
+            non_null += 1;
+        }
+        cells.push(c);
+    }
+    // Pick the narrowest layout every present value fits exactly.
+    let mut uniform: Option<&'static str> = None;
+    let mut mixed = false;
+    for c in cells.iter().flatten() {
+        let t = match c {
+            Value::Int(_) => "int",
+            Value::Float(_) => "float",
+            Value::Bool(_) => "bool",
+            Value::Str(_) => "str",
+            _ => "mixed",
+        };
+        match uniform {
+            None => uniform = Some(t),
+            Some(u) if u == t && t != "mixed" => {}
+            _ => {
+                mixed = true;
+                break;
+            }
+        }
+    }
+    let data = if mixed || uniform == Some("mixed") {
+        ColumnData::Mixed(
+            cells.into_iter().map(|c| c.unwrap_or(Value::Null)).collect(),
+        )
+    } else {
+        match uniform {
+            Some("int") => ColumnData::Int(
+                cells.iter().map(|c| c.as_ref().and_then(Value::as_int).unwrap_or(0)).collect(),
+            ),
+            Some("float") => ColumnData::Float(
+                cells
+                    .iter()
+                    .map(|c| match c {
+                        Some(Value::Float(f)) => *f,
+                        _ => 0.0,
+                    })
+                    .collect(),
+            ),
+            Some("bool") => ColumnData::Bool(
+                cells.iter().map(|c| c.as_ref().and_then(Value::as_bool).unwrap_or(false)).collect(),
+            ),
+            Some("str") => {
+                let mut dict = StrDict::default();
+                let codes = cells
+                    .iter()
+                    .map(|c| match c {
+                        Some(Value::Str(s)) => dict.encode(s),
+                        _ => 0,
+                    })
+                    .collect();
+                ColumnData::Str { codes, dict }
+            }
+            // No present values at all: an all-absent Mixed column.
+            _ => ColumnData::Mixed(vec![Value::Null; entities.len()]),
+        }
+    };
+    Column { name: attr.to_string(), present, data, non_null }
+}
+
+/// One row of a [`Columnar`] snapshot, as a predicate source.
+pub struct ColumnarRow<'a> {
+    columnar: &'a Columnar,
+    row: usize,
+}
+
+impl AttrSource for ColumnarRow<'_> {
+    fn attr_values(&self, attr: &str, out: &mut Vec<Value>) {
+        if let Some(col) = self.columnar.column(attr) {
+            if let Some(v) = col.value_at(self.row) {
+                push_leaves(&v, out);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datatamer_model::{Record, RecordId, SourceId};
+
+    fn entity(key: &str, fields: Vec<(&str, Value)>) -> FusedEntity {
+        FusedEntity {
+            key: key.to_string(),
+            record: Record::from_pairs(SourceId(0), RecordId(0), fields),
+            member_count: 1,
+            confidence: Some(0.5),
+        }
+    }
+
+    #[test]
+    fn typed_columns_round_trip() {
+        let es = vec![
+            entity("a", vec![("N", Value::Int(1)), ("S", Value::from("x"))]),
+            entity("b", vec![("N", Value::Int(2)), ("S", Value::from("y"))]),
+            entity("c", vec![("S", Value::from("x"))]),
+        ];
+        let col = Columnar::build(&es);
+        assert_eq!(col.rows(), 3);
+        let n = col.column("N").unwrap();
+        assert!(matches!(n.data, ColumnData::Int(_)));
+        assert_eq!(n.value_at(0), Some(Value::Int(1)));
+        assert_eq!(n.value_at(2), None, "absent stays absent");
+        let s = col.column("S").unwrap();
+        assert!(matches!(s.data, ColumnData::Str { .. }));
+        assert_eq!(s.value_at(2), Some(Value::from("x")));
+        if let ColumnData::Str { dict, .. } = &s.data {
+            assert_eq!(dict.len(), 2, "dictionary dedups");
+        }
+        assert_eq!(col.column(KEY_ATTR).unwrap().value_at(1), Some(Value::from("b")));
+    }
+
+    #[test]
+    fn mixed_types_and_nulls_fall_back_exactly() {
+        let es = vec![
+            entity("a", vec![("M", Value::Int(1))]),
+            entity("b", vec![("M", Value::Float(2.5))]),
+            entity("c", vec![("M", Value::Null)]),
+        ];
+        let col = Columnar::build(&es);
+        let m = col.column("M").unwrap();
+        assert!(matches!(m.data, ColumnData::Mixed(_)));
+        assert_eq!(m.value_at(0), Some(Value::Int(1)), "ints keep exact type");
+        assert_eq!(m.value_at(2), Some(Value::Null), "explicit null is present");
+        assert!(m.is_present(2));
+    }
+
+    #[test]
+    fn row_source_matches_entity_source() {
+        use crate::ast::Predicate;
+        let es = vec![
+            entity("a", vec![("TAGS", Value::Array(vec![Value::from("x"), Value::from("y")]))]),
+            entity("b", vec![("TAGS", Value::from("z"))]),
+        ];
+        let col = Columnar::build(&es);
+        let p = Predicate::Eq("TAGS".into(), "y".into());
+        for (i, e) in es.iter().enumerate() {
+            assert_eq!(p.matches(e), p.matches(&col.row(i)), "row {i}");
+        }
+    }
+}

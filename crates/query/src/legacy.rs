@@ -1,0 +1,191 @@
+//! Bridge from the legacy document-store query
+//! ([`datatamer_storage::Query`]) into the typed AST — one query engine
+//! for both surfaces.
+//!
+//! [`predicate_from`] maps `storage::Filter` onto [`Predicate`] 1:1, and
+//! [`run`] executes a legacy query end-to-end through the new engine:
+//! the AST's planner shape (first indexable conjunct seeds a point/set/
+//! range probe against the collection's secondary indexes, everything
+//! re-checked by the full predicate), the AST's evaluator over
+//! `Document` dotted paths, and the legacy sort/skip/limit/projection
+//! tail. Unreadable extents surface as `DtError` on both the probe and
+//! scan paths — the probe side uses `Collection::try_get`, never the
+//! folding `get`.
+//!
+//! Semantics note: the AST's equality is *canonical* (`total_cmp`, so
+//! `Int(3)` matches `Float(3.0)` and NaN matches itself), whereas legacy
+//! `Filter::matches` uses `Value`'s `PartialEq`. On same-typed operands —
+//! every practical corpus — the two agree, and the equivalence test in
+//! this module pins that; mixed-numeric operands get the canonical
+//! semantics here.
+
+use std::ops::Bound;
+
+use datatamer_model::{Document, Result, Value};
+use datatamer_storage::{Collection, DocId, Filter, Query as LegacyQuery, SortOrder};
+
+use crate::ast::Predicate;
+
+/// Convert a legacy filter into the typed AST predicate.
+pub fn predicate_from(f: &Filter) -> Predicate {
+    match f {
+        Filter::True => Predicate::True,
+        Filter::Eq(p, v) => Predicate::Eq(p.clone(), v.clone()),
+        Filter::Ne(p, v) => Predicate::Ne(p.clone(), v.clone()),
+        Filter::Gt(p, v) => Predicate::Gt(p.clone(), v.clone()),
+        Filter::Gte(p, v) => Predicate::Gte(p.clone(), v.clone()),
+        Filter::Lt(p, v) => Predicate::Lt(p.clone(), v.clone()),
+        Filter::Lte(p, v) => Predicate::Lte(p.clone(), v.clone()),
+        Filter::In(p, vs) => Predicate::In(p.clone(), vs.clone()),
+        Filter::Contains(p, s) => Predicate::Contains(p.clone(), s.clone()),
+        Filter::Exists(p) => Predicate::Exists(p.clone()),
+        Filter::And(fs) => Predicate::And(fs.iter().map(predicate_from).collect()),
+        Filter::Or(fs) => Predicate::Or(fs.iter().map(predicate_from).collect()),
+        Filter::Not(f) => Predicate::Not(Box::new(predicate_from(f))),
+    }
+}
+
+/// The first top-level conjunct that can seed a document-index probe,
+/// mirroring the AST planner's probe selection.
+fn probe_ids(col: &Collection, pred: &Predicate) -> Option<Vec<DocId>> {
+    for c in pred.conjuncts() {
+        let ids = match c {
+            Predicate::Eq(path, v) => col.with_index_on_path(path, |idx| idx.lookup(v)),
+            Predicate::In(path, vs) => col.with_index_on_path(path, |idx| {
+                let mut ids: Vec<DocId> = vs.iter().flat_map(|v| idx.lookup(v)).collect();
+                ids.sort_unstable();
+                ids.dedup();
+                ids
+            }),
+            Predicate::Gt(path, v) => col
+                .with_index_on_path(path, |idx| idx.range(Bound::Excluded(v), Bound::Unbounded)),
+            Predicate::Gte(path, v) => col
+                .with_index_on_path(path, |idx| idx.range(Bound::Included(v), Bound::Unbounded)),
+            Predicate::Lt(path, v) => col
+                .with_index_on_path(path, |idx| idx.range(Bound::Unbounded, Bound::Excluded(v))),
+            Predicate::Lte(path, v) => col
+                .with_index_on_path(path, |idx| idx.range(Bound::Unbounded, Bound::Included(v))),
+            _ => None,
+        };
+        if let Some(ids) = ids {
+            return Some(ids);
+        }
+    }
+    None
+}
+
+/// Execute a legacy query through the typed-AST engine. Result shape and
+/// ordering match [`LegacyQuery::execute`]; errors (unreadable extents)
+/// surface as `DtError` on every path.
+pub fn run(col: &Collection, q: &LegacyQuery) -> Result<Vec<(DocId, Document)>> {
+    let pred = predicate_from(&q.filter);
+    let mut results: Vec<(DocId, Document)> = match probe_ids(col, &pred) {
+        Some(ids) => {
+            let mut hits = Vec::new();
+            for id in ids {
+                if let Some(d) = col.try_get(id)? {
+                    if pred.matches(&d) {
+                        hits.push((id, d));
+                    }
+                }
+            }
+            hits
+        }
+        None => col.parallel_scan(|id, d| pred.matches(d).then(|| (id, d.clone())))?,
+    };
+
+    if let Some((path, order)) = &q.sort {
+        results.sort_by(|(_, a), (_, b)| {
+            let va = a.get_path(path).cloned().unwrap_or(Value::Null);
+            let vb = b.get_path(path).cloned().unwrap_or(Value::Null);
+            let ord = va.total_cmp(&vb);
+            match order {
+                SortOrder::Ascending => ord,
+                SortOrder::Descending => ord.reverse(),
+            }
+        });
+    }
+    let end = q.skip.saturating_add(q.limit).min(results.len());
+    let start = q.skip.min(results.len());
+    let mut page: Vec<(DocId, Document)> = results.drain(start..end).collect();
+
+    if !q.projection.is_empty() {
+        for (_, doc) in page.iter_mut() {
+            let mut projected = Document::with_capacity(q.projection.len());
+            for p in &q.projection {
+                if let Some(v) = doc.get_path(p) {
+                    projected.set(p.clone(), v.clone());
+                }
+            }
+            *doc = projected;
+        }
+    }
+    Ok(page)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datatamer_model::doc;
+    use datatamer_storage::{CollectionConfig, IndexSpec};
+
+    fn seed() -> Collection {
+        let c = Collection::new(
+            "shows",
+            CollectionConfig { extent_size: 4096, shards: 4, ..Default::default() },
+        )
+        .unwrap();
+        let rows = [
+            ("Matilda", 27i64, "musical"),
+            ("Wicked", 99, "musical"),
+            ("Hamlet", 45, "play"),
+            ("Chicago", 67, "musical"),
+            ("Macbeth", 30, "play"),
+        ];
+        for (name, price, kind) in rows {
+            c.insert(&doc! {"name" => name, "price" => price, "kind" => kind}).unwrap();
+        }
+        c
+    }
+
+    fn queries() -> Vec<LegacyQuery> {
+        vec![
+            LegacyQuery::filtered(Filter::Eq("kind".into(), "musical".into())),
+            LegacyQuery::filtered(Filter::And(vec![
+                Filter::Gte("price".into(), Value::Int(30)),
+                Filter::Lt("price".into(), Value::Int(70)),
+            ])),
+            LegacyQuery::filtered(Filter::In(
+                "kind".into(),
+                vec!["play".into(), "opera".into()],
+            )),
+            LegacyQuery::filtered(Filter::Or(vec![
+                Filter::Contains("name".into(), "mat".into()),
+                Filter::Not(Box::new(Filter::Exists("price".into()))),
+            ])),
+            LegacyQuery::filtered(Filter::True)
+                .sort_by("price", SortOrder::Descending)
+                .offset(1)
+                .take(2)
+                .project(vec!["name", "price"]),
+        ]
+    }
+
+    #[test]
+    fn bridge_matches_legacy_execute_unindexed() {
+        let c = seed();
+        for q in queries() {
+            assert_eq!(run(&c, &q).unwrap(), q.execute(&c).unwrap(), "{:?}", q.filter);
+        }
+    }
+
+    #[test]
+    fn bridge_matches_legacy_execute_indexed() {
+        let c = seed();
+        c.create_index(IndexSpec::new("by_kind", "kind")).unwrap();
+        c.create_index(IndexSpec::new("by_price", "price")).unwrap();
+        for q in queries() {
+            assert_eq!(run(&c, &q).unwrap(), q.execute(&c).unwrap(), "{:?}", q.filter);
+        }
+    }
+}

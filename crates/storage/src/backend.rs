@@ -110,6 +110,15 @@ pub trait ShardBackend: Send + Sync {
     /// there would drop whole extents from scan output.
     fn get(&self, extent: u32, slot: u32) -> Option<Document>;
 
+    /// Like [`Self::get`], but an unreadable extent is an error instead of
+    /// `None`: `Ok(None)` strictly means "not live". Query paths use this
+    /// so index probes cannot silently drop documents whose extent failed
+    /// to read. The default suits fully resident backends, where reads
+    /// cannot fail.
+    fn try_get(&self, extent: u32, slot: u32) -> Result<Option<Document>> {
+        Ok(self.get(extent, slot))
+    }
+
     /// Tombstone `(extent, slot)`; returns the document when it was live
     /// (same `None` folding as [`Self::get`] on the read side). A failed
     /// tombstone *write-back* is an error — swallowing it would leave the
@@ -658,6 +667,22 @@ impl ShardBackend for FileBackend {
                 // and stays resident for the next same-extent read.
                 let shared = self.cached_extent(extent).ok()?;
                 fold_decode(&self.decode_errors, shared.get(slot))
+            }
+        }
+    }
+
+    fn try_get(&self, extent: u32, slot: u32) -> Result<Option<Document>> {
+        let slots = self.slots.read();
+        match slots.get(extent as usize) {
+            None => Ok(None),
+            Some(ExtentSlot::Loaded(e)) => {
+                Ok(fold_decode(&self.decode_errors, e.get(slot)))
+            }
+            Some(ExtentSlot::Flushed(_)) => {
+                // Unlike `get`, an unreadable extent propagates: the query
+                // layer must distinguish "tombstoned" from "lost an extent".
+                let shared = self.cached_extent(extent)?;
+                Ok(fold_decode(&self.decode_errors, shared.get(slot)))
             }
         }
     }

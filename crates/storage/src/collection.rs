@@ -222,6 +222,13 @@ impl Collection {
         self.coordinator.get(id)
     }
 
+    /// Fetch a document by id, surfacing unreadable extents as errors
+    /// instead of folding them into `None`. Query execution uses this so
+    /// an index probe cannot silently drop documents on a torn extent.
+    pub fn try_get(&self, id: DocId) -> Result<Option<Document>> {
+        self.coordinator.try_get(id)
+    }
+
     /// Delete a document by id. Returns whether it was live; a failed
     /// tombstone write-back on a file shard is the error.
     pub fn delete(&self, id: DocId) -> Result<bool> {

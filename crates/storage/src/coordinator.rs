@@ -90,6 +90,30 @@ impl StorageReport {
         }
         total
     }
+
+    /// Flatten the report into `(name, value)` counter pairs — the shape
+    /// the serving layer's stats endpoint and logs consume.
+    pub fn counter_pairs(&self) -> Vec<(&'static str, u64)> {
+        let mut out = vec![
+            ("storage.docs", self.docs()),
+            ("storage.largest_shard_docs", self.largest_shard_docs()),
+            ("storage.shards", self.shards.len() as u64),
+            ("storage.flushes", self.flushes),
+            ("storage.decode_errors", self.decode_errors()),
+            (
+                "storage.extents",
+                self.shards.iter().map(|s| s.extents as u64).sum(),
+            ),
+        ];
+        if let Some(c) = self.cache_totals() {
+            out.push(("storage.cache_hits", c.hits));
+            out.push(("storage.cache_misses", c.misses));
+            out.push(("storage.cache_evictions", c.evictions));
+            out.push(("storage.cache_disk_loads", c.disk_loads));
+            out.push(("storage.cache_occupancy_bytes", c.occupancy_bytes as u64));
+        }
+        out
+    }
 }
 
 /// Routing plus per-shard backends; see the module docs.
@@ -188,6 +212,15 @@ impl ShardCoordinator {
     /// Point read: exactly one shard is touched.
     pub fn get(&self, id: DocId) -> Option<Document> {
         self.backends.get(id.shard() as usize)?.get(id.extent(), id.slot())
+    }
+
+    /// Point read that surfaces unreadable extents as errors; `Ok(None)`
+    /// strictly means "no live document at that id".
+    pub fn try_get(&self, id: DocId) -> Result<Option<Document>> {
+        match self.backends.get(id.shard() as usize) {
+            None => Ok(None),
+            Some(b) => b.try_get(id.extent(), id.slot()),
+        }
     }
 
     /// Tombstone a document, returning it when it was live. A failed

@@ -154,6 +154,13 @@ pub enum SortOrder {
 }
 
 /// A declarative query: filter + projection + sort + pagination.
+///
+/// Legacy document-store entry point. The typed AST in `datatamer-query`
+/// is the one query engine going forward; its `legacy` module converts
+/// this struct (via `predicate_from`) and runs it through the same
+/// planner/evaluator used for fused-entity queries, with an equivalence
+/// test pinning the two paths together. Prefer that path for new code;
+/// `execute` stays for existing callers.
 #[derive(Debug, Clone)]
 pub struct Query {
     /// Predicate; `Filter::True` scans everything.
@@ -231,11 +238,19 @@ impl Query {
                     IndexProbe::Range(lo, hi) => idx.range(lo, hi),
                 });
                 match ids {
-                    Some(ids) => ids
-                        .into_iter()
-                        .filter_map(|id| col.get(id).map(|d| (id, d)))
-                        .filter(|(_, d)| self.filter.matches(d))
-                        .collect(),
+                    Some(ids) => {
+                        // `try_get` so an unreadable extent fails the query
+                        // (like the scan path) instead of shrinking results.
+                        let mut hits = Vec::new();
+                        for id in ids {
+                            if let Some(d) = col.try_get(id)? {
+                                if self.filter.matches(&d) {
+                                    hits.push((id, d));
+                                }
+                            }
+                        }
+                        hits
+                    }
                     // No index on that path: fall back to a scan.
                     None => col.parallel_scan(|id, d| {
                         self.filter.matches(d).then(|| (id, d.clone()))

@@ -466,6 +466,74 @@
 //! std::fs::remove_dir_all(&dir).unwrap();
 //! ```
 //!
+//! ## Query & serving
+//!
+//! Everything above ends in `dt.context().fused` — a `Vec<FusedEntity>`.
+//! The [`query`] crate gives that vector a real read path: secondary
+//! indexes (hash for equality, ordered for ranges) over any entity
+//! attribute, a columnar projection for analytic scans, a typed
+//! [`query::Query`] AST with a planner that picks index probe vs
+//! columnar scan, and a hand-rolled HTTP/1.1 front end on
+//! `std::net::TcpListener`. Two contracts hold throughout: every plan's
+//! result is byte-identical to the naive full-scan oracle at any thread
+//! count (proptest-pinned in `tests/query_oracle.rs`), and after
+//! [`core::DataTamer::consolidate_delta`] the indexes are maintained
+//! *incrementally* from the delta's dirty-cluster set — the
+//! [`query::IndexMaintenance`] counters prove no full rebuild happened.
+//!
+//! The facade's [`serve`] module ties it together: bind a server, run
+//! the pipeline, publish — concurrent readers see complete snapshots
+//! only, before or after, never torn.
+//!
+//! ```
+//! use datatamer::core::fusion::{BlockedErConfig, GroupingStrategy};
+//! use datatamer::core::{DataTamer, DataTamerConfig, PipelinePlan};
+//! use datatamer::model::{Record, RecordId, SourceId, Value};
+//! use datatamer::query::prelude::*;
+//! use datatamer::serve::ServeSession;
+//! use std::io::{Read, Write};
+//!
+//! fn show(id: u64, name: &str, price: &str) -> Record {
+//!     Record::from_pairs(
+//!         SourceId(0),
+//!         RecordId(id),
+//!         vec![("SHOW_NAME", Value::from(name)), ("CHEAPEST_PRICE", Value::from(price))],
+//!     )
+//! }
+//!
+//! // Build: fuse a small corpus.
+//! let mut dt = DataTamer::new(DataTamerConfig {
+//!     grouping: GroupingStrategy::BlockedEr(BlockedErConfig::default()),
+//!     ..Default::default()
+//! });
+//! let corpus: Vec<Record> =
+//!     (0..30).map(|i| show(i, &format!("Unique{i} Show{i}"), "$10")).collect();
+//! dt.run(PipelinePlan::new().structured("listings", &corpus)).expect("run");
+//!
+//! // Index + publish: hash on the key, range on member count.
+//! let mut session = ServeSession::bind("127.0.0.1:0", ServerConfig::default()).expect("bind");
+//! session.publish("shows", &dt, IndexSpec::default().ordered_on("_members"));
+//!
+//! // Query: planner result is byte-identical to the naive oracle.
+//! let snap = session.views().get("shows").expect("published");
+//! let q = Query::filtered(Predicate::Gte("_members".into(), Value::Int(1)))
+//!     .aggregate(Aggregate::Count);
+//! let run = snap.execute(&q);
+//! assert_eq!(run.plan, PlanKind::OrderedProbe);
+//! assert_eq!(run.result, execute_oracle(snap.entities(), &q));
+//! assert_eq!(run.result, QueryResult::Count(30));
+//!
+//! // One HTTP round-trip against the live server.
+//! let mut conn = std::net::TcpStream::connect(session.addr()).expect("connect");
+//! conn.write_all(b"GET /collections/shows/query?agg=count HTTP/1.1\r\nHost: x\r\n\r\n")
+//!     .expect("send");
+//! let mut response = String::new();
+//! conn.read_to_string(&mut response).expect("recv");
+//! assert!(response.starts_with("HTTP/1.1 200 OK"), "{response}");
+//! assert!(response.ends_with("\"count\":30}"), "{response}");
+//! session.stop();
+//! ```
+//!
 //! ## Static analysis & invariants
 //!
 //! The contracts above — byte-identical fused output across thread
@@ -502,7 +570,10 @@ pub use datatamer_entity as entity;
 pub use datatamer_expert as expert;
 pub use datatamer_ml as ml;
 pub use datatamer_model as model;
+pub use datatamer_query as query;
 pub use datatamer_schema as schema;
 pub use datatamer_sim as sim;
 pub use datatamer_storage as storage;
 pub use datatamer_text as text;
+
+pub mod serve;

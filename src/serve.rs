@@ -1,0 +1,95 @@
+//! Facade glue between the pipeline and the query/serving subsystem:
+//! one [`ServeSession`] owns a running [`QueryServer`] plus the
+//! per-collection [`CollectionView`]s it publishes from.
+//!
+//! The flow is: run the pipeline (batch or [`DataTamer::consolidate_delta`]),
+//! then [`ServeSession::publish`] — which syncs the named view from the
+//! pipeline context (using the delta path's dirty-cluster set for
+//! incremental index maintenance), stamps the snapshot with the run's
+//! `DeltaReport` and `StorageReport` counters, and atomically swaps it
+//! into the server's shared registry. Readers hitting the HTTP routes in
+//! between always see a complete snapshot — old or new, never torn.
+
+use std::collections::BTreeMap;
+use std::net::{SocketAddr, ToSocketAddrs};
+
+use datatamer_core::stage::{stage_names, StageReport};
+use datatamer_core::pipeline::GLOBAL_RECORDS_COLLECTION;
+use datatamer_core::DataTamer;
+use datatamer_query::http::{QueryServer, ServerConfig, SharedViews};
+use datatamer_query::view::{CollectionView, IndexSpec};
+
+/// A pipeline-facing handle on the serving subsystem.
+pub struct ServeSession {
+    views: SharedViews,
+    server: QueryServer,
+    collections: BTreeMap<String, CollectionView>,
+}
+
+impl ServeSession {
+    /// Bind the HTTP front end (use `127.0.0.1:0` for an ephemeral port).
+    pub fn bind<A: ToSocketAddrs>(addr: A, cfg: ServerConfig) -> std::io::Result<ServeSession> {
+        let views = SharedViews::new();
+        let server = QueryServer::bind(addr, views.clone(), cfg)?;
+        Ok(ServeSession { views, server, collections: BTreeMap::new() })
+    }
+
+    /// The bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.server.addr()
+    }
+
+    /// The snapshot registry (shareable with extra readers).
+    pub fn views(&self) -> &SharedViews {
+        &self.views
+    }
+
+    /// Sync `name`'s view from the pipeline's current fused output and
+    /// publish an immutable snapshot. The first publish (or a batch run)
+    /// builds indexes from scratch; after `consolidate_delta`, only dirty
+    /// clusters reindex. The snapshot carries `delta.*` / `storage.*`
+    /// counters from the run's reports for the stats endpoint.
+    pub fn publish(&mut self, name: &str, dt: &DataTamer, spec: IndexSpec) {
+        let ctx = dt.context();
+        let view = self
+            .collections
+            .entry(name.to_string())
+            .or_insert_with(|| CollectionView::new(spec));
+        view.sync(&ctx.fused, &ctx.fusion_groups, ctx.fused_changed.as_deref());
+
+        let mut counters: Vec<(String, u64)> = Vec::new();
+        if let Some(StageReport::EntityConsolidation { delta: Some(d), .. }) =
+            ctx.report_of(stage_names::ENTITY_CONSOLIDATION)
+        {
+            counters.extend([
+                ("delta.batch_records".to_string(), d.batch_records as u64),
+                ("delta.total_records".to_string(), d.total_records as u64),
+                ("delta.candidate_pairs".to_string(), d.candidate_pairs as u64),
+                ("delta.scored_pairs".to_string(), d.scored_pairs as u64),
+                ("delta.dirty_clusters".to_string(), d.dirty_clusters as u64),
+                ("delta.reused_clusters".to_string(), d.reused_clusters as u64),
+                ("delta.memo_hits".to_string(), d.memo_hits as u64),
+                ("delta.memo_entries".to_string(), d.memo_entries as u64),
+            ]);
+        }
+        if let Some(col) = dt.collection(GLOBAL_RECORDS_COLLECTION) {
+            counters.extend(
+                col.storage_report()
+                    .counter_pairs()
+                    .into_iter()
+                    .map(|(k, v)| (k.to_string(), v)),
+            );
+        }
+        self.views.publish(name, view.snapshot(counters));
+    }
+
+    /// The mutable view behind a published collection, for inspection.
+    pub fn view(&self, name: &str) -> Option<&CollectionView> {
+        self.collections.get(name)
+    }
+
+    /// Shut the server down, joining its threads.
+    pub fn stop(self) {
+        self.server.stop();
+    }
+}
